@@ -1,0 +1,26 @@
+//! Criterion bench: parser + canonical emitter throughput on family designs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use svgen::{instantiate, Family, FamilyParams};
+
+fn bench_frontend(c: &mut Criterion) {
+    let small = instantiate(Family::Accumulator, FamilyParams::default(), 0).source;
+    let large = instantiate(
+        Family::RegisterFile,
+        FamilyParams { width: 8, depth: 8, variant: 0 },
+        1,
+    )
+    .source;
+    c.bench_function("parse_small_module", |b| {
+        b.iter(|| svparse::parse_module(std::hint::black_box(&small)).unwrap())
+    });
+    c.bench_function("parse_large_module", |b| {
+        b.iter(|| svparse::parse_module(std::hint::black_box(&large)).unwrap())
+    });
+    let module = svparse::parse_module(&large).unwrap();
+    c.bench_function("emit_canonical", |b| {
+        b.iter(|| svparse::emit_module(std::hint::black_box(&module)))
+    });
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

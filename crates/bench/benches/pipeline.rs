@@ -1,0 +1,15 @@
+//! Criterion bench: the three-stage data-augmentation pipeline.
+use criterion::{criterion_group, criterion_main, Criterion};
+use svdata::{run_pipeline, PipelineConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("tiny_pipeline_end_to_end", |b| {
+        b.iter(|| run_pipeline(std::hint::black_box(&PipelineConfig::tiny(9))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: cycle-accurate simulation and SVA checking throughput.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use svgen::{instantiate, Family, FamilyParams};
+use svsim::{check_assertions, Design, Simulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let src = instantiate(Family::Accumulator, FamilyParams::default(), 0).source;
+    let module = svparse::parse_module(&src).unwrap();
+    let design = Design::elaborate(&module).unwrap();
+    let stimulus: Vec<svsim::InputVector> = (0..64)
+        .map(|i| {
+            BTreeMap::from([
+                ("rst_n".to_string(), u64::from(i >= 1)),
+                ("valid_in".to_string(), u64::from(i % 2 == 0)),
+                ("data_in".to_string(), (i * 3) as u64 & 0xF),
+            ])
+        })
+        .collect();
+    c.bench_function("simulate_64_cycles", |b| {
+        b.iter(|| Simulator::run(&design, std::hint::black_box(&stimulus)).unwrap())
+    });
+    let trace = Simulator::run(&design, &stimulus).unwrap();
+    c.bench_function("check_assertions_64_cycles", |b| {
+        b.iter(|| check_assertions(&design, std::hint::black_box(&trace)))
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

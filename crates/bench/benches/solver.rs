@@ -1,0 +1,22 @@
+//! Criterion bench: inference latency of the repair models.
+use criterion::{criterion_group, criterion_main, Criterion};
+use svmodel::{AssertSolverModel, BaselineKind, BaselineModel, CaseInput, RepairModel};
+
+fn bench_solver(c: &mut Criterion) {
+    let entry = assertsolver::human_crafted_cases()
+        .into_iter()
+        .next()
+        .expect("human case available");
+    let case = CaseInput::from_entry(&entry);
+    let base = AssertSolverModel::base(1);
+    let strong = BaselineModel::new(BaselineKind::IterativeReasoner);
+    c.bench_function("base_model_single_response", |b| {
+        b.iter(|| base.solve(std::hint::black_box(&case), 1, 0.2, 3))
+    });
+    c.bench_function("baseline_reasoner_single_response", |b| {
+        b.iter(|| strong.solve(std::hint::black_box(&case), 1, 0.2, 3))
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates every table and figure of the AssertSolver paper in one run.
+use assertsolver_bench::{ExperimentSuite, Scale};
+
+fn main() {
+    let suite = ExperimentSuite::new(Scale::from_env(), 2025);
+    println!("{}", suite.all());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table2 of the AssertSolver paper.
+use assertsolver_bench::{ExperimentSuite, Scale};
+
+fn main() {
+    let suite = ExperimentSuite::new(Scale::from_env(), 2025);
+    println!("{}", suite.table2());
+}

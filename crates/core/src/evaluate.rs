@@ -1,0 +1,338 @@
+//! Model evaluation: sampling, correctness checking, pass@k and breakdowns.
+//!
+//! A response counts as correct when it "successfully solves the assertion failure":
+//! either it reproduces the golden fix textually, or applying its proposed line edit to
+//! the buggy design makes every assertion pass under the bounded checker.  This is the
+//! same acceptance criterion the paper uses for its pass@k numbers.
+
+use crate::passk::PassK;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use svdata::SvaBugEntry;
+use svmodel::{CaseInput, RepairModel, Response};
+use svverify::{CheckConfig, VerifyOracle};
+
+/// Evaluation protocol parameters (paper: n = 20, k ∈ {1, 5}, temperature 0.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Number of samples per case (`n`).
+    pub samples: usize,
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// Seed for sampling.
+    pub seed: u64,
+    /// Bounded-check configuration used to decide whether a repair solves the failure.
+    pub check: CheckConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            samples: 20,
+            temperature: 0.2,
+            seed: 0xE7A1,
+            check: CheckConfig {
+                depth: 12,
+                random_cases: 16,
+                ..CheckConfig::default()
+            },
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A faster protocol for tests and examples (n = 8).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            samples: 8,
+            seed,
+            check: CheckConfig {
+                depth: 10,
+                random_cases: 8,
+                ..CheckConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-case evaluation outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Module the case came from.
+    pub module_name: String,
+    /// Number of samples drawn (`n`).
+    pub n: usize,
+    /// Number of correct samples (`c`).
+    pub c: usize,
+    /// Table-I profile of the underlying bug.
+    pub profile: svmutate::BugProfile,
+    /// Lines of buggy code (for the length-bin breakdown).
+    pub code_lines: usize,
+    /// Whether the case is human-crafted.
+    pub human_crafted: bool,
+}
+
+/// Evaluation of one model over a benchmark.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelEvaluation {
+    /// Model display name.
+    pub model: String,
+    /// Per-case results.
+    pub results: Vec<CaseResult>,
+}
+
+impl ModelEvaluation {
+    /// Aggregate pass@1/pass@5 over all cases.
+    pub fn passk(&self) -> PassK {
+        PassK::from_counts(&self.counts(|_| true))
+    }
+
+    /// Aggregate pass@k restricted to machine- or human-crafted cases.
+    pub fn passk_subset(&self, human: bool) -> PassK {
+        PassK::from_counts(&self.counts(|r| r.human_crafted == human))
+    }
+
+    /// pass@k per Table-I bug-type label.
+    pub fn by_bug_type(&self) -> BTreeMap<String, PassK> {
+        let mut out = BTreeMap::new();
+        for label in ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"] {
+            let counts = self.counts(|r| r.profile.labels().contains(&label));
+            if !counts.is_empty() {
+                out.insert(label.to_string(), PassK::from_counts(&counts));
+            }
+        }
+        out
+    }
+
+    /// pass@k per Table-II code-length bin.
+    pub fn by_length_bin(&self) -> Vec<(String, PassK)> {
+        svgen::LENGTH_BINS
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, name)| {
+                let counts = self.counts(|r| svgen::length_bin_index(r.code_lines) == idx);
+                if counts.is_empty() {
+                    None
+                } else {
+                    Some((name.to_string(), PassK::from_counts(&counts)))
+                }
+            })
+            .collect()
+    }
+
+    /// Histogram of `c` (number of correct answers per case) — the data behind Fig. 3.
+    ///
+    /// Returns `samples + 1` buckets (`c = 0 ..= samples`).
+    pub fn histogram(&self, samples: usize) -> Vec<usize> {
+        let mut buckets = vec![0usize; samples + 1];
+        for result in &self.results {
+            let c = result.c.min(samples);
+            buckets[c] += 1;
+        }
+        buckets
+    }
+
+    fn counts(&self, filter: impl Fn(&CaseResult) -> bool) -> Vec<(usize, usize)> {
+        self.results
+            .iter()
+            .filter(|r| filter(r))
+            .map(|r| (r.n, r.c))
+            .collect()
+    }
+}
+
+/// Checks whether one response solves one case.
+///
+/// The fast path compares the proposed line and fix textually against the golden
+/// solution; otherwise the proposed edit is applied to the buggy source and the
+/// repaired design is re-checked with the bounded verifier.
+pub fn response_is_correct(entry: &SvaBugEntry, response: &Response, oracle: &VerifyOracle) -> bool {
+    let line_matches = response.bug_line_number == entry.bug_line_number;
+    if line_matches && response.fixed_line.trim() == entry.fixed_line.trim() {
+        return true;
+    }
+    if response.bug_line_number == 0 || response.fixed_line.trim().is_empty() {
+        return false;
+    }
+    let Some(repaired_source) = apply_line_edit(
+        &entry.buggy_source,
+        response.bug_line_number,
+        &response.fixed_line,
+    ) else {
+        return false;
+    };
+    let Ok(repaired) = svparse::parse_module(&repaired_source) else {
+        return false;
+    };
+    // The repair must change something and must make the assertions hold.
+    if svparse::emit_module(&repaired) == entry.buggy_source {
+        return false;
+    }
+    oracle.repair_solves_failure(&repaired)
+}
+
+/// Replaces the 1-based line `line_number` of `source` with `replacement`, preserving
+/// the original indentation.
+pub fn apply_line_edit(source: &str, line_number: u32, replacement: &str) -> Option<String> {
+    let mut lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
+    let idx = (line_number as usize).checked_sub(1)?;
+    let original = lines.get(idx)?;
+    let indent: String = original
+        .chars()
+        .take_while(|c| c.is_whitespace())
+        .collect();
+    lines[idx] = format!("{indent}{}", replacement.trim());
+    Some(lines.join("\n") + "\n")
+}
+
+/// Evaluates a model over a set of cases.
+pub fn evaluate_model(
+    model: &dyn RepairModel,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+) -> ModelEvaluation {
+    let oracle = VerifyOracle::new(config.check.clone());
+    let mut results = Vec::with_capacity(entries.len());
+    for (index, entry) in entries.iter().enumerate() {
+        let case = CaseInput::from_entry(entry);
+        let responses = model.solve(
+            &case,
+            config.samples,
+            config.temperature,
+            config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+        );
+        // Cache verdicts for identical responses so verification cost stays bounded.
+        let mut verdicts: BTreeMap<(u32, String), bool> = BTreeMap::new();
+        let mut correct = 0usize;
+        for response in &responses {
+            let key = (response.bug_line_number, response.fixed_line.clone());
+            let ok = *verdicts
+                .entry(key)
+                .or_insert_with(|| response_is_correct(entry, response, &oracle));
+            if ok {
+                correct += 1;
+            }
+        }
+        results.push(CaseResult {
+            module_name: entry.module_name.clone(),
+            n: responses.len(),
+            c: correct,
+            profile: entry.profile,
+            code_lines: entry.code_lines,
+            human_crafted: entry.human_crafted,
+        });
+    }
+    ModelEvaluation {
+        model: model.name().to_string(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::human_crafted_cases;
+    use svmodel::Response;
+
+    fn fig1_entry() -> SvaBugEntry {
+        human_crafted_cases()
+            .into_iter()
+            .find(|c| c.module_name == "accu_human")
+            .expect("fig1 case present")
+    }
+
+    #[test]
+    fn golden_fix_is_accepted_textually_and_semantically() {
+        let entry = fig1_entry();
+        let oracle = VerifyOracle::default();
+        let exact = Response {
+            bug_line_number: entry.bug_line_number,
+            buggy_line: entry.buggy_line.clone(),
+            fixed_line: entry.fixed_line.clone(),
+            cot: None,
+        };
+        assert!(response_is_correct(&entry, &exact, &oracle));
+    }
+
+    #[test]
+    fn semantically_equivalent_fix_on_the_right_line_is_accepted() {
+        let entry = fig1_entry();
+        let oracle = VerifyOracle::default();
+        // `else if (end_cnt && 1)` is textually different but semantically repairs it.
+        let equivalent = Response {
+            bug_line_number: entry.bug_line_number,
+            buggy_line: entry.buggy_line.clone(),
+            fixed_line: "else if (end_cnt && 1) valid_out <= 1;".to_string(),
+            cot: None,
+        };
+        assert!(response_is_correct(&entry, &equivalent, &oracle));
+    }
+
+    #[test]
+    fn wrong_fix_is_rejected() {
+        let entry = fig1_entry();
+        let oracle = VerifyOracle::default();
+        let wrong = Response {
+            bug_line_number: entry.bug_line_number,
+            buggy_line: entry.buggy_line.clone(),
+            fixed_line: "else if (!end_cnt) valid_out <= 0;".to_string(),
+            cot: None,
+        };
+        assert!(!response_is_correct(&entry, &wrong, &oracle));
+        let nonsense = Response {
+            bug_line_number: 0,
+            buggy_line: String::new(),
+            fixed_line: String::new(),
+            cot: None,
+        };
+        assert!(!response_is_correct(&entry, &nonsense, &oracle));
+    }
+
+    #[test]
+    fn apply_line_edit_preserves_indentation() {
+        let source = "module m();\n  assign y = a & b;\nendmodule\n";
+        let edited = apply_line_edit(source, 2, "assign y = a | b;").unwrap();
+        assert!(edited.contains("  assign y = a | b;"));
+        assert!(apply_line_edit(source, 99, "x").is_none());
+    }
+
+    #[test]
+    fn histogram_and_breakdowns_are_consistent() {
+        let eval = ModelEvaluation {
+            model: "test".into(),
+            results: vec![
+                CaseResult {
+                    module_name: "a".into(),
+                    n: 4,
+                    c: 4,
+                    profile: svmutate::BugProfile::new(
+                        svmutate::BugKind::Op,
+                        svmutate::Structural::Cond,
+                        svmutate::Visibility::Direct,
+                    ),
+                    code_lines: 30,
+                    human_crafted: false,
+                },
+                CaseResult {
+                    module_name: "b".into(),
+                    n: 4,
+                    c: 0,
+                    profile: svmutate::BugProfile::new(
+                        svmutate::BugKind::Value,
+                        svmutate::Structural::NonCond,
+                        svmutate::Visibility::Indirect,
+                    ),
+                    code_lines: 120,
+                    human_crafted: true,
+                },
+            ],
+        };
+        let pk = eval.passk();
+        assert!((pk.pass1 - 0.5).abs() < 1e-12);
+        assert_eq!(eval.histogram(4), vec![1, 0, 0, 0, 1]);
+        assert_eq!(eval.passk_subset(true).problems, 1);
+        assert_eq!(eval.by_bug_type()["Op"].problems, 1);
+        assert_eq!(eval.by_length_bin().len(), 2);
+    }
+}

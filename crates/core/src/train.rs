@@ -1,0 +1,157 @@
+//! End-to-end training orchestration: data pipeline → PT → SFT → DPO → benchmark.
+
+use crate::benchmark::SvaEval;
+use serde::{Deserialize, Serialize};
+use svdata::{run_pipeline, split_by_module, Datasets, PipelineConfig, TrainTestSplit};
+use svmodel::AssertSolverModel;
+
+/// Configuration of a full training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Data-augmentation pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// SFT epochs over the combined SVA-Bug + Verilog-Bug data.
+    pub sft_epochs: usize,
+    /// SFT learning rate (the paper uses 1e-4 for a transformer; the linear policy
+    /// uses a correspondingly larger step).
+    pub sft_learning_rate: f64,
+    /// Number of samples per training case when hunting for challenging cases
+    /// (the paper uses 20).
+    pub challenge_samples: usize,
+    /// Sampling temperature during challenge collection.
+    pub challenge_temperature: f64,
+    /// DPO β (0.1 in the paper).
+    pub dpo_beta: f64,
+    /// DPO learning rate (lower than SFT, as in the paper).
+    pub dpo_learning_rate: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            pipeline: PipelineConfig::default(),
+            sft_epochs: 8,
+            sft_learning_rate: 0.4,
+            challenge_samples: 20,
+            challenge_temperature: 0.6,
+            dpo_beta: 0.1,
+            dpo_learning_rate: 0.05,
+            seed: 0x5EED_50,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A reduced configuration that trains in seconds (used by tests and examples).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            pipeline: PipelineConfig {
+                corpus: svgen::CorpusConfig {
+                    golden_designs: 24,
+                    ..svgen::CorpusConfig::default()
+                },
+                bugs_per_design: 4,
+                ..PipelineConfig::tiny(seed)
+            },
+            sft_epochs: 6,
+            challenge_samples: 8,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything a training run produces: the three model checkpoints, the datasets, the
+/// split and the SVA-Eval benchmark.
+#[derive(Debug, Clone)]
+pub struct TrainedArtifacts {
+    /// The untrained base model (Deepseek-Coder-6.7b stand-in).
+    pub base: AssertSolverModel,
+    /// The SFT checkpoint (PT + SFT).
+    pub sft: AssertSolverModel,
+    /// The final AssertSolver (PT + SFT + DPO).
+    pub assert_solver: AssertSolverModel,
+    /// The augmented datasets.
+    pub datasets: Datasets,
+    /// The train/eval split of SVA-Bug.
+    pub split: TrainTestSplit,
+    /// The SVA-Eval benchmark (machine + human).
+    pub sva_eval: SvaEval,
+    /// Number of DPO preference pairs harvested from challenging cases.
+    pub preference_pairs: usize,
+    /// Fraction of Stage-3 CoTs that passed validation.
+    pub cot_valid_fraction: f64,
+}
+
+/// Runs the full reproduction flow: augmentation pipeline, train/test split, PT, SFT,
+/// challenging-case collection and DPO.
+pub fn train(config: &TrainConfig) -> TrainedArtifacts {
+    let output = run_pipeline(&config.pipeline);
+    let split = split_by_module(
+        output.datasets.sva_bug.clone(),
+        config.pipeline.train_fraction,
+        config.seed,
+    );
+    let sva_eval = SvaEval::build(split.eval.clone());
+
+    let base = AssertSolverModel::base(config.seed);
+
+    let mut sft = AssertSolverModel::base(config.seed);
+    sft.pretrain(&output.datasets.verilog_pt);
+    sft.sft(
+        &split.train,
+        &output.datasets.verilog_bug,
+        config.sft_epochs,
+        config.sft_learning_rate,
+        config.seed ^ 0x5F7,
+    );
+
+    let mut assert_solver = sft.clone();
+    let pairs = assert_solver.collect_challenging(
+        &split.train,
+        config.challenge_samples,
+        config.challenge_temperature,
+        config.seed ^ 0xD90,
+    );
+    assert_solver.dpo(&pairs, config.dpo_beta, config.dpo_learning_rate);
+
+    TrainedArtifacts {
+        base,
+        sft,
+        assert_solver,
+        datasets: output.datasets,
+        split,
+        sva_eval,
+        preference_pairs: pairs.len(),
+        cot_valid_fraction: output.cot_valid_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmodel::TrainingStage;
+
+    #[test]
+    fn quick_training_produces_all_checkpoints() {
+        let artifacts = train(&TrainConfig::quick(31));
+        assert_eq!(artifacts.base.stage(), TrainingStage::Base);
+        assert_eq!(artifacts.sft.stage(), TrainingStage::Sft);
+        assert_eq!(artifacts.assert_solver.stage(), TrainingStage::Dpo);
+        assert!(!artifacts.split.train.is_empty());
+        assert!(!artifacts.split.eval.is_empty());
+        assert!(!artifacts.sva_eval.human.is_empty());
+        assert!(artifacts.preference_pairs > 0);
+        assert!(artifacts.cot_valid_fraction > 0.0);
+    }
+
+    #[test]
+    fn quick_config_is_deterministic() {
+        let a = train(&TrainConfig::quick(7));
+        let b = train(&TrainConfig::quick(7));
+        assert_eq!(a.split.eval.len(), b.split.eval.len());
+        assert_eq!(a.preference_pairs, b.preference_pairs);
+    }
+}

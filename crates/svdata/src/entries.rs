@@ -1,0 +1,251 @@
+//! Dataset entry types: Verilog-PT, Verilog-Bug and SVA-Bug.
+//!
+//! The field layout follows Fig. 2 of the paper: Verilog-PT entries are plain text
+//! used for continual pretraining; Verilog-Bug and SVA-Bug entries are
+//! question/answer pairs, with SVA-Bug optionally carrying a validated chain of
+//! thought ("step by step" prompts).
+
+use serde::{Deserialize, Serialize};
+use svmutate::BugProfile;
+
+/// One pretraining entry (dataset (a) in Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerilogPtEntry {
+    /// Source text (possibly failing compilation).
+    pub source: String,
+    /// Synthesised specification.
+    pub spec: String,
+    /// Compiler analysis for sources that failed the syntax check, `None` otherwise.
+    pub failure_analysis: Option<String>,
+}
+
+impl VerilogPtEntry {
+    /// Renders the entry as the flat text blob used for next-token pretraining.
+    pub fn text(&self) -> String {
+        match &self.failure_analysis {
+            Some(analysis) => format!(
+                "The following Verilog code failed to compile. The specification is:\n{}\nCode:\n{}\nThe failure may have been caused by: {}\n",
+                self.spec, self.source, analysis
+            ),
+            None => format!(
+                "The specification is:\n{}\nCode:\n{}\n",
+                self.spec, self.source
+            ),
+        }
+    }
+}
+
+/// One functional-bug entry that did not trigger any assertion (dataset (b)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerilogBugEntry {
+    /// Module name (used for the train/test split bookkeeping).
+    pub module_name: String,
+    /// Synthesised specification.
+    pub spec: String,
+    /// Buggy source text.
+    pub buggy_source: String,
+    /// Golden source text.
+    pub golden_source: String,
+    /// 1-based line number of the bug in the buggy source.
+    pub bug_line_number: u32,
+    /// The buggy line text.
+    pub buggy_line: String,
+    /// The corrected line text.
+    pub fixed_line: String,
+}
+
+impl VerilogBugEntry {
+    /// Renders the "Question" section of the entry.
+    pub fn question(&self) -> String {
+        format!(
+            "There is a Verilog module that contains a bug. The specification is:\n{}\nBuggy code:\n{}\nPlease give me a solution.",
+            self.spec, self.buggy_source
+        )
+    }
+
+    /// Renders the "Answer" section of the entry.
+    pub fn answer(&self) -> String {
+        format!(
+            "Buggy line {}: {}\nCorrected line: {}",
+            self.bug_line_number, self.buggy_line, self.fixed_line
+        )
+    }
+}
+
+/// One assertion-failure entry (dataset (c)); also the format of SVA-Eval cases.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SvaBugEntry {
+    /// Module name (used for the train/test split).
+    pub module_name: String,
+    /// Synthesised specification.
+    pub spec: String,
+    /// Buggy SystemVerilog source (canonical form).
+    pub buggy_source: String,
+    /// Golden SystemVerilog source (canonical form).
+    pub golden_source: String,
+    /// Simulation log reporting the assertion failures.
+    pub logs: String,
+    /// Names of the failing assertions.
+    pub failing_assertions: Vec<String>,
+    /// 1-based line number of the bug in the buggy source.
+    pub bug_line_number: u32,
+    /// The buggy line text.
+    pub buggy_line: String,
+    /// The corrected line text.
+    pub fixed_line: String,
+    /// Table-I profile of the bug.
+    pub profile: BugProfile,
+    /// Validated chain of thought, when Stage 3 accepted one.
+    pub cot: Option<String>,
+    /// Number of lines of the buggy source (for the length-bin breakdowns).
+    pub code_lines: usize,
+    /// `true` for the hand-written SVA-Eval-Human cases.
+    pub human_crafted: bool,
+}
+
+impl SvaBugEntry {
+    /// Renders the "Question" section; entries with a validated CoT ask for a
+    /// step-by-step answer, exactly as the paper describes.
+    pub fn question(&self) -> String {
+        let step = if self.cot.is_some() {
+            " Please solve it step by step."
+        } else {
+            ""
+        };
+        format!(
+            "There is a buggy SystemVerilog design and it triggers assertion failures.\nLogs:\n{}\nThe specification is:\n{}\nBuggy code:\n{}\nPlease give me a solution.{}",
+            self.logs, self.spec, self.buggy_source, step
+        )
+    }
+
+    /// Renders the "Answer" section (buggy line, fix, and CoT when present).
+    pub fn answer(&self) -> String {
+        let mut out = format!(
+            "Buggy line {}: {}\nCorrected line: {}",
+            self.bug_line_number, self.buggy_line, self.fixed_line
+        );
+        if let Some(cot) = &self.cot {
+            out.push_str("\nReasoning: ");
+            out.push_str(cot);
+        }
+        out
+    }
+
+    /// The Table-II length bin of the buggy code.
+    pub fn length_bin(&self) -> &'static str {
+        svgen::length_bin(self.code_lines)
+    }
+}
+
+/// The three datasets produced by the augmentation pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Datasets {
+    /// Dataset (a): pretraining text.
+    pub verilog_pt: Vec<VerilogPtEntry>,
+    /// Dataset (b): functional bugs that did not trigger assertions.
+    pub verilog_bug: Vec<VerilogBugEntry>,
+    /// Dataset (c): assertion-failure cases.
+    pub sva_bug: Vec<SvaBugEntry>,
+}
+
+impl Datasets {
+    /// Total number of entries across the three datasets.
+    pub fn len(&self) -> usize {
+        self.verilog_pt.len() + self.verilog_bug.len() + self.sva_bug.len()
+    }
+
+    /// Returns `true` when every dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmutate::{BugKind, Structural, Visibility};
+
+    fn sample_entry(cot: Option<String>) -> SvaBugEntry {
+        SvaBugEntry {
+            module_name: "accu_4_0".into(),
+            spec: "Module: accu\nFunction: accumulate.".into(),
+            buggy_source: "module accu(); endmodule".into(),
+            golden_source: "module accu(); endmodule".into(),
+            logs: "ERROR: [cycle 4] failed assertion accu.valid_out_check".into(),
+            failing_assertions: vec!["valid_out_check".into()],
+            bug_line_number: 17,
+            buggy_line: "else if (!end_cnt) valid_out <= 1;".into(),
+            fixed_line: "else if (end_cnt) valid_out <= 1;".into(),
+            profile: BugProfile::new(BugKind::Op, Structural::Cond, Visibility::Indirect),
+            cot,
+            code_lines: 28,
+            human_crafted: false,
+        }
+    }
+
+    #[test]
+    fn question_includes_step_by_step_only_with_cot() {
+        let plain = sample_entry(None);
+        let with_cot = sample_entry(Some("the condition is inverted".into()));
+        assert!(!plain.question().contains("step by step"));
+        assert!(with_cot.question().contains("step by step"));
+        assert!(plain.question().contains("Logs:"));
+        assert!(plain.question().contains("specification"));
+    }
+
+    #[test]
+    fn answer_contains_line_and_fix() {
+        let entry = sample_entry(Some("the condition is inverted".into()));
+        let answer = entry.answer();
+        assert!(answer.contains("Buggy line 17"));
+        assert!(answer.contains("Corrected line:"));
+        assert!(answer.contains("Reasoning:"));
+    }
+
+    #[test]
+    fn length_bin_uses_table2_boundaries() {
+        let mut entry = sample_entry(None);
+        assert_eq!(entry.length_bin(), "(0, 50]");
+        entry.code_lines = 180;
+        assert_eq!(entry.length_bin(), "(150, 200]");
+    }
+
+    #[test]
+    fn pt_entry_text_mentions_failure_only_when_present() {
+        let broken = VerilogPtEntry {
+            source: "module m(".into(),
+            spec: "Spec".into(),
+            failure_analysis: Some("missing port list".into()),
+        };
+        let clean = VerilogPtEntry {
+            source: "module m(); endmodule".into(),
+            spec: "Spec".into(),
+            failure_analysis: None,
+        };
+        assert!(broken.text().contains("failed to compile"));
+        assert!(!clean.text().contains("failed to compile"));
+    }
+
+    #[test]
+    fn verilog_bug_question_answer() {
+        let entry = VerilogBugEntry {
+            module_name: "m".into(),
+            spec: "Spec".into(),
+            buggy_source: "module m(); endmodule".into(),
+            golden_source: "module m(); endmodule".into(),
+            bug_line_number: 3,
+            buggy_line: "assign y = a & b;".into(),
+            fixed_line: "assign y = a | b;".into(),
+        };
+        assert!(entry.question().contains("contains a bug"));
+        assert!(entry.answer().contains("Buggy line 3"));
+    }
+
+    #[test]
+    fn datasets_len() {
+        let mut d = Datasets::default();
+        assert!(d.is_empty());
+        d.sva_bug.push(sample_entry(None));
+        assert_eq!(d.len(), 1);
+    }
+}

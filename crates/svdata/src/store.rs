@@ -1,0 +1,125 @@
+//! JSON persistence for datasets.
+//!
+//! The paper distributes its datasets and benchmark as JSON, and the model is prompted
+//! to answer in JSON; this module provides the (de)serialisation boundary so runs can
+//! be cached on disk and the benchmark shipped as a file.
+
+use crate::entries::Datasets;
+use crate::pipeline::TrainTestSplit;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialises the datasets to pretty-printed JSON.
+pub fn datasets_to_json(datasets: &Datasets) -> String {
+    serde_json::to_string_pretty(datasets).expect("datasets serialise to JSON")
+}
+
+/// Parses datasets back from JSON.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` when the text is not a valid dataset dump.
+pub fn datasets_from_json(text: &str) -> Result<Datasets, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+/// Writes datasets to a JSON file.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be written.
+pub fn save_datasets(datasets: &Datasets, path: &Path) -> io::Result<()> {
+    fs::write(path, datasets_to_json(datasets))
+}
+
+/// Reads datasets from a JSON file.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be read or parsed.
+pub fn load_datasets(path: &Path) -> io::Result<Datasets> {
+    let text = fs::read_to_string(path)?;
+    datasets_from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serialises a train/eval split to JSON.
+pub fn split_to_json(split: &TrainTestSplit) -> String {
+    serde_json::to_string_pretty(split).expect("split serialises to JSON")
+}
+
+/// Parses a train/eval split from JSON.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` when the text is not a valid split dump.
+pub fn split_from_json(text: &str) -> Result<TrainTestSplit, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entries::{SvaBugEntry, VerilogPtEntry};
+    use svmutate::{BugKind, BugProfile, Structural, Visibility};
+
+    fn sample_datasets() -> Datasets {
+        Datasets {
+            verilog_pt: vec![VerilogPtEntry {
+                source: "module m(); endmodule".into(),
+                spec: "Spec".into(),
+                failure_analysis: None,
+            }],
+            verilog_bug: vec![],
+            sva_bug: vec![SvaBugEntry {
+                module_name: "m".into(),
+                spec: "Spec".into(),
+                buggy_source: "module m(); endmodule".into(),
+                golden_source: "module m(); endmodule".into(),
+                logs: "ERROR".into(),
+                failing_assertions: vec!["p".into()],
+                bug_line_number: 2,
+                buggy_line: "a".into(),
+                fixed_line: "b".into(),
+                profile: BugProfile::new(BugKind::Op, Structural::Cond, Visibility::Direct),
+                cot: None,
+                code_lines: 2,
+                human_crafted: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn datasets_round_trip_through_json() {
+        let datasets = sample_datasets();
+        let json = datasets_to_json(&datasets);
+        let parsed = datasets_from_json(&json).unwrap();
+        assert_eq!(parsed, datasets);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let datasets = sample_datasets();
+        let path = std::env::temp_dir().join("svdata_store_test.json");
+        save_datasets(&datasets, &path).unwrap();
+        let loaded = load_datasets(&path).unwrap();
+        assert_eq!(loaded, datasets);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(datasets_from_json("{not json").is_err());
+        assert!(split_from_json("[]").is_err());
+    }
+
+    #[test]
+    fn split_round_trip() {
+        let split = TrainTestSplit {
+            train: sample_datasets().sva_bug,
+            eval: vec![],
+        };
+        let json = split_to_json(&split);
+        assert_eq!(split_from_json(&json).unwrap(), split);
+    }
+}

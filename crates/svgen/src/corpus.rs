@@ -1,0 +1,284 @@
+//! Corpus assembly.
+//!
+//! [`CorpusGenerator`] stands in for the 108,971-sample HuggingFace Verilog corpus the
+//! paper augments: it produces a deterministic, seed-controlled stream of modules
+//! spanning all design families and code-length bins, deliberately mixed with the
+//! degraded samples (syntax errors, logic-free stubs, duplicates) that Stage 1 must
+//! filter out.
+
+use crate::corrupt::{corrupt_random, CorruptionKind};
+use crate::families::{instantiate, Family, FamilyInstance, FamilyParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The five code-length bins of Table II, in paper order.
+pub const LENGTH_BINS: [&str; 5] = ["(0, 50]", "(50, 100]", "(100, 150]", "(150, 200]", "(200, +inf)"];
+
+/// Returns the Table-II length bin for a line count.
+pub fn length_bin(lines: usize) -> &'static str {
+    match lines {
+        0..=50 => LENGTH_BINS[0],
+        51..=100 => LENGTH_BINS[1],
+        101..=150 => LENGTH_BINS[2],
+        151..=200 => LENGTH_BINS[3],
+        _ => LENGTH_BINS[4],
+    }
+}
+
+/// Index (0..5) of the Table-II length bin for a line count.
+pub fn length_bin_index(lines: usize) -> usize {
+    match lines {
+        0..=50 => 0,
+        51..=100 => 1,
+        101..=150 => 2,
+        151..=200 => 3,
+        _ => 4,
+    }
+}
+
+/// Where a raw corpus sample came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleOrigin {
+    /// A healthy golden design.
+    Golden,
+    /// A deliberately degraded sample (Stage-1 reject / Verilog-PT material).
+    Corrupted(CorruptionKind),
+    /// A byte-for-byte duplicate of an earlier sample.
+    Duplicate,
+}
+
+/// One raw corpus sample before Stage-1 filtering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawSample {
+    /// Source text.
+    pub source: String,
+    /// Functional description used when synthesising the Spec.
+    pub function: String,
+    /// Family that produced the underlying golden design.
+    pub family: Family,
+    /// Provenance label (used only by tests; Stage 1 must rediscover the problems).
+    pub origin: SampleOrigin,
+}
+
+/// Configuration of corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of golden designs to generate.
+    pub golden_designs: usize,
+    /// Fraction of additional corrupted samples, relative to `golden_designs`.
+    pub corrupted_fraction: f64,
+    /// Fraction of additional duplicate samples, relative to `golden_designs`.
+    pub duplicate_fraction: f64,
+    /// Seed controlling parameter choices and corruption.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            golden_designs: 64,
+            corrupted_fraction: 0.25,
+            duplicate_fraction: 0.05,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Deterministic corpus generator.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusGenerator {
+    config: CorpusConfig,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: CorpusConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Generates the golden design population, cycling through families and varying
+    /// parameters so the emitted modules spread across the length bins.
+    pub fn golden_designs(&self) -> Vec<FamilyInstance> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let families = Family::all();
+        (0..self.config.golden_designs)
+            .map(|i| {
+                let family = families[i % families.len()];
+                let params = vary_params(family, i, &mut rng);
+                instantiate(family, params, i)
+            })
+            .collect()
+    }
+
+    /// Generates the full raw corpus: golden designs plus corrupted and duplicate
+    /// samples, shuffled deterministically.
+    pub fn generate(&self) -> Vec<RawSample> {
+        let golden = self.golden_designs();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
+        let mut samples: Vec<RawSample> = golden
+            .iter()
+            .map(|g| RawSample {
+                source: g.source.clone(),
+                function: g.function.clone(),
+                family: g.family,
+                origin: SampleOrigin::Golden,
+            })
+            .collect();
+
+        let corrupted_count =
+            (self.config.golden_designs as f64 * self.config.corrupted_fraction).round() as usize;
+        for i in 0..corrupted_count {
+            let base = &golden[rng.gen_range(0..golden.len())];
+            let corrupted = corrupt_random(&base.source, self.config.seed ^ (i as u64 + 1));
+            samples.push(RawSample {
+                source: corrupted.source,
+                function: base.function.clone(),
+                family: base.family,
+                origin: SampleOrigin::Corrupted(corrupted.kind),
+            });
+        }
+
+        let duplicate_count =
+            (self.config.golden_designs as f64 * self.config.duplicate_fraction).round() as usize;
+        for _ in 0..duplicate_count {
+            let base = &golden[rng.gen_range(0..golden.len())];
+            samples.push(RawSample {
+                source: base.source.clone(),
+                function: base.function.clone(),
+                family: base.family,
+                origin: SampleOrigin::Duplicate,
+            });
+        }
+
+        // Deterministic interleave so corrupted samples are not all at the end.
+        samples.sort_by_key(|s| {
+            let mut hash = 0u64;
+            for b in s.source.bytes() {
+                hash = hash.wrapping_mul(31).wrapping_add(u64::from(b));
+            }
+            hash ^ self.config.seed
+        });
+        samples
+    }
+}
+
+fn vary_params(family: Family, index: usize, rng: &mut StdRng) -> FamilyParams {
+    let widths = [2u32, 3, 4, 4, 6, 8, 8, 12, 16];
+    let width = widths[index % widths.len()];
+    let depth = match family {
+        Family::Pipeline => 2 + (index as u32 % 11),
+        Family::RegisterFile => 2 + (index as u32 % 7),
+        Family::Fifo => 2 + (index as u32 % 13),
+        Family::ShiftRegister => 2 + (index as u32 % 14),
+        Family::SequenceDetector => index as u32 % 5,
+        Family::Arbiter => 2 + (index as u32 % 3),
+        _ => 2 + (index as u32 % 6),
+    };
+    FamilyParams {
+        width,
+        depth,
+        variant: rng.gen_range(0..4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn length_bins_match_table2_boundaries() {
+        assert_eq!(length_bin(1), "(0, 50]");
+        assert_eq!(length_bin(50), "(0, 50]");
+        assert_eq!(length_bin(51), "(50, 100]");
+        assert_eq!(length_bin(100), "(50, 100]");
+        assert_eq!(length_bin(150), "(100, 150]");
+        assert_eq!(length_bin(200), "(150, 200]");
+        assert_eq!(length_bin(201), "(200, +inf)");
+        assert_eq!(length_bin_index(75), 1);
+        assert_eq!(length_bin_index(999), 4);
+    }
+
+    #[test]
+    fn golden_designs_all_compile() {
+        let generator = CorpusGenerator::new(CorpusConfig {
+            golden_designs: 32,
+            ..CorpusConfig::default()
+        });
+        for design in generator.golden_designs() {
+            assert!(
+                svparse::compile_check(&design.source).is_ok(),
+                "{} does not compile",
+                design.module_name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_mixed() {
+        let config = CorpusConfig {
+            golden_designs: 24,
+            ..CorpusConfig::default()
+        };
+        let a = CorpusGenerator::new(config).generate();
+        let b = CorpusGenerator::new(config).generate();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|s| matches!(s.origin, SampleOrigin::Corrupted(_))));
+        assert!(a.iter().any(|s| matches!(s.origin, SampleOrigin::Duplicate)));
+        assert!(a.len() > 24);
+    }
+
+    #[test]
+    fn corpus_spans_multiple_length_bins() {
+        let generator = CorpusGenerator::new(CorpusConfig {
+            golden_designs: 64,
+            ..CorpusConfig::default()
+        });
+        let bins: BTreeSet<usize> = generator
+            .golden_designs()
+            .iter()
+            .map(|d| length_bin_index(d.source.lines().count()))
+            .collect();
+        assert!(
+            bins.len() >= 2,
+            "corpus should span multiple length bins, got {bins:?}"
+        );
+    }
+
+    #[test]
+    fn module_names_are_unique() {
+        let generator = CorpusGenerator::new(CorpusConfig {
+            golden_designs: 48,
+            ..CorpusConfig::default()
+        });
+        let names: BTreeSet<String> = generator
+            .golden_designs()
+            .into_iter()
+            .map(|d| d.module_name)
+            .collect();
+        assert_eq!(names.len(), 48);
+    }
+
+    #[test]
+    fn different_seeds_give_different_corpora() {
+        let a = CorpusGenerator::new(CorpusConfig {
+            golden_designs: 16,
+            seed: 1,
+            ..CorpusConfig::default()
+        })
+        .generate();
+        let b = CorpusGenerator::new(CorpusConfig {
+            golden_designs: 16,
+            seed: 2,
+            ..CorpusConfig::default()
+        })
+        .generate();
+        assert_ne!(a, b);
+    }
+}

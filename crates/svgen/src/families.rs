@@ -1,0 +1,881 @@
+//! Parameterised design families.
+//!
+//! Each family is a generator function returning Verilog source text (with embedded
+//! SVAs) plus a one-sentence functional description used by the spec generator.  The
+//! families cover the styles the paper's corpus contains — counters, accumulators,
+//! FIFOs, FSMs, ALUs, arbiters, register files, pipelines — and their parameters are
+//! chosen so the emitted modules spread across the five code-length bins of Table II.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The design families the corpus generator knows how to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Family {
+    Counter,
+    Accumulator,
+    ShiftRegister,
+    Parity,
+    GrayCode,
+    Fifo,
+    SequenceDetector,
+    Alu,
+    Arbiter,
+    EdgeDetector,
+    SaturatingCounter,
+    Pwm,
+    MajorityVoter,
+    RegisterFile,
+    BaudTick,
+    Pipeline,
+}
+
+impl Family {
+    /// Every family, in a stable order.
+    pub fn all() -> &'static [Family] {
+        &[
+            Family::Counter,
+            Family::Accumulator,
+            Family::ShiftRegister,
+            Family::Parity,
+            Family::GrayCode,
+            Family::Fifo,
+            Family::SequenceDetector,
+            Family::Alu,
+            Family::Arbiter,
+            Family::EdgeDetector,
+            Family::SaturatingCounter,
+            Family::Pwm,
+            Family::MajorityVoter,
+            Family::RegisterFile,
+            Family::BaudTick,
+            Family::Pipeline,
+        ]
+    }
+
+    /// A short lowercase tag used in generated module names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Family::Counter => "counter",
+            Family::Accumulator => "accu",
+            Family::ShiftRegister => "shiftreg",
+            Family::Parity => "parity",
+            Family::GrayCode => "gray",
+            Family::Fifo => "fifo",
+            Family::SequenceDetector => "seqdet",
+            Family::Alu => "alu",
+            Family::Arbiter => "arbiter",
+            Family::EdgeDetector => "edgedet",
+            Family::SaturatingCounter => "satcnt",
+            Family::Pwm => "pwm",
+            Family::MajorityVoter => "voter",
+            Family::RegisterFile => "regfile",
+            Family::BaudTick => "baud",
+            Family::Pipeline => "pipe",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Parameters applied to a family template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FamilyParams {
+    /// Main data width (bits).
+    pub width: u32,
+    /// Structural depth: FIFO depth, pipeline stages, register count, …
+    pub depth: u32,
+    /// Variant selector used by some families to diversify the emitted style.
+    pub variant: u32,
+}
+
+impl Default for FamilyParams {
+    fn default() -> Self {
+        Self {
+            width: 4,
+            depth: 4,
+            variant: 0,
+        }
+    }
+}
+
+/// Output of instantiating one family.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FamilyInstance {
+    /// The family that produced the source.
+    pub family: Family,
+    /// The parameters used.
+    pub params: FamilyParams,
+    /// The module name embedded in the source.
+    pub module_name: String,
+    /// Verilog source text, including properties and assertions.
+    pub source: String,
+    /// One-sentence functional description used by the spec generator.
+    pub function: String,
+}
+
+/// Instantiates a family with the given parameters and an index used to make the
+/// module name unique across the corpus.
+pub fn instantiate(family: Family, params: FamilyParams, index: usize) -> FamilyInstance {
+    let name = format!("{}_{}_{index}", family.tag(), params.width);
+    let (source, function) = match family {
+        Family::Counter => counter(&name, params),
+        Family::Accumulator => accumulator(&name, params),
+        Family::ShiftRegister => shift_register(&name, params),
+        Family::Parity => parity(&name, params),
+        Family::GrayCode => gray_code(&name, params),
+        Family::Fifo => fifo(&name, params),
+        Family::SequenceDetector => sequence_detector(&name, params),
+        Family::Alu => alu(&name, params),
+        Family::Arbiter => arbiter(&name, params),
+        Family::EdgeDetector => edge_detector(&name, params),
+        Family::SaturatingCounter => saturating_counter(&name, params),
+        Family::Pwm => pwm(&name, params),
+        Family::MajorityVoter => majority_voter(&name, params),
+        Family::RegisterFile => register_file(&name, params),
+        Family::BaudTick => baud_tick(&name, params),
+        Family::Pipeline => pipeline(&name, params),
+    };
+    FamilyInstance {
+        family,
+        params,
+        module_name: name,
+        source,
+        function,
+    }
+}
+
+fn max_value(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn counter(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.max(2);
+    let msb = w - 1;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input en,
+  output reg [{msb}:0] count
+);
+  wire at_max;
+  assign at_max = count == {w}'d{max};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) count <= {w}'d0;
+    else if (en) count <= count + {w}'d1;
+  end
+  property count_increments;
+    @(posedge clk) disable iff (!rst_n) en |=> count == ($past(count) + {w}'d1);
+  endproperty
+  count_increments_check: assert property (count_increments) else $error("count must increment when enabled");
+  property count_holds;
+    @(posedge clk) disable iff (!rst_n) !en |=> count == $past(count);
+  endproperty
+  count_holds_check: assert property (count_holds) else $error("count must hold when disabled");
+endmodule
+"#,
+        max = max_value(w)
+    );
+    (
+        src,
+        format!("A {w}-bit up counter with synchronous enable and active-low asynchronous reset; count increments by one each cycle while en is high and holds otherwise."),
+    )
+}
+
+fn accumulator(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.max(3);
+    let msb = w - 1;
+    let cnt_max = 3u64;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input valid_in,
+  input [{msb}:0] data_in,
+  output reg [{msb}:0] data_out,
+  output reg valid_out
+);
+  wire end_cnt;
+  reg [1:0] cnt;
+  assign end_cnt = (cnt == 2'd{cnt_max}) && valid_in;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= cnt + 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) data_out <= {w}'d0;
+    else if (valid_in) data_out <= data_out + data_in;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) valid_out <= 0;
+    else if (end_cnt) valid_out <= 1;
+    else valid_out <= 0;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n) end_cnt |-> ##1 valid_out == 1;
+  endproperty
+  valid_out_check_assertion: assert property (valid_out_check) else $error("valid_out should be high when end_cnt high");
+  property valid_out_low;
+    @(posedge clk) disable iff (!rst_n) !end_cnt |-> ##1 valid_out == 0;
+  endproperty
+  valid_out_low_assertion: assert property (valid_out_low) else $error("valid_out should stay low without end_cnt");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("An accumulator that sums {w}-bit inputs over groups of four valid beats and pulses valid_out for one cycle after every fourth valid input."),
+    )
+}
+
+fn shift_register(name: &str, p: FamilyParams) -> (String, String) {
+    let d = p.depth.clamp(2, 16);
+    let msb = d - 1;
+    let upper = d - 2;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input din,
+  output [{msb}:0] taps,
+  output dout
+);
+  reg [{msb}:0] sr;
+  assign taps = sr;
+  assign dout = sr[{msb}];
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) sr <= {d}'d0;
+    else sr <= {{sr[{upper}:0], din}};
+  end
+  property shift_in;
+    @(posedge clk) disable iff (!rst_n) din |=> sr[0];
+  endproperty
+  shift_in_check: assert property (shift_in) else $error("new bit must enter stage 0");
+  property shift_chain;
+    @(posedge clk) disable iff (!rst_n) 1 |=> sr[1] == $past(sr[0]);
+  endproperty
+  shift_chain_check: assert property (shift_chain) else $error("stage 1 must take stage 0's old value");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A {d}-stage serial-in shift register: every clock the contents move one stage towards the MSB and din enters at stage zero."),
+    )
+}
+
+fn parity(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.max(2);
+    let msb = w - 1;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input [{msb}:0] data,
+  output parity,
+  output all_ones
+);
+  assign parity = ^data;
+  assign all_ones = &data;
+  property parity_matches;
+    @(posedge clk) parity == (^data);
+  endproperty
+  parity_matches_check: assert property (parity_matches) else $error("parity must be the XOR reduction of data");
+  property ones_implies_parity;
+    @(posedge clk) all_ones |-> parity == {odd};
+  endproperty
+  ones_implies_parity_check: assert property (ones_implies_parity) else $error("all-ones word has known parity");
+endmodule
+"#,
+        odd = u64::from(w % 2 == 1)
+    );
+    (
+        src,
+        format!("A combinational parity generator over a {w}-bit word, also flagging the all-ones pattern."),
+    )
+}
+
+fn gray_code(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(2, 8);
+    let msb = w - 1;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input en,
+  output reg [{msb}:0] code
+);
+  reg [{msb}:0] bin;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) bin <= {w}'d0;
+    else if (en) bin <= bin + {w}'d1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) code <= {w}'d0;
+    else code <= (bin >> 1) ^ bin;
+  end
+  property code_follows_bin;
+    @(posedge clk) disable iff (!rst_n) 1 |=> code == (($past(bin) >> 1) ^ $past(bin));
+  endproperty
+  code_follows_bin_check: assert property (code_follows_bin) else $error("gray output must track the binary counter");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A {w}-bit Gray-code generator driven by an internal binary counter with enable."),
+    )
+}
+
+fn fifo(name: &str, p: FamilyParams) -> (String, String) {
+    let depth = p.depth.clamp(2, 15) as u64;
+    let cw = 64 - (depth as u64).leading_zeros().max(60);
+    let cw = cw.max(2).min(4);
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input push,
+  input pop,
+  output full,
+  output empty,
+  output reg [{cmsb}:0] count
+);
+  wire do_push;
+  wire do_pop;
+  assign full = count == {cw}'d{depth};
+  assign empty = count == {cw}'d0;
+  assign do_push = push && !full;
+  assign do_pop = pop && !empty;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) count <= {cw}'d0;
+    else if (do_push && !do_pop) count <= count + {cw}'d1;
+    else if (do_pop && !do_push) count <= count - {cw}'d1;
+  end
+  property never_overflow;
+    @(posedge clk) disable iff (!rst_n) count <= {cw}'d{depth};
+  endproperty
+  never_overflow_check: assert property (never_overflow) else $error("occupancy must never exceed the depth");
+  property full_means_max;
+    @(posedge clk) disable iff (!rst_n) full |-> count == {cw}'d{depth};
+  endproperty
+  full_means_max_check: assert property (full_means_max) else $error("full must mean the FIFO holds depth entries");
+  property push_grows;
+    @(posedge clk) disable iff (!rst_n) (do_push && !do_pop) |=> count == ($past(count) + {cw}'d1);
+  endproperty
+  push_grows_check: assert property (push_grows) else $error("a push without pop must grow the occupancy");
+endmodule
+"#,
+        cmsb = cw - 1
+    );
+    (
+        src,
+        format!("An occupancy-tracking FIFO controller of depth {depth} with push/pop handshakes and full/empty flags."),
+    )
+}
+
+fn sequence_detector(name: &str, p: FamilyParams) -> (String, String) {
+    let extra_states = p.depth.clamp(0, 4);
+    let mut extra_arms = String::new();
+    for i in 0..extra_states {
+        extra_arms.push_str(&format!(
+            "      3'd{}: state <= din ? 3'd2 : 3'd0;\n",
+            4 + i
+        ));
+    }
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input din,
+  output detected
+);
+  reg [2:0] state;
+  assign detected = (state == 3'd2) && din;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) state <= 3'd0;
+    else begin
+      case (state)
+        3'd0: state <= din ? 3'd1 : 3'd0;
+        3'd1: state <= din ? 3'd1 : 3'd2;
+        3'd2: state <= din ? 3'd1 : 3'd0;
+{extra_arms}        default: state <= 3'd0;
+      endcase
+    end
+  end
+  property detect_needs_high;
+    @(posedge clk) disable iff (!rst_n) detected |-> din;
+  endproperty
+  detect_needs_high_check: assert property (detect_needs_high) else $error("detection requires the final 1");
+  property detect_needs_gap;
+    @(posedge clk) disable iff (!rst_n) detected |-> !$past(din);
+  endproperty
+  detect_needs_gap_check: assert property (detect_needs_gap) else $error("detection requires the middle 0");
+endmodule
+"#
+    );
+    (
+        src,
+        "A Mealy finite-state machine that raises detected when the serial input contains the pattern 1-0-1.".to_string(),
+    )
+}
+
+fn alu(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(2, 16);
+    let msb = w - 1;
+    let extended_ops = p.variant % 2 == 1;
+    let extra = if extended_ops {
+        format!(
+            r#"      3'd4: result = a << 1;
+      3'd5: result = a >> 1;
+      3'd6: result = (a < b) ? {w}'d1 : {w}'d0;
+"#
+        )
+    } else {
+        String::new()
+    };
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input [2:0] op,
+  input [{msb}:0] a,
+  input [{msb}:0] b,
+  output reg [{msb}:0] result,
+  output zero
+);
+  assign zero = result == {w}'d0;
+  always @(*) begin
+    case (op)
+      3'd0: result = a + b;
+      3'd1: result = a - b;
+      3'd2: result = a & b;
+      3'd3: result = a | b;
+{extra}      default: result = a ^ b;
+    endcase
+  end
+  property add_correct;
+    @(posedge clk) op == 3'd0 |-> result == (a + b);
+  endproperty
+  add_correct_check: assert property (add_correct) else $error("addition result mismatch");
+  property and_correct;
+    @(posedge clk) op == 3'd2 |-> result == (a & b);
+  endproperty
+  and_correct_check: assert property (and_correct) else $error("bitwise-and result mismatch");
+  property zero_flag;
+    @(posedge clk) zero |-> result == {w}'d0;
+  endproperty
+  zero_flag_check: assert property (zero_flag) else $error("zero flag must track an all-zero result");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A combinational {w}-bit ALU selecting between arithmetic and logic operations with a zero flag."),
+    )
+}
+
+fn arbiter(name: &str, p: FamilyParams) -> (String, String) {
+    let n = p.depth.clamp(2, 4);
+    let msb = n - 1;
+    let mut grant_logic = String::new();
+    grant_logic.push_str("  assign grant[0] = req[0];\n");
+    for i in 1..n {
+        let mut mask = String::new();
+        for j in 0..i {
+            if j > 0 {
+                mask.push_str(" && ");
+            }
+            mask.push_str(&format!("!req[{j}]"));
+        }
+        grant_logic.push_str(&format!("  assign grant[{i}] = req[{i}] && {mask};\n"));
+    }
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input [{msb}:0] req,
+  output [{msb}:0] grant,
+  output busy
+);
+{grant_logic}  assign busy = |req;
+  property highest_priority_wins;
+    @(posedge clk) req[0] |-> grant[0];
+  endproperty
+  highest_priority_wins_check: assert property (highest_priority_wins) else $error("requester 0 has absolute priority");
+  property one_hot_grant;
+    @(posedge clk) !(grant[0] && grant[1]);
+  endproperty
+  one_hot_grant_check: assert property (one_hot_grant) else $error("at most one grant may be active");
+  property grant_needs_request;
+    @(posedge clk) grant[1] |-> req[1];
+  endproperty
+  grant_needs_request_check: assert property (grant_needs_request) else $error("grants require a matching request");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A fixed-priority arbiter over {n} requesters where requester 0 always wins and grants are one-hot."),
+    )
+}
+
+fn edge_detector(name: &str, p: FamilyParams) -> (String, String) {
+    let _ = p;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input din,
+  output rising,
+  output falling
+);
+  reg prev;
+  assign rising = din && !prev;
+  assign falling = !din && prev;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) prev <= 0;
+    else prev <= din;
+  end
+  property rising_needs_low_history;
+    @(posedge clk) disable iff (!rst_n) rising |-> !$past(din);
+  endproperty
+  rising_needs_low_history_check: assert property (rising_needs_low_history) else $error("a rising pulse requires din to have been low");
+  property edges_exclusive;
+    @(posedge clk) disable iff (!rst_n) !(rising && falling);
+  endproperty
+  edges_exclusive_check: assert property (edges_exclusive) else $error("rising and falling cannot fire together");
+endmodule
+"#
+    );
+    (
+        src,
+        "An edge detector producing single-cycle rising and falling pulses from a registered history bit.".to_string(),
+    )
+}
+
+fn saturating_counter(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(2, 8);
+    let msb = w - 1;
+    let limit = max_value(w) - 1;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input inc,
+  input clear,
+  output reg [{msb}:0] level,
+  output saturated
+);
+  assign saturated = level == {w}'d{limit};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) level <= {w}'d0;
+    else if (clear) level <= {w}'d0;
+    else if (inc && !saturated) level <= level + {w}'d1;
+  end
+  property never_past_limit;
+    @(posedge clk) disable iff (!rst_n) level <= {w}'d{limit};
+  endproperty
+  never_past_limit_check: assert property (never_past_limit) else $error("level must saturate at the limit");
+  property clear_wins;
+    @(posedge clk) disable iff (!rst_n) clear |=> level == {w}'d0;
+  endproperty
+  clear_wins_check: assert property (clear_wins) else $error("clear must reset the level");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A {w}-bit saturating counter with synchronous clear that stops incrementing at {limit}."),
+    )
+}
+
+fn pwm(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(2, 8);
+    let msb = w - 1;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input [{msb}:0] duty,
+  output pwm_out,
+  output reg [{msb}:0] phase
+);
+  assign pwm_out = phase < duty;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) phase <= {w}'d0;
+    else phase <= phase + {w}'d1;
+  end
+  property zero_duty_is_silent;
+    @(posedge clk) disable iff (!rst_n) duty == {w}'d0 |-> !pwm_out;
+  endproperty
+  zero_duty_is_silent_check: assert property (zero_duty_is_silent) else $error("zero duty cycle must keep the output low");
+  property output_definition;
+    @(posedge clk) disable iff (!rst_n) pwm_out == (phase < duty);
+  endproperty
+  output_definition_check: assert property (output_definition) else $error("output must compare phase against duty");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A {w}-bit pulse-width modulator comparing a free-running phase counter against the duty input."),
+    )
+}
+
+fn majority_voter(name: &str, p: FamilyParams) -> (String, String) {
+    let _ = p;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input a,
+  input b,
+  input c,
+  output vote,
+  output unanimous
+);
+  assign vote = (a && b) || (a && c) || (b && c);
+  assign unanimous = a && b && c;
+  property two_agree;
+    @(posedge clk) (a && b) |-> vote;
+  endproperty
+  two_agree_check: assert property (two_agree) else $error("two agreeing inputs must win the vote");
+  property unanimous_implies_vote;
+    @(posedge clk) unanimous |-> vote;
+  endproperty
+  unanimous_implies_vote_check: assert property (unanimous_implies_vote) else $error("unanimity implies a majority");
+endmodule
+"#
+    );
+    (
+        src,
+        "A triple-modular-redundancy majority voter over three single-bit inputs.".to_string(),
+    )
+}
+
+fn register_file(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(2, 16);
+    let msb = w - 1;
+    let regs = p.depth.clamp(2, 8);
+    let aw = 32 - (regs - 1).leading_zeros().max(29);
+    let aw = aw.max(1).min(3);
+    let amsb = aw.saturating_sub(1);
+    let mut decls = String::new();
+    let mut writes = String::new();
+    let mut read_arms = String::new();
+    for i in 0..regs {
+        decls.push_str(&format!("  reg [{msb}:0] r{i};\n"));
+        writes.push_str(&format!(
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) r{i} <= {w}'d0;\n    else if (we && waddr == {aw}'d{i}) r{i} <= wdata;\n  end\n"
+        ));
+        read_arms.push_str(&format!("      {aw}'d{i}: rdata = r{i};\n"));
+    }
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input we,
+  input [{amsb}:0] waddr,
+  input [{msb}:0] wdata,
+  input [{amsb}:0] raddr,
+  output reg [{msb}:0] rdata
+);
+{decls}{writes}  always @(*) begin
+    case (raddr)
+{read_arms}      default: rdata = {w}'d0;
+    endcase
+  end
+  property read_reg0;
+    @(posedge clk) disable iff (!rst_n) raddr == {aw}'d0 |-> rdata == r0;
+  endproperty
+  read_reg0_check: assert property (read_reg0) else $error("reading address 0 must return register 0");
+  property write_reg0_lands;
+    @(posedge clk) disable iff (!rst_n) (we && waddr == {aw}'d0) |=> r0 == $past(wdata);
+  endproperty
+  write_reg0_lands_check: assert property (write_reg0_lands) else $error("a write to address 0 must land in register 0");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A {regs}-entry, {w}-bit register file with one synchronous write port and one combinational read port."),
+    )
+}
+
+fn baud_tick(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(3, 10);
+    let msb = w - 1;
+    let div = (max_value(w) / 2).max(3);
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  output tick,
+  output reg [{msb}:0] cnt
+);
+  assign tick = cnt == {w}'d{div};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= {w}'d0;
+    else if (tick) cnt <= {w}'d0;
+    else cnt <= cnt + {w}'d1;
+  end
+  property tick_resets_counter;
+    @(posedge clk) disable iff (!rst_n) tick |=> cnt == {w}'d0;
+  endproperty
+  tick_resets_counter_check: assert property (tick_resets_counter) else $error("the divider must restart after a tick");
+  property counter_bounded;
+    @(posedge clk) disable iff (!rst_n) cnt <= {w}'d{div};
+  endproperty
+  counter_bounded_check: assert property (counter_bounded) else $error("the divider must never pass its terminal count");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A baud-rate tick generator dividing the clock by {} using a {w}-bit counter.", div + 1),
+    )
+}
+
+fn pipeline(name: &str, p: FamilyParams) -> (String, String) {
+    let w = p.width.clamp(2, 16);
+    let msb = w - 1;
+    let stages = p.depth.clamp(2, 12);
+    let mut decls = String::new();
+    let mut body = String::new();
+    for i in 0..stages {
+        decls.push_str(&format!("  reg [{msb}:0] stage{i};\n"));
+        let source = if i == 0 {
+            "din".to_string()
+        } else {
+            format!("stage{}", i - 1)
+        };
+        body.push_str(&format!(
+            "  always @(posedge clk or negedge rst_n) begin\n    if (!rst_n) stage{i} <= {w}'d0;\n    else stage{i} <= {source};\n  end\n"
+        ));
+    }
+    let last = stages - 1;
+    let src = format!(
+        r#"module {name}(
+  input clk,
+  input rst_n,
+  input [{msb}:0] din,
+  output [{msb}:0] dout
+);
+{decls}  assign dout = stage{last};
+{body}  property first_stage_tracks;
+    @(posedge clk) disable iff (!rst_n) 1 |=> stage0 == $past(din);
+  endproperty
+  first_stage_tracks_check: assert property (first_stage_tracks) else $error("stage 0 must capture the input");
+  property chain_advances;
+    @(posedge clk) disable iff (!rst_n) 1 |=> stage1 == $past(stage0);
+  endproperty
+  chain_advances_check: assert property (chain_advances) else $error("stage 1 must capture stage 0");
+endmodule
+"#
+    );
+    (
+        src,
+        format!("A {stages}-stage, {w}-bit register pipeline delaying the input by {stages} cycles."),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instances() -> Vec<FamilyInstance> {
+        Family::all()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| instantiate(*f, FamilyParams::default(), i))
+            .collect()
+    }
+
+    #[test]
+    fn every_family_parses_and_compiles() {
+        for instance in all_instances() {
+            let module = svparse::parse_module(&instance.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", instance.family, instance.source));
+            assert_eq!(module.name, instance.module_name);
+            assert!(
+                svparse::compile_check(&instance.source).is_ok(),
+                "{} failed semantic checks",
+                instance.family
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_has_assertions_and_spec() {
+        for instance in all_instances() {
+            let module = svparse::parse_module(&instance.source).unwrap();
+            assert!(
+                module.assertions().count() >= 1,
+                "{} has no assertion",
+                instance.family
+            );
+            assert!(!instance.function.is_empty());
+        }
+    }
+
+    #[test]
+    fn parameters_change_emitted_length() {
+        let small = instantiate(
+            Family::Pipeline,
+            FamilyParams {
+                width: 4,
+                depth: 2,
+                variant: 0,
+            },
+            0,
+        );
+        let large = instantiate(
+            Family::Pipeline,
+            FamilyParams {
+                width: 8,
+                depth: 12,
+                variant: 0,
+            },
+            1,
+        );
+        assert!(large.source.lines().count() > small.source.lines().count() + 20);
+    }
+
+    #[test]
+    fn register_file_scales_with_depth() {
+        let rf = instantiate(
+            Family::RegisterFile,
+            FamilyParams {
+                width: 8,
+                depth: 8,
+                variant: 0,
+            },
+            3,
+        );
+        let module = svparse::parse_module(&rf.source).unwrap();
+        assert!(module.always_blocks().count() >= 9);
+        assert!(svparse::compile_check(&rf.source).is_ok());
+    }
+
+    #[test]
+    fn module_names_are_unique_per_index() {
+        let a = instantiate(Family::Counter, FamilyParams::default(), 1);
+        let b = instantiate(Family::Counter, FamilyParams::default(), 2);
+        assert_ne!(a.module_name, b.module_name);
+    }
+
+    #[test]
+    fn family_tags_are_distinct() {
+        let mut tags: Vec<&str> = Family::all().iter().map(|f| f.tag()).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), Family::all().len());
+    }
+}

@@ -1,0 +1,43 @@
+//! # svgen — synthetic Verilog corpus, specs and assertion-bearing design families
+//!
+//! The AssertSolver paper augments an open-source corpus of ~109k Verilog samples;
+//! that corpus (and the GPT-4-written specifications attached to it) is not available
+//! here, so this crate generates a synthetic substitute: sixteen parameterised design
+//! families with embedded SystemVerilog assertions, template-based specifications, and
+//! a corruption pass that recreates the broken/duplicate/logic-free samples Stage 1 of
+//! the pipeline must filter.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use svgen::{CorpusConfig, CorpusGenerator};
+//!
+//! let corpus = CorpusGenerator::new(CorpusConfig { golden_designs: 8, ..Default::default() });
+//! let designs = corpus.golden_designs();
+//! assert_eq!(designs.len(), 8);
+//! assert!(designs.iter().all(|d| svparse::compile_check(&d.source).is_ok()));
+//! ```
+
+pub mod corpus;
+pub mod corrupt;
+pub mod families;
+pub mod spec;
+
+pub use corpus::{
+    length_bin, length_bin_index, CorpusConfig, CorpusGenerator, RawSample, SampleOrigin,
+    LENGTH_BINS,
+};
+pub use corrupt::{corrupt, corrupt_random, CorruptedSample, CorruptionKind};
+pub use families::{instantiate, Family, FamilyInstance, FamilyParams};
+pub use spec::render_spec;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::CorpusGenerator>();
+        assert_send_sync::<super::FamilyInstance>();
+        assert_send_sync::<super::RawSample>();
+    }
+}

@@ -1,0 +1,372 @@
+//! Fix-candidate generation.
+//!
+//! Given a suspected buggy line, the model proposes concrete replacement lines by
+//! exploring the inverse of the bug-injection space: operator swaps, negation toggles,
+//! constant perturbations and identifier substitutions.  A second policy then ranks
+//! the candidates.
+
+use crate::features::CaseInput;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Number of features describing a fix candidate.
+pub const FIX_FEATURES: usize = 10;
+
+/// The kind of edit a fix candidate applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FixEdit {
+    /// Add or remove a logical negation.
+    ToggleNegation,
+    /// Swap a binary operator for a confusable one.
+    OpSwap,
+    /// Adjust a numeric constant.
+    ValueTweak,
+    /// Replace one identifier with another declared signal.
+    VarSwap,
+}
+
+impl FixEdit {
+    /// All edit kinds, in a stable order.
+    pub fn all() -> [FixEdit; 4] {
+        [
+            FixEdit::ToggleNegation,
+            FixEdit::OpSwap,
+            FixEdit::ValueTweak,
+            FixEdit::VarSwap,
+        ]
+    }
+}
+
+/// One candidate replacement line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixCandidate {
+    /// Full replacement line text (trimmed, same shape as the original line).
+    pub text: String,
+    /// The edit applied.
+    pub edit: FixEdit,
+    /// Feature vector of length [`FIX_FEATURES`].
+    pub features: Vec<f64>,
+}
+
+const OP_SWAPS: &[(&str, &str)] = &[
+    (" && ", " || "),
+    (" || ", " && "),
+    (" & ", " | "),
+    (" | ", " & "),
+    (" & ", " ^ "),
+    (" ^ ", " & "),
+    (" == ", " != "),
+    (" != ", " == "),
+    (" + ", " - "),
+    (" - ", " + "),
+    (" < ", " > "),
+    (" > ", " < "),
+    (" << ", " >> "),
+    (" >> ", " << "),
+];
+
+/// Generates candidate fixes for a line.
+///
+/// `declared_signals` is the pool used for identifier substitutions (typically every
+/// declared name of the module); `assertion_signals` steers the feature extraction.
+pub fn fix_candidates(
+    line: &str,
+    declared_signals: &[String],
+    assertion_signals: &[String],
+    lm: &crate::lm::NgramLm,
+) -> Vec<FixCandidate> {
+    let original = line.trim();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    seen.insert(original.to_string());
+    let mut out: Vec<(String, FixEdit)> = Vec::new();
+
+    // 1. Negation toggles on identifiers (condition flips are the most common bug).
+    for ident in identifiers_in(original) {
+        let negated = format!("!{ident}");
+        if original.contains(&negated) {
+            out.push((original.replacen(&negated, &ident, 1), FixEdit::ToggleNegation));
+        } else {
+            // Only toggle inside a conditional context to avoid nonsense like
+            // `assign !y = a`.
+            if let Some(cond_start) = original.find('(') {
+                let (head, tail) = original.split_at(cond_start);
+                if tail.contains(&ident) && (head.contains("if") || head.contains("case")) {
+                    out.push((
+                        format!("{head}{}", tail.replacen(&ident, &negated, 1)),
+                        FixEdit::ToggleNegation,
+                    ));
+                }
+            }
+        }
+    }
+
+    // 2. Operator swaps.
+    for (from, to) in OP_SWAPS {
+        if original.contains(from) {
+            out.push((original.replacen(from, to, 1), FixEdit::OpSwap));
+            // If the operator occurs twice, also swap the second occurrence.
+            if original.matches(from).count() > 1 {
+                let first = original.find(from).expect("operator present");
+                let rest_swapped = format!(
+                    "{}{}",
+                    &original[..first + from.len()],
+                    original[first + from.len()..].replacen(from, to, 1)
+                );
+                out.push((rest_swapped, FixEdit::OpSwap));
+            }
+        }
+    }
+
+    // 3. Constant perturbations.
+    for token in crate::lm::tokenize(original) {
+        if let Some((width, value)) = parse_sized_literal(&token) {
+            let max = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mut replacements: Vec<u64> = vec![
+                value.wrapping_add(1) & max,
+                value.wrapping_sub(1) & max,
+                0,
+                max,
+            ];
+            for bit in 0..width.min(16) {
+                replacements.push((value ^ (1 << bit)) & max);
+            }
+            for new_value in replacements {
+                if new_value == value {
+                    continue;
+                }
+                let new_token = rewrite_literal(&token, new_value);
+                out.push((
+                    original.replacen(token.as_str(), &new_token, 1),
+                    FixEdit::ValueTweak,
+                ));
+            }
+        } else if let Ok(value) = token.parse::<u64>() {
+            for new_value in [value.wrapping_add(1), value.saturating_sub(1), 0, 1] {
+                if new_value != value {
+                    out.push((
+                        original.replacen(token.as_str(), &new_value.to_string(), 1),
+                        FixEdit::ValueTweak,
+                    ));
+                }
+            }
+        }
+    }
+
+    // 4. Identifier substitutions.
+    for ident in identifiers_in(original) {
+        for replacement in declared_signals {
+            if replacement == &ident || !declared_signals.contains(&ident) {
+                continue;
+            }
+            out.push((
+                replace_identifier_once(original, &ident, replacement),
+                FixEdit::VarSwap,
+            ));
+        }
+    }
+
+    let original_surprisal = lm.surprisal(original);
+    out.into_iter()
+        .filter(|(text, _)| text != original && seen.insert(text.clone()))
+        .map(|(text, edit)| {
+            let features = fix_features(&text, original, edit, assertion_signals, lm, original_surprisal);
+            FixCandidate {
+                text,
+                edit,
+                features,
+            }
+        })
+        .collect()
+}
+
+/// Feature vector of a fix candidate.
+fn fix_features(
+    text: &str,
+    original: &str,
+    edit: FixEdit,
+    assertion_signals: &[String],
+    lm: &crate::lm::NgramLm,
+    original_surprisal: f64,
+) -> Vec<f64> {
+    let introduces_assertion_signal = assertion_signals.iter().any(|s| {
+        let count_new = text.matches(s.as_str()).count();
+        let count_old = original.matches(s.as_str()).count();
+        count_new > count_old
+    });
+    let surprisal_delta = (original_surprisal - lm.surprisal(text)).clamp(-3.0, 3.0);
+    vec![
+        1.0,
+        f64::from(edit == FixEdit::ToggleNegation),
+        f64::from(edit == FixEdit::OpSwap),
+        f64::from(edit == FixEdit::ValueTweak),
+        f64::from(edit == FixEdit::VarSwap),
+        f64::from(introduces_assertion_signal),
+        surprisal_delta / 3.0,
+        f64::from(text.len().abs_diff(original.len()) <= 1),
+        f64::from(text.contains('!') != original.contains('!')),
+        f64::from(original.starts_with("if (") || original.starts_with("else if (")),
+    ]
+}
+
+fn identifiers_in(line: &str) -> Vec<String> {
+    let mut out: Vec<String> = crate::lm::tokenize(line)
+        .into_iter()
+        .filter(|t| {
+            t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+                && ![
+                    "if", "else", "case", "assign", "begin", "end", "default", "posedge",
+                    "negedge", "or", "always",
+                ]
+                .contains(&t.as_str())
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+fn replace_identifier_once(line: &str, ident: &str, replacement: &str) -> String {
+    // Replace only whole-token occurrences so `in` does not match inside `valid_in`.
+    let mut result = String::new();
+    let mut replaced = false;
+    let mut token = String::new();
+    for c in line.chars().chain(std::iter::once(' ')) {
+        if c.is_alphanumeric() || c == '_' {
+            token.push(c);
+        } else {
+            if !token.is_empty() {
+                if !replaced && token == ident {
+                    result.push_str(replacement);
+                    replaced = true;
+                } else {
+                    result.push_str(&token);
+                }
+                token.clear();
+            }
+            result.push(c);
+        }
+    }
+    result.trim_end().to_string()
+}
+
+fn parse_sized_literal(token: &str) -> Option<(u32, u64)> {
+    let idx = token.find('\'')?;
+    let width: u32 = token[..idx].parse().ok()?;
+    let rest = &token[idx + 1..];
+    let (radix, digits) = match rest.chars().next()? {
+        'b' | 'B' => (2, &rest[1..]),
+        'h' | 'H' => (16, &rest[1..]),
+        'o' | 'O' => (8, &rest[1..]),
+        'd' | 'D' => (10, &rest[1..]),
+        _ => return None,
+    };
+    let value = u64::from_str_radix(digits, radix).ok()?;
+    Some((width, value))
+}
+
+fn rewrite_literal(token: &str, new_value: u64) -> String {
+    let idx = token.find('\'').expect("sized literal has a quote");
+    let width = &token[..idx];
+    let base = token.as_bytes()[idx + 1] as char;
+    match base.to_ascii_lowercase() {
+        'b' => format!("{width}'b{new_value:b}"),
+        'h' => format!("{width}'h{new_value:x}"),
+        'o' => format!("{width}'o{new_value:o}"),
+        _ => format!("{width}'d{new_value}"),
+    }
+}
+
+/// Generates fix candidates directly from a [`CaseInput`] and a chosen line.
+pub fn fix_candidates_for_case(
+    case: &CaseInput,
+    line_text: &str,
+    lm: &crate::lm::NgramLm,
+) -> Vec<FixCandidate> {
+    let declared = svparse::parse_module(&case.buggy_source)
+        .map(|m| m.declared_names())
+        .unwrap_or_default();
+    let failing = case.failing_assertions();
+    let assertion_signals = svparse::parse_module(&case.buggy_source)
+        .map(|m| {
+            failing
+                .iter()
+                .flat_map(|name| svmutate::signals_of_assertion(&m, name))
+                .collect::<Vec<String>>()
+        })
+        .unwrap_or_default();
+    fix_candidates(line_text, &declared, &assertion_signals, lm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lm::NgramLm;
+
+    fn candidates(line: &str, declared: &[&str]) -> Vec<FixCandidate> {
+        let declared: Vec<String> = declared.iter().map(|s| s.to_string()).collect();
+        fix_candidates(line, &declared, &["valid_out".into()], &NgramLm::new())
+    }
+
+    #[test]
+    fn negation_toggle_inverts_the_paper_bug() {
+        let fixes = candidates(
+            "else if (!end_cnt) valid_out <= 1;",
+            &["end_cnt", "valid_out", "cnt"],
+        );
+        assert!(
+            fixes
+                .iter()
+                .any(|f| f.text == "else if (end_cnt) valid_out <= 1;"),
+            "negation-toggle fix missing: {:?}",
+            fixes.iter().map(|f| &f.text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn op_swap_covers_and_or() {
+        let fixes = candidates("assign y = a & b;", &["a", "b", "y"]);
+        assert!(fixes.iter().any(|f| f.text == "assign y = a | b;"));
+        assert!(fixes.iter().any(|f| f.text == "assign y = a ^ b;"));
+    }
+
+    #[test]
+    fn value_tweaks_cover_off_by_one_and_bitflips() {
+        let fixes = candidates("if (cnt == 2'd3) done <= 1;", &["cnt", "done"]);
+        assert!(fixes.iter().any(|f| f.text.contains("2'd2")));
+        assert!(fixes.iter().any(|f| f.text.contains("2'd1")));
+        assert!(fixes.iter().any(|f| f.edit == FixEdit::ValueTweak));
+    }
+
+    #[test]
+    fn var_swap_is_whole_token() {
+        let fixes = candidates("assign out = in;", &["in", "out", "valid_in"]);
+        assert!(fixes.iter().any(|f| f.text == "assign out = valid_in;"));
+        // `in` inside `valid_in` must not be replaced when swapping other tokens.
+        assert!(!fixes.iter().any(|f| f.text.contains("valid_valid")));
+    }
+
+    #[test]
+    fn candidates_are_distinct_and_not_the_original() {
+        let fixes = candidates(
+            "else if (end_cnt && valid_in) valid_out <= 1;",
+            &["end_cnt", "valid_in", "valid_out"],
+        );
+        let mut texts: Vec<&String> = fixes.iter().map(|f| &f.text).collect();
+        let before = texts.len();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), before);
+        assert!(!fixes.iter().any(|f| f.text == "else if (end_cnt && valid_in) valid_out <= 1;"));
+        for f in &fixes {
+            assert_eq!(f.features.len(), FIX_FEATURES);
+        }
+    }
+
+    #[test]
+    fn sized_literal_parsing() {
+        assert_eq!(parse_sized_literal("4'b1010"), Some((4, 10)));
+        assert_eq!(parse_sized_literal("8'hff"), Some((8, 255)));
+        assert_eq!(parse_sized_literal("2'd3"), Some((2, 3)));
+        assert_eq!(parse_sized_literal("abc"), None);
+        assert_eq!(rewrite_literal("4'b1010", 5), "4'b101");
+    }
+}

@@ -1,0 +1,53 @@
+//! # svmodel — the AssertSolver surrogate model, its training stages and baselines
+//!
+//! The paper fine-tunes Deepseek-Coder-6.7b with PT → SFT → DPO on eight A800 GPUs.
+//! This crate reproduces the *training dynamics* of that recipe at laptop scale with a
+//! trainable statistical policy: a Verilog bigram language model (continual
+//! pretraining), a linear softmax line-localisation policy and fix-ranking policy
+//! (supervised fine-tuning by SGD), and pairwise preference updates on error responses
+//! to challenging cases (DPO).  Inference takes the same three inputs as the paper's
+//! model — Spec, buggy SystemVerilog and logs — and returns the buggy line, a fix and
+//! a chain of thought, sampled `n` times at a configurable temperature for pass@k
+//! evaluation.  Rule-based baseline engines stand in for the commercial LLMs the paper
+//! compares against.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use svmodel::{AssertSolverModel, CaseInput, RepairModel};
+//! use svdata::{run_pipeline, PipelineConfig};
+//!
+//! let data = run_pipeline(&PipelineConfig::tiny(1));
+//! let entry = &data.datasets.sva_bug[0];
+//! let model = AssertSolverModel::base(0);
+//! let responses = model.solve(&CaseInput::from_entry(entry), 3, 0.2, 7);
+//! assert_eq!(responses.len(), 3);
+//! ```
+
+pub mod baselines;
+pub mod features;
+pub mod fixgen;
+pub mod lm;
+pub mod policy;
+pub mod solver;
+
+pub use baselines::{all_baselines, BaselineKind, BaselineModel};
+pub use features::{line_candidates, CaseInput, LineCandidate, LINE_FEATURES};
+pub use fixgen::{fix_candidates, fix_candidates_for_case, FixCandidate, FixEdit, FIX_FEATURES};
+pub use lm::{tokenize, NgramLm};
+pub use policy::Policy;
+pub use solver::{
+    AssertSolverModel, PreferencePair, RepairModel, Response, TrainingStage,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::AssertSolverModel>();
+        assert_send_sync::<super::BaselineModel>();
+        assert_send_sync::<super::Response>();
+        assert_send_sync::<super::NgramLm>();
+    }
+}

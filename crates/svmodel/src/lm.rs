@@ -1,0 +1,196 @@
+//! Verilog tokenizer and interpolated bigram language model.
+//!
+//! The language model is the reproduction's continual-pretraining stage: it is trained
+//! on the *Verilog-PT* text (specifications, code, failure analyses) and provides
+//! per-line surprisal features to the repair policy, standing in for the next-token
+//! knowledge a pretrained transformer would contribute.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Splits Verilog/spec text into word and operator tokens.
+///
+/// Identifiers, numbers and multi-character operators each become one token;
+/// whitespace is discarded.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let flush = |current: &mut String, tokens: &mut Vec<String>| {
+        if !current.is_empty() {
+            tokens.push(std::mem::take(current));
+        }
+    };
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_alphanumeric() || c == '_' || c == '\'' {
+            current.push(c);
+            i += 1;
+            continue;
+        }
+        flush(&mut current, &mut tokens);
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Greedy two/three-character operators.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let three: String = chars[i..(i + 3).min(chars.len())].iter().collect();
+        if ["|->", "|=>", "<<<", ">>>", "==="].contains(&three.as_str()) {
+            tokens.push(three);
+            i += 3;
+        } else if ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "##"].contains(&two.as_str()) {
+            tokens.push(two);
+            i += 2;
+        } else {
+            tokens.push(c.to_string());
+            i += 1;
+        }
+    }
+    flush(&mut current, &mut tokens);
+    tokens
+}
+
+/// An interpolated bigram language model with add-k smoothing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NgramLm {
+    unigrams: BTreeMap<String, u64>,
+    bigrams: BTreeMap<(String, String), u64>,
+    total_tokens: u64,
+}
+
+impl NgramLm {
+    /// Creates an empty (untrained) model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` once some text has been ingested.
+    pub fn is_trained(&self) -> bool {
+        self.total_tokens > 0
+    }
+
+    /// Number of distinct tokens seen.
+    pub fn vocab_size(&self) -> usize {
+        self.unigrams.len()
+    }
+
+    /// Ingests one text into the counts.
+    pub fn train_text(&mut self, text: &str) {
+        let tokens = tokenize(text);
+        for window in tokens.windows(2) {
+            *self
+                .bigrams
+                .entry((window[0].clone(), window[1].clone()))
+                .or_insert(0) += 1;
+        }
+        for token in tokens {
+            *self.unigrams.entry(token).or_insert(0) += 1;
+            self.total_tokens += 1;
+        }
+    }
+
+    /// Ingests a batch of texts.
+    pub fn train<'a>(&mut self, texts: impl IntoIterator<Item = &'a str>) {
+        for text in texts {
+            self.train_text(text);
+        }
+    }
+
+    /// Interpolated probability of `next` following `prev`.
+    pub fn probability(&self, prev: &str, next: &str) -> f64 {
+        let k = 0.05;
+        let vocab = self.vocab_size().max(1) as f64;
+        let unigram_count = *self.unigrams.get(next).unwrap_or(&0) as f64;
+        let unigram = (unigram_count + k) / (self.total_tokens as f64 + k * vocab);
+        let prev_count = *self.unigrams.get(prev).unwrap_or(&0) as f64;
+        let bigram_count = *self
+            .bigrams
+            .get(&(prev.to_string(), next.to_string()))
+            .unwrap_or(&0) as f64;
+        let bigram = (bigram_count + k) / (prev_count + k * vocab);
+        0.7 * bigram + 0.3 * unigram
+    }
+
+    /// Mean negative log-probability per token of a line (its surprisal).
+    ///
+    /// Untrained models return a constant so the feature is uninformative rather than
+    /// misleading.
+    pub fn surprisal(&self, line: &str) -> f64 {
+        if !self.is_trained() {
+            return 1.0;
+        }
+        let tokens = tokenize(line);
+        if tokens.len() < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for window in tokens.windows(2) {
+            total += -self.probability(&window[0], &window[1]).ln();
+            count += 1;
+        }
+        total / count.max(1) as f64
+    }
+
+    /// Perplexity of a text under the model.
+    pub fn perplexity(&self, text: &str) -> f64 {
+        self.surprisal(text).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_operators_and_words() {
+        let tokens = tokenize("if (!rst_n) cnt <= cnt + 2'd1;");
+        assert!(tokens.contains(&"rst_n".to_string()));
+        assert!(tokens.contains(&"<=".to_string()));
+        assert!(tokens.contains(&"2'd1".to_string()));
+        assert!(tokens.contains(&"!".to_string()));
+        let sva = tokenize("end_cnt |-> ##1 valid_out == 1");
+        assert!(sva.contains(&"|->".to_string()));
+        assert!(sva.contains(&"##".to_string()));
+        assert!(sva.contains(&"==".to_string()));
+    }
+
+    #[test]
+    fn trained_model_prefers_seen_patterns() {
+        let mut lm = NgramLm::new();
+        for _ in 0..20 {
+            lm.train_text("always @(posedge clk or negedge rst_n) begin if (!rst_n) q <= 0; else q <= d; end");
+        }
+        assert!(lm.is_trained());
+        let familiar = lm.surprisal("if (!rst_n) q <= 0;");
+        let weird = lm.surprisal("zz9 %% qq7 ^^ @@");
+        assert!(familiar < weird, "familiar={familiar} weird={weird}");
+    }
+
+    #[test]
+    fn untrained_model_is_neutral() {
+        let lm = NgramLm::new();
+        assert_eq!(lm.surprisal("anything at all"), 1.0);
+        assert!(!lm.is_trained());
+    }
+
+    #[test]
+    fn perplexity_is_exp_of_surprisal() {
+        let mut lm = NgramLm::new();
+        lm.train_text("assign y = a & b;");
+        let s = lm.surprisal("assign y = a & b;");
+        assert!((lm.perplexity("assign y = a & b;") - s.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_are_normalised_enough() {
+        let mut lm = NgramLm::new();
+        lm.train_text("a b a b a b a c");
+        let p_ab = lm.probability("a", "b");
+        let p_ac = lm.probability("a", "c");
+        assert!(p_ab > p_ac);
+        assert!(p_ab <= 1.0 && p_ac > 0.0);
+    }
+}

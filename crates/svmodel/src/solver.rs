@@ -1,0 +1,442 @@
+//! The AssertSolver surrogate model and its training stages.
+//!
+//! [`AssertSolverModel`] packages the pretrained language model, the line-localisation
+//! policy and the fix-ranking policy behind the same three-input interface the paper's
+//! LLM exposes (Spec, buggy SV, logs → buggy line, fix, CoT), and implements the three
+//! training stages: continual pretraining on *Verilog-PT*, supervised fine-tuning on
+//! *SVA-Bug*/*Verilog-Bug*, and DPO on error responses to challenging cases.
+
+use crate::features::{line_candidates, CaseInput, LineCandidate};
+use crate::fixgen::{fix_candidates_for_case, FixCandidate};
+use crate::lm::NgramLm;
+use crate::policy::Policy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use svdata::{SvaBugEntry, VerilogBugEntry, VerilogPtEntry};
+
+/// One model answer: the suspected buggy line, the proposed fix and an optional
+/// explanation, mirroring the JSON schema the paper prompts for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// 1-based line number of the suspected buggy line.
+    pub bug_line_number: u32,
+    /// The text of the suspected buggy line.
+    pub buggy_line: String,
+    /// The proposed replacement line.
+    pub fixed_line: String,
+    /// Optional chain-of-thought explanation.
+    pub cot: Option<String>,
+}
+
+impl Response {
+    /// Serialises the response as the JSON object the inference interface returns.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("response serialises")
+    }
+}
+
+/// Anything that can answer an assertion-failure case.
+pub trait RepairModel {
+    /// Display name used in tables.
+    fn name(&self) -> &str;
+
+    /// Generates `samples` candidate solutions for a case at the given temperature.
+    fn solve(&self, case: &CaseInput, samples: usize, temperature: f64, seed: u64)
+        -> Vec<Response>;
+}
+
+/// Training progress of the surrogate model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrainingStage {
+    /// Untrained base model (random behaviour, like Deepseek-Coder-6.7b on this task).
+    Base,
+    /// After continual pretraining on Verilog-PT.
+    Pretrained,
+    /// After supervised fine-tuning.
+    Sft,
+    /// After DPO on challenging cases (the full AssertSolver).
+    Dpo,
+}
+
+/// A preference pair harvested from a challenging case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreferencePair {
+    /// Features of the correct (chosen) candidate.
+    pub chosen: Vec<f64>,
+    /// Features of the incorrect (rejected) candidate the model actually produced.
+    pub rejected: Vec<f64>,
+    /// Margin of the frozen reference (SFT) policy on this pair.
+    pub reference_margin: f64,
+    /// `true` when the pair belongs to the line policy, `false` for the fix policy.
+    pub is_line_pair: bool,
+}
+
+/// The trainable surrogate of the paper's AssertSolver model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssertSolverModel {
+    lm: NgramLm,
+    line_policy: Policy,
+    fix_policy: Policy,
+    stage: TrainingStage,
+    display_name: String,
+}
+
+impl AssertSolverModel {
+    /// Creates the untrained base model (noisy random policies, empty language model).
+    pub fn base(seed: u64) -> Self {
+        Self {
+            lm: NgramLm::new(),
+            line_policy: Policy::noisy(crate::features::LINE_FEATURES, seed),
+            fix_policy: Policy::noisy(crate::fixgen::FIX_FEATURES, seed ^ 0xF1),
+            stage: TrainingStage::Base,
+            display_name: "Base model".to_string(),
+        }
+    }
+
+    /// Current training stage.
+    pub fn stage(&self) -> TrainingStage {
+        self.stage
+    }
+
+    /// Overrides the display name (used when labelling table rows).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = name.into();
+        self
+    }
+
+    /// Read access to the language model (exposed for diagnostics and benches).
+    pub fn language_model(&self) -> &NgramLm {
+        &self.lm
+    }
+
+    /// Stage 1: continual pretraining on the Verilog-PT dataset.
+    pub fn pretrain(&mut self, entries: &[VerilogPtEntry]) {
+        for entry in entries {
+            self.lm.train_text(&entry.text());
+        }
+        if self.stage == TrainingStage::Base {
+            self.stage = TrainingStage::Pretrained;
+            self.display_name = "PT model".to_string();
+        }
+    }
+
+    /// Stage 2: supervised fine-tuning on SVA-Bug plus the auxiliary Verilog-Bug task.
+    pub fn sft(
+        &mut self,
+        sva_bug: &[SvaBugEntry],
+        verilog_bug: &[VerilogBugEntry],
+        epochs: usize,
+        learning_rate: f64,
+        seed: u64,
+    ) {
+        // Reset the noisy base weights: fine-tuning starts from the pretrained state.
+        self.line_policy = Policy::zeros(crate::features::LINE_FEATURES);
+        self.fix_policy = Policy::zeros(crate::fixgen::FIX_FEATURES);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples: Vec<(CaseInput, u32, String, String)> = sva_bug
+            .iter()
+            .map(|e| {
+                (
+                    CaseInput::from_entry(e),
+                    e.bug_line_number,
+                    e.buggy_line.clone(),
+                    e.fixed_line.clone(),
+                )
+            })
+            .collect();
+        examples.extend(verilog_bug.iter().map(|e| {
+            (
+                CaseInput {
+                    spec: e.spec.clone(),
+                    buggy_source: e.buggy_source.clone(),
+                    logs: String::new(),
+                },
+                e.bug_line_number,
+                e.buggy_line.clone(),
+                e.fixed_line.clone(),
+            )
+        }));
+
+        for _ in 0..epochs {
+            examples.shuffle(&mut rng);
+            for (case, bug_line, buggy_line, fixed_line) in &examples {
+                let lines = line_candidates(case, &self.lm);
+                if let Some(correct) = lines.iter().position(|c| c.line_number == *bug_line) {
+                    let features: Vec<Vec<f64>> =
+                        lines.iter().map(|c| c.features.clone()).collect();
+                    self.line_policy.sft_step(&features, correct, learning_rate);
+                }
+                let fixes = fix_candidates_for_case(case, buggy_line, &self.lm);
+                if let Some(correct) = fixes.iter().position(|f| f.text == fixed_line.trim()) {
+                    let features: Vec<Vec<f64>> =
+                        fixes.iter().map(|f| f.features.clone()).collect();
+                    self.fix_policy.sft_step(&features, correct, learning_rate);
+                }
+            }
+        }
+        self.stage = TrainingStage::Sft;
+        self.display_name = "SFT model".to_string();
+    }
+
+    /// Samples the model on every training case and harvests preference pairs from the
+    /// challenging ones (cases with at least one incorrect response among `samples`).
+    pub fn collect_challenging(
+        &self,
+        entries: &[SvaBugEntry],
+        samples: usize,
+        temperature: f64,
+        seed: u64,
+    ) -> Vec<PreferencePair> {
+        let mut pairs = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let case = CaseInput::from_entry(entry);
+            let lines = line_candidates(&case, &self.lm);
+            let Some(correct_line) = lines
+                .iter()
+                .find(|c| c.line_number == entry.bug_line_number)
+            else {
+                continue;
+            };
+            let fixes = fix_candidates_for_case(&case, &entry.buggy_line, &self.lm);
+            let correct_fix = fixes.iter().find(|f| f.text == entry.fixed_line.trim());
+
+            let responses = self.solve(&case, samples, temperature, seed ^ (i as u64));
+            for response in responses {
+                let line_correct = response.bug_line_number == entry.bug_line_number;
+                let fix_correct = response.fixed_line == entry.fixed_line.trim();
+                if line_correct && fix_correct {
+                    continue;
+                }
+                if !line_correct {
+                    if let Some(rejected) = lines
+                        .iter()
+                        .find(|c| c.line_number == response.bug_line_number)
+                    {
+                        pairs.push(PreferencePair {
+                            chosen: correct_line.features.clone(),
+                            rejected: rejected.features.clone(),
+                            reference_margin: self.line_policy.score(&correct_line.features)
+                                - self.line_policy.score(&rejected.features),
+                            is_line_pair: true,
+                        });
+                    }
+                } else if let (Some(correct_fix), Some(rejected)) = (
+                    correct_fix,
+                    fixes.iter().find(|f| f.text == response.fixed_line),
+                ) {
+                    pairs.push(PreferencePair {
+                        chosen: correct_fix.features.clone(),
+                        rejected: rejected.features.clone(),
+                        reference_margin: self.fix_policy.score(&correct_fix.features)
+                            - self.fix_policy.score(&rejected.features),
+                        is_line_pair: false,
+                    });
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Stage 3: DPO on the harvested preference pairs (β = 0.1 in the paper).
+    pub fn dpo(&mut self, pairs: &[PreferencePair], beta: f64, learning_rate: f64) {
+        for pair in pairs {
+            if pair.is_line_pair {
+                self.line_policy.dpo_step(
+                    &pair.chosen,
+                    &pair.rejected,
+                    pair.reference_margin,
+                    beta,
+                    learning_rate,
+                );
+            } else {
+                self.fix_policy.dpo_step(
+                    &pair.chosen,
+                    &pair.rejected,
+                    pair.reference_margin,
+                    beta,
+                    learning_rate,
+                );
+            }
+        }
+        self.stage = TrainingStage::Dpo;
+        self.display_name = "AssertSolver".to_string();
+    }
+
+    fn propose(
+        &self,
+        case: &CaseInput,
+        lines: &[LineCandidate],
+        temperature: f64,
+        rng: &mut StdRng,
+    ) -> Response {
+        if lines.is_empty() {
+            return Response {
+                bug_line_number: 0,
+                buggy_line: String::new(),
+                fixed_line: String::new(),
+                cot: None,
+            };
+        }
+        let line_features: Vec<Vec<f64>> = lines.iter().map(|c| c.features.clone()).collect();
+        let line_idx = self.line_policy.sample(&line_features, temperature, rng);
+        let line = &lines[line_idx];
+        let fixes: Vec<FixCandidate> = fix_candidates_for_case(case, &line.text, &self.lm);
+        let fixed_line = if fixes.is_empty() {
+            line.text.clone()
+        } else {
+            let fix_features: Vec<Vec<f64>> = fixes.iter().map(|f| f.features.clone()).collect();
+            let fix_idx = self.fix_policy.sample(&fix_features, temperature, rng);
+            fixes[fix_idx].text.clone()
+        };
+        let cot = if self.stage >= TrainingStage::Sft {
+            let failing = case.failing_assertions().join(", ");
+            Some(format!(
+                "The log reports the failing assertion(s) [{failing}]. Tracing the signals they observe back through the design, line {} (`{}`) drives the observed behaviour and contradicts the specification; replacing it with `{}` makes the assertion hold.",
+                line.line_number, line.text, fixed_line
+            ))
+        } else {
+            None
+        };
+        Response {
+            bug_line_number: line.line_number,
+            buggy_line: line.text.clone(),
+            fixed_line,
+            cot,
+        }
+    }
+}
+
+impl RepairModel for AssertSolverModel {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn solve(
+        &self,
+        case: &CaseInput,
+        samples: usize,
+        temperature: f64,
+        seed: u64,
+    ) -> Vec<Response> {
+        let lines = line_candidates(case, &self.lm);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..samples)
+            .map(|_| self.propose(case, &lines, temperature, &mut rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svdata::{run_pipeline, split_by_module, PipelineConfig};
+
+    fn pipeline_entries() -> (Vec<SvaBugEntry>, Vec<SvaBugEntry>, Vec<VerilogPtEntry>, Vec<VerilogBugEntry>) {
+        let out = run_pipeline(&PipelineConfig::tiny(17));
+        let split = split_by_module(out.datasets.sva_bug.clone(), 0.75, 1);
+        (
+            split.train,
+            split.eval,
+            out.datasets.verilog_pt,
+            out.datasets.verilog_bug,
+        )
+    }
+
+    fn textual_accuracy(model: &dyn RepairModel, entries: &[SvaBugEntry]) -> f64 {
+        if entries.is_empty() {
+            return 0.0;
+        }
+        let correct = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                let case = CaseInput::from_entry(e);
+                let response = &model.solve(&case, 1, 0.05, 42 + *i as u64)[0];
+                response.bug_line_number == e.bug_line_number
+                    && response.fixed_line == e.fixed_line.trim()
+            })
+            .count();
+        correct as f64 / entries.len() as f64
+    }
+
+    #[test]
+    fn training_improves_over_base_model() {
+        let (train, eval, pt, vbug) = pipeline_entries();
+        assert!(!train.is_empty() && !eval.is_empty());
+
+        let base = AssertSolverModel::base(1);
+        let base_accuracy = textual_accuracy(&base, &eval);
+
+        let mut trained = AssertSolverModel::base(1);
+        trained.pretrain(&pt);
+        trained.sft(&train, &vbug, 6, 0.4, 7);
+        let sft_accuracy = textual_accuracy(&trained, &eval);
+
+        assert!(
+            sft_accuracy > base_accuracy,
+            "SFT accuracy {sft_accuracy} not better than base {base_accuracy}"
+        );
+        assert!(sft_accuracy > 0.3, "SFT accuracy too low: {sft_accuracy}");
+        assert_eq!(trained.stage(), TrainingStage::Sft);
+    }
+
+    #[test]
+    fn dpo_stage_runs_and_keeps_or_improves_accuracy() {
+        let (train, eval, pt, vbug) = pipeline_entries();
+        let mut model = AssertSolverModel::base(2);
+        model.pretrain(&pt);
+        model.sft(&train, &vbug, 6, 0.4, 3);
+        let sft_accuracy = textual_accuracy(&model, &eval);
+        let pairs = model.collect_challenging(&train, 8, 0.5, 11);
+        model.dpo(&pairs, 0.1, 0.05);
+        assert_eq!(model.stage(), TrainingStage::Dpo);
+        assert_eq!(model.name(), "AssertSolver");
+        let dpo_accuracy = textual_accuracy(&model, &eval);
+        assert!(
+            dpo_accuracy + 0.34 >= sft_accuracy,
+            "DPO collapsed accuracy: sft={sft_accuracy} dpo={dpo_accuracy}"
+        );
+    }
+
+    #[test]
+    fn responses_are_json_and_deterministic_per_seed() {
+        let (train, _, _, _) = pipeline_entries();
+        let entry = &train[0];
+        let case = CaseInput::from_entry(entry);
+        let model = AssertSolverModel::base(5);
+        let a = model.solve(&case, 3, 0.2, 9);
+        let b = model.solve(&case, 3, 0.2, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let json = a[0].to_json();
+        assert!(json.contains("bug_line_number"));
+        assert!(json.contains("fixed_line"));
+    }
+
+    #[test]
+    fn sft_model_emits_cot_base_does_not() {
+        let (train, _, pt, vbug) = pipeline_entries();
+        let entry = &train[0];
+        let case = CaseInput::from_entry(entry);
+        let base = AssertSolverModel::base(3);
+        assert!(base.solve(&case, 1, 0.2, 1)[0].cot.is_none());
+        let mut trained = AssertSolverModel::base(3);
+        trained.pretrain(&pt);
+        trained.sft(&train, &vbug, 2, 0.4, 3);
+        let cot = trained.solve(&case, 1, 0.2, 1)[0].cot.clone();
+        assert!(cot.is_some());
+        assert!(cot.unwrap().contains("failing assertion"));
+    }
+
+    #[test]
+    fn challenging_cases_yield_preference_pairs_for_imperfect_models() {
+        let (train, _, _, _) = pipeline_entries();
+        // The base model is very inaccurate, so nearly every case is challenging.
+        let base = AssertSolverModel::base(9);
+        let pairs = base.collect_challenging(&train, 4, 0.8, 5);
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().any(|p| p.is_line_pair));
+    }
+}

@@ -1,0 +1,264 @@
+//! Random bug injection.
+//!
+//! [`BugInjector`] plays the role of Claude-3.5 in Stage 2 of the paper's pipeline:
+//! given a golden module it produces "random bugs" across the Table-I taxonomy.  The
+//! downstream pipeline then validates each candidate exactly like the paper does —
+//! re-compiling it (svparse) and checking whether it triggers an assertion failure
+//! (svverify) — so hallucination-style broken mutants are filtered the same way.
+
+use crate::operators;
+use crate::sites::{collect_sites, replace_site, Site};
+use crate::taxonomy::{BugKind, Structural};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use svparse::{emit_module, Module};
+
+/// One injected bug: the mutated module plus everything the dataset needs to label it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedBug {
+    /// The mutated (buggy) module.
+    pub buggy: Module,
+    /// What was edited (Var / Value / Op).
+    pub kind: BugKind,
+    /// Whether the edit happened inside a conditional construct.
+    pub structural: Structural,
+    /// Signals whose behaviour the edit influences (used for Direct/Indirect
+    /// classification once the failing assertions are known).
+    pub affected_signals: Vec<String>,
+    /// Human-readable description of the edit.
+    pub description: String,
+}
+
+/// Seeded random bug injector.
+#[derive(Debug, Clone)]
+pub struct BugInjector {
+    rng: StdRng,
+}
+
+impl BugInjector {
+    /// Creates an injector from a seed; the same seed reproduces the same bugs.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Injects one bug of a random kind at a random site.
+    ///
+    /// Returns `None` when the module offers no mutable site (e.g. a module with no
+    /// functional logic) or no mutation changed the canonical text.
+    pub fn inject(&mut self, golden: &Module) -> Option<InjectedBug> {
+        let kind = *[BugKind::Var, BugKind::Value, BugKind::Op]
+            .choose(&mut self.rng)
+            .expect("non-empty kind list");
+        self.inject_with_kind(golden, kind)
+            .or_else(|| self.inject_with_kind(golden, BugKind::Op))
+    }
+
+    /// Injects one bug of the requested kind.
+    pub fn inject_with_kind(&mut self, golden: &Module, kind: BugKind) -> Option<InjectedBug> {
+        let sites = collect_sites(golden);
+        if sites.is_empty() {
+            return None;
+        }
+        let golden_text = emit_module(golden);
+        let candidates = variable_pool(golden);
+
+        // Try several random sites before giving up: not every site supports every
+        // kind (e.g. a Value bug needs a literal at the site).
+        for _ in 0..16 {
+            let site = sites.choose(&mut self.rng)?.clone();
+            if let Some(bug) = self.try_site(golden, &golden_text, &site, kind, &candidates) {
+                return Some(bug);
+            }
+        }
+        // Deterministic fallback: scan all sites in order.
+        for site in &sites {
+            if let Some(bug) = self.try_site(golden, &golden_text, site, kind, &candidates) {
+                return Some(bug);
+            }
+        }
+        None
+    }
+
+    /// Injects up to `count` distinct bugs (distinct canonical texts).
+    pub fn inject_batch(&mut self, golden: &Module, count: usize) -> Vec<InjectedBug> {
+        let mut seen = vec![emit_module(golden)];
+        let mut bugs = Vec::new();
+        let mut attempts = 0usize;
+        while bugs.len() < count && attempts < count * 8 {
+            attempts += 1;
+            let kind = match attempts % 3 {
+                0 => BugKind::Var,
+                1 => BugKind::Value,
+                _ => BugKind::Op,
+            };
+            if let Some(bug) = self.inject_with_kind(golden, kind) {
+                let text = emit_module(&bug.buggy);
+                if !seen.contains(&text) {
+                    seen.push(text);
+                    bugs.push(bug);
+                }
+            }
+        }
+        bugs
+    }
+
+    fn try_site(
+        &mut self,
+        golden: &Module,
+        golden_text: &str,
+        site: &Site,
+        kind: BugKind,
+        candidates: &[String],
+    ) -> Option<InjectedBug> {
+        let mutated_expr = match kind {
+            BugKind::Var => operators::mutate_var(&site.expr, candidates, &mut self.rng)?,
+            BugKind::Value => operators::mutate_value(&site.expr, &mut self.rng)?,
+            BugKind::Op => {
+                // Favour the classic negated-condition bug on conditional sites.
+                if site.context.is_conditional() && self.rng.gen_bool(0.4) {
+                    operators::toggle_negation(&site.expr)
+                } else {
+                    operators::mutate_op(&site.expr, &mut self.rng)?
+                }
+            }
+        };
+        let buggy = replace_site(golden, site.index, mutated_expr.clone());
+        let buggy_text = emit_module(&buggy);
+        if buggy_text == golden_text {
+            return None;
+        }
+        // The mutant must still compile (Stage-2 "eliminate syntax errors" step).
+        if svparse::compile_check(&buggy_text).is_err() {
+            return None;
+        }
+        let structural = if site.context.is_conditional() {
+            Structural::Cond
+        } else {
+            Structural::NonCond
+        };
+        Some(InjectedBug {
+            buggy,
+            kind,
+            structural,
+            affected_signals: site.affected.clone(),
+            description: format!(
+                "{kind} bug at {:?} site: `{}` -> `{}`",
+                site.context,
+                svparse::pretty::emit_expr(&site.expr),
+                svparse::pretty::emit_expr(&mutated_expr)
+            ),
+        })
+    }
+}
+
+/// Pool of identifier names a Var mutation may substitute: every declared signal
+/// except the clock (swapping the clock produces designs our single-clock simulator
+/// rejects anyway).
+fn variable_pool(module: &Module) -> Vec<String> {
+    let clock_like = |name: &str| name == "clk" || name == "clock";
+    module
+        .declared_names()
+        .into_iter()
+        .filter(|n| !clock_like(n))
+        .collect()
+}
+
+impl Default for BugInjector {
+    fn default() -> Self {
+        Self::new(0xB06)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svparse::parse_module;
+
+    const SRC: &str = r#"
+module dut(input clk, input rst_n, input en, input [3:0] data, output reg [3:0] acc, output full);
+  assign full = acc == 4'd15;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) acc <= 4'd0;
+    else if (en) acc <= acc + data;
+  end
+  property no_wrap;
+    @(posedge clk) disable iff (!rst_n) full |-> ##1 acc <= 4'd15;
+  endproperty
+  assert property (no_wrap);
+endmodule
+"#;
+
+    #[test]
+    fn injects_each_kind() {
+        let golden = parse_module(SRC).unwrap();
+        let mut injector = BugInjector::new(7);
+        for kind in BugKind::all() {
+            let bug = injector
+                .inject_with_kind(&golden, kind)
+                .unwrap_or_else(|| panic!("no {kind} bug injected"));
+            assert_eq!(bug.kind, kind);
+            assert_ne!(emit_module(&bug.buggy), emit_module(&golden));
+            assert!(!bug.affected_signals.is_empty());
+            assert!(!bug.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn injected_bug_still_compiles() {
+        let golden = parse_module(SRC).unwrap();
+        let mut injector = BugInjector::new(13);
+        for _ in 0..20 {
+            if let Some(bug) = injector.inject(&golden) {
+                let text = emit_module(&bug.buggy);
+                assert!(svparse::compile_check(&text).is_ok(), "mutant must compile:\n{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_produces_distinct_mutants() {
+        let golden = parse_module(SRC).unwrap();
+        let mut injector = BugInjector::new(21);
+        let bugs = injector.inject_batch(&golden, 10);
+        assert!(bugs.len() >= 5, "expected several distinct mutants, got {}", bugs.len());
+        let mut texts: Vec<String> = bugs.iter().map(|b| emit_module(&b.buggy)).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), bugs.len());
+    }
+
+    #[test]
+    fn conditional_sites_are_labelled_cond() {
+        let golden = parse_module(SRC).unwrap();
+        let mut injector = BugInjector::new(3);
+        let mut saw_cond = false;
+        let mut saw_noncond = false;
+        for _ in 0..40 {
+            if let Some(bug) = injector.inject(&golden) {
+                match bug.structural {
+                    Structural::Cond => saw_cond = true,
+                    Structural::NonCond => saw_noncond = true,
+                }
+            }
+        }
+        assert!(saw_cond, "never produced a Cond bug");
+        assert!(saw_noncond, "never produced a Non_cond bug");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let golden = parse_module(SRC).unwrap();
+        let a = BugInjector::new(99).inject(&golden).map(|b| emit_module(&b.buggy));
+        let b = BugInjector::new(99).inject(&golden).map(|b| emit_module(&b.buggy));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn module_without_logic_yields_none() {
+        let golden = parse_module("module empty(input a, output b); endmodule").unwrap();
+        assert!(BugInjector::new(1).inject(&golden).is_none());
+    }
+}

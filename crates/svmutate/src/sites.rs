@@ -1,0 +1,342 @@
+//! Mutation-site discovery and targeted replacement.
+//!
+//! A *site* is one top-level expression inside the design logic (right-hand side of an
+//! assignment, condition of an `if`, `case` subject or label).  Sites are enumerated
+//! in a deterministic pre-order so that [`collect_sites`] and [`replace_site`] agree
+//! on indices.
+
+use serde::{Deserialize, Serialize};
+use svparse::{CaseArm, Expr, Item, Module, Stmt};
+
+/// Where a mutation site sits, which determines its `Cond`/`Non_cond` label and which
+/// bug kinds apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteContext {
+    /// Right-hand side of a continuous `assign`.
+    AssignRhs,
+    /// Right-hand side of a procedural (blocking or non-blocking) assignment.
+    ProcRhs,
+    /// Condition of an `if` statement.
+    IfCond,
+    /// Subject of a `case` statement.
+    CaseSubject,
+    /// Label of a `case` arm.
+    CaseLabel,
+}
+
+impl SiteContext {
+    /// Returns `true` for sites that live inside a conditional construct.
+    pub fn is_conditional(&self) -> bool {
+        matches!(
+            self,
+            SiteContext::IfCond | SiteContext::CaseSubject | SiteContext::CaseLabel
+        )
+    }
+}
+
+/// One discovered mutation site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Stable index used by [`replace_site`].
+    pub index: usize,
+    /// Kind of location.
+    pub context: SiteContext,
+    /// The expression currently at the site.
+    pub expr: Expr,
+    /// Signals whose values the site influences (assignment targets, or the signals
+    /// assigned under a condition).
+    pub affected: Vec<String>,
+}
+
+/// Enumerates every mutation site of the module's design logic (properties and
+/// assertions are never mutated — the paper injects bugs into the RTL, not the SVAs).
+pub fn collect_sites(module: &Module) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let mut index = 0usize;
+    for item in &module.items {
+        match item {
+            Item::Assign(assign) => {
+                sites.push(Site {
+                    index,
+                    context: SiteContext::AssignRhs,
+                    expr: assign.rhs.clone(),
+                    affected: assign.lhs.base_names(),
+                });
+                index += 1;
+            }
+            Item::Always(block) => collect_stmt_sites(&block.body, &mut sites, &mut index),
+            _ => {}
+        }
+    }
+    sites
+}
+
+fn collect_stmt_sites(stmt: &Stmt, sites: &mut Vec<Site>, index: &mut usize) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                collect_stmt_sites(s, sites, index);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let mut affected = then_branch.assigned_signals();
+            if let Some(e) = else_branch {
+                affected.extend(e.assigned_signals());
+            }
+            affected.sort();
+            affected.dedup();
+            sites.push(Site {
+                index: *index,
+                context: SiteContext::IfCond,
+                expr: cond.clone(),
+                affected,
+            });
+            *index += 1;
+            collect_stmt_sites(then_branch, sites, index);
+            if let Some(e) = else_branch {
+                collect_stmt_sites(e, sites, index);
+            }
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            let mut affected: Vec<String> = arms
+                .iter()
+                .flat_map(|a| a.body.assigned_signals())
+                .collect();
+            if let Some(d) = default {
+                affected.extend(d.assigned_signals());
+            }
+            affected.sort();
+            affected.dedup();
+            sites.push(Site {
+                index: *index,
+                context: SiteContext::CaseSubject,
+                expr: subject.clone(),
+                affected: affected.clone(),
+            });
+            *index += 1;
+            for arm in arms {
+                for label in &arm.labels {
+                    sites.push(Site {
+                        index: *index,
+                        context: SiteContext::CaseLabel,
+                        expr: label.clone(),
+                        affected: arm.body.assigned_signals(),
+                    });
+                    *index += 1;
+                }
+                collect_stmt_sites(&arm.body, sites, index);
+            }
+            if let Some(d) = default {
+                collect_stmt_sites(d, sites, index);
+            }
+        }
+        Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+            sites.push(Site {
+                index: *index,
+                context: SiteContext::ProcRhs,
+                expr: rhs.clone(),
+                affected: lhs.base_names(),
+            });
+            *index += 1;
+        }
+        Stmt::Null => {}
+    }
+}
+
+/// Returns a copy of the module with the expression at site `target` replaced.
+///
+/// The traversal order is identical to [`collect_sites`]; replacing an index that does
+/// not exist returns an unchanged clone.
+pub fn replace_site(module: &Module, target: usize, replacement: Expr) -> Module {
+    let mut out = module.clone();
+    let mut index = 0usize;
+    for item in &mut out.items {
+        match item {
+            Item::Assign(assign) => {
+                if index == target {
+                    assign.rhs = replacement.clone();
+                }
+                index += 1;
+            }
+            Item::Always(block) => {
+                replace_stmt_site(&mut block.body, target, &replacement, &mut index);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn replace_stmt_site(stmt: &mut Stmt, target: usize, replacement: &Expr, index: &mut usize) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                replace_stmt_site(s, target, replacement, index);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            if *index == target {
+                *cond = replacement.clone();
+            }
+            *index += 1;
+            replace_stmt_site(then_branch, target, replacement, index);
+            if let Some(e) = else_branch {
+                replace_stmt_site(e, target, replacement, index);
+            }
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            if *index == target {
+                *subject = replacement.clone();
+            }
+            *index += 1;
+            for arm in arms.iter_mut() {
+                replace_case_arm(arm, target, replacement, index);
+            }
+            if let Some(d) = default {
+                replace_stmt_site(d, target, replacement, index);
+            }
+        }
+        Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
+            if *index == target {
+                *rhs = replacement.clone();
+            }
+            *index += 1;
+        }
+        Stmt::Null => {}
+    }
+}
+
+fn replace_case_arm(arm: &mut CaseArm, target: usize, replacement: &Expr, index: &mut usize) {
+    for label in arm.labels.iter_mut() {
+        if *index == target {
+            *label = replacement.clone();
+        }
+        *index += 1;
+    }
+    replace_stmt_site(&mut arm.body, target, replacement, index);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svparse::{emit_module, parse_module};
+
+    const SRC: &str = r#"
+module dut(input clk, input rst_n, input [1:0] sel, input a, input b, output reg y, output z);
+  wire gated;
+  assign gated = a & b;
+  assign z = gated;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) y <= 0;
+    else begin
+      case (sel)
+        2'd0: y <= a;
+        2'd1: y <= b;
+        default: y <= gated;
+      endcase
+    end
+  end
+endmodule
+"#;
+
+    #[test]
+    fn collects_all_expected_sites() {
+        let module = parse_module(SRC).unwrap();
+        let sites = collect_sites(&module);
+        // 2 assigns + if cond + 3 proc rhs in arms + default rhs + case subject
+        // + 2 case labels + reset rhs.
+        let contexts: Vec<SiteContext> = sites.iter().map(|s| s.context).collect();
+        assert!(contexts.contains(&SiteContext::AssignRhs));
+        assert!(contexts.contains(&SiteContext::IfCond));
+        assert!(contexts.contains(&SiteContext::CaseSubject));
+        assert!(contexts.contains(&SiteContext::CaseLabel));
+        assert!(contexts.contains(&SiteContext::ProcRhs));
+        assert_eq!(sites.len(), 10);
+        // Indices are dense and ordered.
+        for (i, site) in sites.iter().enumerate() {
+            assert_eq!(site.index, i);
+        }
+    }
+
+    #[test]
+    fn affected_signals_capture_branch_targets() {
+        let module = parse_module(SRC).unwrap();
+        let sites = collect_sites(&module);
+        let if_site = sites
+            .iter()
+            .find(|s| s.context == SiteContext::IfCond)
+            .unwrap();
+        assert_eq!(if_site.affected, vec!["y".to_string()]);
+        let assign_site = &sites[0];
+        assert_eq!(assign_site.affected, vec!["gated".to_string()]);
+    }
+
+    #[test]
+    fn replace_site_changes_only_that_site() {
+        let module = parse_module(SRC).unwrap();
+        let sites = collect_sites(&module);
+        let target = sites
+            .iter()
+            .find(|s| s.context == SiteContext::AssignRhs && s.affected == vec!["gated".to_string()])
+            .unwrap();
+        let replacement = svparse::Expr::binary(
+            svparse::BinaryOp::BitOr,
+            svparse::Expr::ident("a"),
+            svparse::Expr::ident("b"),
+        );
+        let mutated = replace_site(&module, target.index, replacement);
+        let golden_text = emit_module(&module);
+        let buggy_text = emit_module(&mutated);
+        let differing: Vec<(&str, &str)> = golden_text
+            .lines()
+            .zip(buggy_text.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(differing.len(), 1);
+        assert!(differing[0].1.contains("a | b"));
+    }
+
+    #[test]
+    fn replace_out_of_range_is_identity() {
+        let module = parse_module(SRC).unwrap();
+        let mutated = replace_site(&module, 999, svparse::Expr::num(0));
+        assert_eq!(emit_module(&mutated), emit_module(&module));
+    }
+
+    #[test]
+    fn collect_and_replace_agree_on_every_index() {
+        let module = parse_module(SRC).unwrap();
+        let sites = collect_sites(&module);
+        for site in &sites {
+            // Replacing the site with a marker literal changes the canonical text.
+            let mutated = replace_site(&module, site.index, svparse::Expr::num(63));
+            assert_ne!(
+                emit_module(&mutated),
+                emit_module(&module),
+                "site {} ({:?}) was not reachable by replace_site",
+                site.index,
+                site.context
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the lexer and parser.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when source text cannot be lexed or parsed.
+///
+/// The error carries the 1-based line on which the problem was detected so that the
+/// Stage-1 "compiler analysis" entries of the *Verilog-PT* dataset can point at the
+/// offending construct, exactly as the paper's pipeline records Icarus Verilog
+/// diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// let err = svparse::parse("module m(; endmodule").unwrap_err();
+/// assert!(err.line() >= 1);
+/// assert!(!err.to_string().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    message: String,
+    line: u32,
+}
+
+impl ParseError {
+    /// Creates a new error with a message and the 1-based line it refers to.
+    pub fn new(message: impl Into<String>, line: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// The human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line the error refers to (0 when unknown).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "syntax error: {}", self.message)
+        } else {
+            write!(f, "syntax error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new("unexpected token", 12);
+        assert_eq!(e.to_string(), "syntax error at line 12: unexpected token");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseError::new("empty input", 0);
+        assert_eq!(e.to_string(), "syntax error: empty input");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = ParseError::new("x", 3);
+        assert_eq!(e.message(), "x");
+        assert_eq!(e.line(), 3);
+    }
+}

@@ -1,0 +1,1121 @@
+//! Recursive-descent parser producing the [`crate::ast`] types.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::Lexer;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Recursive-descent parser over a pre-lexed token stream.
+///
+/// # Examples
+///
+/// ```
+/// use svparse::Parser;
+/// let file = Parser::new("module m(input a, output b); assign b = !a; endmodule")?
+///     .parse_file()?;
+/// assert_eq!(file.modules[0].assigns().count(), 1);
+/// # Ok::<(), svparse::ParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes the source and prepares a parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the source cannot be tokenized.
+    pub fn new(source: &str) -> Result<Self, ParseError> {
+        Ok(Self {
+            tokens: Lexer::tokenize(source)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        &self.tokens[(self.pos + offset).min(self.tokens.len() - 1)]
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    fn prev_line(&self) -> u32 {
+        if self.pos == 0 {
+            1
+        } else {
+            self.tokens[self.pos - 1].line
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.peek().is_symbol(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{sym}`")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{}`", kw.as_str())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Number { value, .. } => {
+                let v = *value;
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(self.unexpected("number")),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::new(
+            format!("expected {expected}, found {}", self.peek().kind),
+            self.line(),
+        )
+    }
+
+    /// Parses a complete source file (zero or more modules).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on the first syntax problem.
+    pub fn parse_file(&mut self) -> Result<SourceFile, ParseError> {
+        let mut modules = Vec::new();
+        while !self.peek().is_eof() {
+            modules.push(self.parse_module()?);
+        }
+        Ok(SourceFile::new(modules))
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        let start = self.line();
+        self.expect_keyword(Keyword::Module)?;
+        let name = self.expect_ident()?;
+        let mut ports = Vec::new();
+        if self.eat_symbol("(") {
+            if !self.peek().is_symbol(")") {
+                loop {
+                    ports.push(self.parse_port()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_symbol(";")?;
+
+        let mut items = Vec::new();
+        while !self.peek().is_keyword(Keyword::Endmodule) {
+            if self.peek().is_eof() {
+                return Err(ParseError::new("missing `endmodule`", self.line()));
+            }
+            items.push(self.parse_item()?);
+        }
+        self.expect_keyword(Keyword::Endmodule)?;
+        Ok(Module {
+            name,
+            ports,
+            items,
+            span: Span::new(start, self.prev_line()),
+        })
+    }
+
+    fn parse_port(&mut self) -> Result<Port, ParseError> {
+        let dir = if self.eat_keyword(Keyword::Input) {
+            PortDir::Input
+        } else if self.eat_keyword(Keyword::Output) {
+            PortDir::Output
+        } else if self.eat_keyword(Keyword::Inout) {
+            PortDir::Inout
+        } else {
+            return Err(self.unexpected("`input`, `output` or `inout`"));
+        };
+        let net = if self.eat_keyword(Keyword::Reg) {
+            NetKind::Reg
+        } else if self.eat_keyword(Keyword::Wire) || self.eat_keyword(Keyword::Logic) {
+            NetKind::Wire
+        } else {
+            NetKind::Wire
+        };
+        self.eat_keyword(Keyword::Signed);
+        let width = self.parse_opt_range()?;
+        let name = self.expect_ident()?;
+        Ok(Port {
+            dir,
+            net,
+            width,
+            name,
+        })
+    }
+
+    fn parse_opt_range(&mut self) -> Result<Option<BitRange>, ParseError> {
+        if self.peek().is_symbol("[") {
+            self.bump();
+            let msb = self.expect_number()? as u32;
+            self.expect_symbol(":")?;
+            let lsb = self.expect_number()? as u32;
+            self.expect_symbol("]")?;
+            Ok(Some(BitRange::new(msb, lsb)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        let start = self.line();
+        let kind = self.peek().kind.clone();
+        match kind {
+            TokenKind::Keyword(Keyword::Wire) => self.parse_net_decl(NetKind::Wire, start),
+            TokenKind::Keyword(Keyword::Reg) | TokenKind::Keyword(Keyword::Logic) => {
+                self.parse_net_decl(NetKind::Reg, start)
+            }
+            TokenKind::Keyword(Keyword::Integer) => self.parse_net_decl(NetKind::Integer, start),
+            TokenKind::Keyword(Keyword::Parameter) => self.parse_param(false, start),
+            TokenKind::Keyword(Keyword::Localparam) => self.parse_param(true, start),
+            TokenKind::Keyword(Keyword::Assign) => self.parse_assign(start),
+            TokenKind::Keyword(Keyword::Always)
+            | TokenKind::Keyword(Keyword::AlwaysFf)
+            | TokenKind::Keyword(Keyword::AlwaysComb) => self.parse_always(start),
+            TokenKind::Keyword(Keyword::Initial) => self.parse_initial(start),
+            TokenKind::Keyword(Keyword::Property) => self.parse_property(start).map(Item::Property),
+            TokenKind::Keyword(Keyword::Assert) => self.parse_assert(None, start),
+            TokenKind::Ident(label) if self.peek_at(1).is_symbol(":") => {
+                self.bump(); // label
+                self.bump(); // :
+                if self.peek().is_keyword(Keyword::Assert) {
+                    self.parse_assert(Some(label), start)
+                } else {
+                    Err(self.unexpected("`assert` after label"))
+                }
+            }
+            _ => Err(self.unexpected("module item")),
+        }
+    }
+
+    fn parse_net_decl(&mut self, kind: NetKind, start: u32) -> Result<Item, ParseError> {
+        self.bump(); // wire/reg/logic/integer
+        self.eat_keyword(Keyword::Signed);
+        let width = self.parse_opt_range()?;
+        let mut names = vec![self.expect_ident()?];
+        while self.eat_symbol(",") {
+            names.push(self.expect_ident()?);
+        }
+        // Optional initialiser on reg declarations is accepted and discarded.
+        if self.eat_symbol("=") {
+            let _ = self.parse_expr()?;
+        }
+        self.expect_symbol(";")?;
+        Ok(Item::Net(NetDecl {
+            kind,
+            width,
+            names,
+            span: Span::new(start, self.prev_line()),
+        }))
+    }
+
+    fn parse_param(&mut self, local: bool, start: u32) -> Result<Item, ParseError> {
+        self.bump(); // parameter/localparam
+        let _ = self.parse_opt_range()?;
+        let name = self.expect_ident()?;
+        self.expect_symbol("=")?;
+        let value = self.parse_expr()?;
+        self.expect_symbol(";")?;
+        Ok(Item::Param(ParamDecl {
+            local,
+            name,
+            value,
+            span: Span::new(start, self.prev_line()),
+        }))
+    }
+
+    fn parse_assign(&mut self, start: u32) -> Result<Item, ParseError> {
+        self.expect_keyword(Keyword::Assign)?;
+        let lhs = self.parse_lvalue()?;
+        self.expect_symbol("=")?;
+        let rhs = self.parse_expr()?;
+        self.expect_symbol(";")?;
+        Ok(Item::Assign(ContinuousAssign {
+            lhs,
+            rhs,
+            span: Span::new(start, self.prev_line()),
+        }))
+    }
+
+    fn parse_always(&mut self, start: u32) -> Result<Item, ParseError> {
+        let tok = self.bump();
+        let sensitivity = if tok.is_keyword(Keyword::AlwaysComb) {
+            Sensitivity::Star
+        } else {
+            self.expect_symbol("@")?;
+            self.parse_sensitivity()?
+        };
+        let body = self.parse_stmt()?;
+        Ok(Item::Always(AlwaysBlock {
+            sensitivity,
+            body,
+            span: Span::new(start, self.prev_line()),
+        }))
+    }
+
+    fn parse_sensitivity(&mut self) -> Result<Sensitivity, ParseError> {
+        if self.eat_symbol("*") {
+            return Ok(Sensitivity::Star);
+        }
+        self.expect_symbol("(")?;
+        if self.eat_symbol("*") {
+            self.expect_symbol(")")?;
+            return Ok(Sensitivity::Star);
+        }
+        let mut events = Vec::new();
+        let mut any_edge = false;
+        loop {
+            if self.eat_keyword(Keyword::Posedge) {
+                any_edge = true;
+                events.push(EdgeEvent::posedge(self.expect_ident()?));
+            } else if self.eat_keyword(Keyword::Negedge) {
+                any_edge = true;
+                events.push(EdgeEvent::negedge(self.expect_ident()?));
+            } else {
+                // Plain signal sensitivity (e.g. `always @(a or b)`) is treated as
+                // combinational, matching common synthesisable usage.
+                let _ = self.expect_ident()?;
+            }
+            if self.eat_keyword(Keyword::Or) || self.eat_symbol(",") {
+                continue;
+            }
+            break;
+        }
+        self.expect_symbol(")")?;
+        if any_edge {
+            Ok(Sensitivity::Edges(events))
+        } else {
+            Ok(Sensitivity::Star)
+        }
+    }
+
+    fn parse_initial(&mut self, start: u32) -> Result<Item, ParseError> {
+        self.expect_keyword(Keyword::Initial)?;
+        let body = self.parse_stmt()?;
+        Ok(Item::Initial(InitialBlock {
+            body,
+            span: Span::new(start, self.prev_line()),
+        }))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.line();
+        if self.eat_keyword(Keyword::Begin) {
+            let mut stmts = Vec::new();
+            while !self.peek().is_keyword(Keyword::End) {
+                if self.peek().is_eof() {
+                    return Err(ParseError::new("missing `end`", self.line()));
+                }
+                stmts.push(self.parse_stmt()?);
+            }
+            self.expect_keyword(Keyword::End)?;
+            return Ok(Stmt::Block {
+                stmts,
+                span: Span::new(start, self.prev_line()),
+            });
+        }
+        if self.eat_keyword(Keyword::If) {
+            self.expect_symbol("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_symbol(")")?;
+            let header_end = self.prev_line();
+            let then_branch = Box::new(self.parse_stmt()?);
+            let else_branch = if self.eat_keyword(Keyword::Else) {
+                Some(Box::new(self.parse_stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span: Span::new(start, header_end),
+            });
+        }
+        if self.peek().is_keyword(Keyword::Case) || self.peek().is_keyword(Keyword::Casez) {
+            self.bump();
+            self.expect_symbol("(")?;
+            let subject = self.parse_expr()?;
+            self.expect_symbol(")")?;
+            let header_end = self.prev_line();
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.peek().is_keyword(Keyword::Endcase) {
+                if self.peek().is_eof() {
+                    return Err(ParseError::new("missing `endcase`", self.line()));
+                }
+                if self.eat_keyword(Keyword::Default) {
+                    self.eat_symbol(":");
+                    default = Some(Box::new(self.parse_stmt()?));
+                    continue;
+                }
+                let arm_start = self.line();
+                let mut labels = vec![self.parse_expr()?];
+                while self.eat_symbol(",") {
+                    labels.push(self.parse_expr()?);
+                }
+                self.expect_symbol(":")?;
+                let body = self.parse_stmt()?;
+                arms.push(CaseArm {
+                    labels,
+                    body,
+                    span: Span::new(arm_start, self.prev_line()),
+                });
+            }
+            self.expect_keyword(Keyword::Endcase)?;
+            return Ok(Stmt::Case {
+                subject,
+                arms,
+                default,
+                span: Span::new(start, header_end),
+            });
+        }
+        if self.eat_symbol(";") {
+            return Ok(Stmt::Null);
+        }
+
+        // Assignment statement.
+        let lhs = self.parse_lvalue()?;
+        if self.eat_symbol("<=") {
+            let rhs = self.parse_expr()?;
+            self.expect_symbol(";")?;
+            return Ok(Stmt::NonBlocking {
+                lhs,
+                rhs,
+                span: Span::new(start, self.prev_line()),
+            });
+        }
+        if self.eat_symbol("=") {
+            let rhs = self.parse_expr()?;
+            self.expect_symbol(";")?;
+            return Ok(Stmt::Blocking {
+                lhs,
+                rhs,
+                span: Span::new(start, self.prev_line()),
+            });
+        }
+        Err(self.unexpected("`=` or `<=`"))
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue, ParseError> {
+        if self.eat_symbol("{") {
+            let mut parts = vec![self.parse_lvalue()?];
+            while self.eat_symbol(",") {
+                parts.push(self.parse_lvalue()?);
+            }
+            self.expect_symbol("}")?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.expect_ident()?;
+        if self.eat_symbol("[") {
+            let first = self.parse_expr()?;
+            if self.eat_symbol(":") {
+                let msb = expr_const(&first)
+                    .ok_or_else(|| ParseError::new("part-select bounds must be constant", self.line()))?;
+                let lsb = self.expect_number()? as u32;
+                self.expect_symbol("]")?;
+                return Ok(LValue::Part(name, BitRange::new(msb as u32, lsb)));
+            }
+            self.expect_symbol("]")?;
+            return Ok(LValue::Bit(name, Box::new(first)));
+        }
+        Ok(LValue::Ident(name))
+    }
+
+    /// Parses an expression (public so that dataset tooling can parse fix snippets).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed expressions.
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_logical_or()?;
+        if self.eat_symbol("?") {
+            let then_val = self.parse_expr()?;
+            self.expect_symbol(":")?;
+            let else_val = self.parse_expr()?;
+            return Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then_val),
+                Box::new(else_val),
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn parse_logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_logical_and()?;
+        while self.eat_symbol("||") {
+            let rhs = self.parse_logical_and()?;
+            lhs = Expr::binary(BinaryOp::LogicalOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_or()?;
+        while self.eat_symbol("&&") {
+            let rhs = self.parse_bit_or()?;
+            lhs = Expr::binary(BinaryOp::LogicalAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_xor()?;
+        while self.eat_symbol("|") {
+            let rhs = self.parse_bit_xor()?;
+            lhs = Expr::binary(BinaryOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_and()?;
+        while self.eat_symbol("^") {
+            let rhs = self.parse_bit_and()?;
+            lhs = Expr::binary(BinaryOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_equality()?;
+        while self.eat_symbol("&") {
+            let rhs = self.parse_equality()?;
+            lhs = Expr::binary(BinaryOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            if self.eat_symbol("==") || self.eat_symbol("===") {
+                let rhs = self.parse_relational()?;
+                lhs = Expr::binary(BinaryOp::Eq, lhs, rhs);
+            } else if self.eat_symbol("!=") || self.eat_symbol("!==") {
+                let rhs = self.parse_relational()?;
+                lhs = Expr::binary(BinaryOp::Ne, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_shift()?;
+        loop {
+            let op = if self.eat_symbol("<=") {
+                BinaryOp::Le
+            } else if self.eat_symbol(">=") {
+                BinaryOp::Ge
+            } else if self.eat_symbol("<") {
+                BinaryOp::Lt
+            } else if self.eat_symbol(">") {
+                BinaryOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_shift()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = if self.eat_symbol("<<") || self.eat_symbol("<<<") {
+                BinaryOp::Shl
+            } else if self.eat_symbol(">>") || self.eat_symbol(">>>") {
+                BinaryOp::Shr
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_additive()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat_symbol("+") {
+                BinaryOp::Add
+            } else if self.eat_symbol("-") {
+                BinaryOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = if self.eat_symbol("*") {
+                BinaryOp::Mul
+            } else if self.eat_symbol("/") {
+                BinaryOp::Div
+            } else if self.eat_symbol("%") {
+                BinaryOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_unary()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = if self.eat_symbol("!") {
+            Some(UnaryOp::LogicalNot)
+        } else if self.eat_symbol("~") {
+            Some(UnaryOp::BitNot)
+        } else if self.eat_symbol("-") {
+            Some(UnaryOp::Neg)
+        } else if self.eat_symbol("&") {
+            Some(UnaryOp::RedAnd)
+        } else if self.eat_symbol("|") {
+            Some(UnaryOp::RedOr)
+        } else if self.eat_symbol("^") {
+            Some(UnaryOp::RedXor)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => Ok(Expr::unary(op, self.parse_unary()?)),
+            None => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let kind = self.peek().kind.clone();
+        match kind {
+            TokenKind::Number { width, value, base } => {
+                self.bump();
+                Ok(Expr::Number(Literal { width, value, base }))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat_symbol("[") {
+                    let first = self.parse_expr()?;
+                    if self.eat_symbol(":") {
+                        let msb = expr_const(&first).ok_or_else(|| {
+                            ParseError::new("part-select bounds must be constant", self.line())
+                        })?;
+                        let lsb = self.expect_number()? as u32;
+                        self.expect_symbol("]")?;
+                        return Ok(Expr::Part(name, BitRange::new(msb as u32, lsb)));
+                    }
+                    self.expect_symbol("]")?;
+                    return Ok(Expr::Bit(name, Box::new(first)));
+                }
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::SysIdent(sys) => {
+                self.bump();
+                self.expect_symbol("(")?;
+                let inner = self.parse_expr()?;
+                let result = match sys.as_str() {
+                    "past" => {
+                        let cycles = if self.eat_symbol(",") {
+                            self.expect_number()? as u32
+                        } else {
+                            1
+                        };
+                        Expr::Past(Box::new(inner), cycles)
+                    }
+                    "rose" => Expr::Rose(Box::new(inner)),
+                    "fell" => Expr::Fell(Box::new(inner)),
+                    "stable" => Expr::Stable(Box::new(inner)),
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unsupported system function `${other}` in expression"),
+                            self.line(),
+                        ))
+                    }
+                };
+                self.expect_symbol(")")?;
+                Ok(result)
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            TokenKind::Symbol("{") => {
+                self.bump();
+                let first = self.parse_expr()?;
+                // Replication: {N{expr}}
+                if self.peek().is_symbol("{") {
+                    let count = expr_const(&first).ok_or_else(|| {
+                        ParseError::new("replication count must be constant", self.line())
+                    })? as u32;
+                    self.bump();
+                    let inner = self.parse_expr()?;
+                    self.expect_symbol("}")?;
+                    self.expect_symbol("}")?;
+                    return Ok(Expr::Repeat(count, Box::new(inner)));
+                }
+                let mut parts = vec![first];
+                while self.eat_symbol(",") {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect_symbol("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+
+    fn parse_property(&mut self, start: u32) -> Result<PropertyDecl, ParseError> {
+        self.expect_keyword(Keyword::Property)?;
+        let name = self.expect_ident()?;
+        self.expect_symbol(";")?;
+        let (clock, disable_iff, body) = self.parse_property_spec()?;
+        self.expect_symbol(";")?;
+        self.expect_keyword(Keyword::Endproperty)?;
+        Ok(PropertyDecl {
+            name,
+            clock,
+            disable_iff,
+            body,
+            span: Span::new(start, self.prev_line()),
+        })
+    }
+
+    fn parse_property_spec(
+        &mut self,
+    ) -> Result<(EdgeEvent, Option<Expr>, PropExpr), ParseError> {
+        self.expect_symbol("@")?;
+        self.expect_symbol("(")?;
+        let edge = if self.eat_keyword(Keyword::Posedge) {
+            EdgeKind::Pos
+        } else if self.eat_keyword(Keyword::Negedge) {
+            EdgeKind::Neg
+        } else {
+            return Err(self.unexpected("`posedge` or `negedge`"));
+        };
+        let clk = self.expect_ident()?;
+        self.expect_symbol(")")?;
+        let clock = EdgeEvent {
+            edge,
+            signal: clk,
+        };
+        let disable_iff = if self.eat_keyword(Keyword::Disable) {
+            self.expect_keyword(Keyword::Iff)?;
+            self.expect_symbol("(")?;
+            let guard = self.parse_expr()?;
+            self.expect_symbol(")")?;
+            Some(guard)
+        } else {
+            None
+        };
+        let body = self.parse_prop_expr()?;
+        Ok((clock, disable_iff, body))
+    }
+
+    fn parse_prop_expr(&mut self) -> Result<PropExpr, ParseError> {
+        if self.eat_keyword(Keyword::Not) {
+            self.expect_symbol("(")?;
+            let inner = self.parse_prop_expr()?;
+            self.expect_symbol(")")?;
+            return Ok(PropExpr::Not(Box::new(inner)));
+        }
+        let antecedent = self.parse_prop_sequence()?;
+        if self.eat_symbol("|->") {
+            let consequent = self.parse_prop_expr()?;
+            return Ok(PropExpr::Implication {
+                antecedent: Box::new(antecedent),
+                consequent: Box::new(consequent),
+                overlapping: true,
+            });
+        }
+        if self.eat_symbol("|=>") {
+            let consequent = self.parse_prop_expr()?;
+            return Ok(PropExpr::Implication {
+                antecedent: Box::new(antecedent),
+                consequent: Box::new(consequent),
+                overlapping: false,
+            });
+        }
+        Ok(antecedent)
+    }
+
+    fn parse_prop_sequence(&mut self) -> Result<PropExpr, ParseError> {
+        let mut lhs = if self.peek().is_symbol("##") {
+            None
+        } else {
+            Some(PropExpr::Expr(self.parse_expr()?))
+        };
+        while self.eat_symbol("##") {
+            let cycles = self.expect_number()? as u32;
+            let rhs = PropExpr::Expr(self.parse_expr()?);
+            lhs = Some(PropExpr::Delay {
+                lhs: lhs.map(Box::new),
+                cycles,
+                rhs: Box::new(rhs),
+            });
+        }
+        lhs.ok_or_else(|| self.unexpected("property expression"))
+    }
+
+    fn parse_assert(&mut self, label: Option<String>, start: u32) -> Result<Item, ParseError> {
+        self.expect_keyword(Keyword::Assert)?;
+        self.expect_keyword(Keyword::Property)?;
+        self.expect_symbol("(")?;
+        let target = if self.peek().is_symbol("@") {
+            let (clock, disable_iff, body) = self.parse_property_spec()?;
+            let inline_name = label.clone().unwrap_or_else(|| "inline_property".to_string());
+            AssertTarget::Inline(Box::new(PropertyDecl {
+                name: inline_name,
+                clock,
+                disable_iff,
+                body,
+                span: Span::new(start, self.prev_line()),
+            }))
+        } else {
+            AssertTarget::Named(self.expect_ident()?)
+        };
+        self.expect_symbol(")")?;
+        let mut message = None;
+        if self.eat_keyword(Keyword::Else) {
+            // else $error("...") or $display("...")
+            match self.bump().kind {
+                TokenKind::SysIdent(_) => {}
+                _ => return Err(self.unexpected("system task after `else`")),
+            }
+            self.expect_symbol("(")?;
+            if let TokenKind::StringLit(text) = self.peek().kind.clone() {
+                message = Some(text);
+                self.bump();
+            }
+            // Skip any extra arguments.
+            while !self.peek().is_symbol(")") {
+                if self.peek().is_eof() {
+                    return Err(self.unexpected("`)`"));
+                }
+                self.bump();
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_symbol(";")?;
+        Ok(Item::Assertion(AssertionItem {
+            label,
+            target,
+            message,
+            span: Span::new(start, self.prev_line()),
+        }))
+    }
+}
+
+fn expr_const(expr: &Expr) -> Option<u64> {
+    match expr {
+        Expr::Number(lit) => Some(lit.value),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const ACCU: &str = r#"
+module accu(
+  input clk,
+  input rst_n,
+  input [7:0] data_in,
+  input valid_in,
+  output reg valid_out
+);
+  wire end_cnt;
+  reg [1:0] cnt;
+  assign end_cnt = (cnt == 2'd3) && valid_in;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= cnt + 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) valid_out <= 0;
+    else if (end_cnt) valid_out <= 1;
+    else valid_out <= 0;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n)
+    end_cnt |-> ##1 valid_out == 1;
+  endproperty
+  valid_out_check_assertion:
+  assert property (valid_out_check)
+  else $error("valid_out should be high when end_cnt high");
+endmodule
+"#;
+
+    #[test]
+    fn parses_paper_style_module() {
+        let m = crate::parse_module(ACCU).unwrap();
+        assert_eq!(m.name, "accu");
+        assert_eq!(m.ports.len(), 5);
+        assert_eq!(m.always_blocks().count(), 2);
+        assert_eq!(m.properties().count(), 1);
+        assert_eq!(m.assertions().count(), 1);
+        let assertion = m.assertions().next().unwrap();
+        assert_eq!(
+            assertion.display_name(),
+            "valid_out_check_assertion".to_string()
+        );
+        assert_eq!(
+            assertion.message.as_deref(),
+            Some("valid_out should be high when end_cnt high")
+        );
+        let prop = m.property("valid_out_check").unwrap();
+        assert_eq!(prop.clock.signal, "clk");
+        assert!(prop.disable_iff.is_some());
+        assert_eq!(prop.body.horizon(), 1);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let m = crate::parse_module(
+            "module m(input a, input b, input c, output x); assign x = a & b | c; endmodule",
+        )
+        .unwrap();
+        let assign = m.assigns().next().unwrap();
+        // Expect (a & b) | c
+        match &assign.rhs {
+            Expr::Binary(BinaryOp::BitOr, lhs, _) => match lhs.as_ref() {
+                Expr::Binary(BinaryOp::BitAnd, _, _) => {}
+                other => panic!("unexpected lhs {other:?}"),
+            },
+            other => panic!("unexpected rhs {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_comparison() {
+        let m = crate::parse_module(
+            "module m(input [3:0] a, output [3:0] y); assign y = (a >= 4'd8) ? a - 4'd8 : a + 4'd1; endmodule",
+        )
+        .unwrap();
+        let assign = m.assigns().next().unwrap();
+        assert!(matches!(assign.rhs, Expr::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn case_statement() {
+        let src = r#"
+module m(input [1:0] sel, input a, input b, input c, output reg y);
+  always @(*) begin
+    case (sel)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2, 2'd3: y = c;
+      default: y = 0;
+    endcase
+  end
+endmodule
+"#;
+        let m = crate::parse_module(src).unwrap();
+        let always = m.always_blocks().next().unwrap();
+        let mut found_case = false;
+        always.body.walk(&mut |s| {
+            if let Stmt::Case { arms, default, .. } = s {
+                found_case = true;
+                assert_eq!(arms.len(), 3);
+                assert!(default.is_some());
+            }
+        });
+        assert!(found_case);
+    }
+
+    #[test]
+    fn concat_and_replication() {
+        let m = crate::parse_module(
+            "module m(input [3:0] a, output [7:0] y, output [7:0] z); assign y = {a, 4'b0000}; assign z = {2{a}}; endmodule",
+        )
+        .unwrap();
+        let assigns: Vec<_> = m.assigns().collect();
+        assert!(matches!(assigns[0].rhs, Expr::Concat(_)));
+        assert!(matches!(assigns[1].rhs, Expr::Repeat(2, _)));
+    }
+
+    #[test]
+    fn bit_and_part_select() {
+        let m = crate::parse_module(
+            "module m(input [7:0] d, input [2:0] i, output y, output [3:0] hi); assign y = d[i]; assign hi = d[7:4]; endmodule",
+        )
+        .unwrap();
+        let assigns: Vec<_> = m.assigns().collect();
+        assert!(matches!(assigns[0].rhs, Expr::Bit(_, _)));
+        assert!(matches!(assigns[1].rhs, Expr::Part(_, _)));
+    }
+
+    #[test]
+    fn inline_assert_property() {
+        let src = r#"
+module m(input clk, input rst_n, input a, output reg b);
+  always @(posedge clk) b <= a;
+  a_implies_b: assert property (@(posedge clk) disable iff (!rst_n) a |=> b);
+endmodule
+"#;
+        let m = crate::parse_module(src).unwrap();
+        let assertion = m.assertions().next().unwrap();
+        match &assertion.target {
+            AssertTarget::Inline(p) => {
+                assert_eq!(p.clock.signal, "clk");
+                assert_eq!(p.body.horizon(), 1);
+            }
+            other => panic!("expected inline property, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sva_system_functions() {
+        let src = r#"
+module m(input clk, input req, input ack);
+  property p;
+    @(posedge clk) $rose(req) |-> ##2 ack == $past(req, 2);
+  endproperty
+  assert property (p);
+endmodule
+"#;
+        let m = crate::parse_module(src).unwrap();
+        let p = m.property("p").unwrap();
+        let ids = p.body.idents();
+        assert!(ids.contains(&"req".to_string()));
+        assert!(ids.contains(&"ack".to_string()));
+    }
+
+    #[test]
+    fn missing_endmodule_is_error() {
+        assert!(parse("module m(input a);").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse("module m(input a, output b); assign b = a endmodule").is_err());
+    }
+
+    #[test]
+    fn garbage_is_error() {
+        assert!(parse("modul m(); endmodule").is_err());
+    }
+
+    #[test]
+    fn multiple_modules() {
+        let f = parse("module a(); endmodule module b(); endmodule").unwrap();
+        assert_eq!(f.modules.len(), 2);
+    }
+
+    #[test]
+    fn parameters_and_localparams() {
+        let m = crate::parse_module(
+            "module m(input a, output y); parameter WIDTH = 8; localparam DEPTH = 4; assign y = a; endmodule",
+        )
+        .unwrap();
+        let params: Vec<_> = m
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Param(_)))
+            .collect();
+        assert_eq!(params.len(), 2);
+    }
+
+    #[test]
+    fn spans_are_tracked() {
+        let m = crate::parse_module(ACCU).unwrap();
+        let assign = m.assigns().next().unwrap();
+        assert!(assign.span.start_line >= 10 && assign.span.start_line <= 12);
+        for item in &m.items {
+            assert!(!item.span().is_synthetic());
+        }
+    }
+
+    #[test]
+    fn initial_block() {
+        let m = crate::parse_module(
+            "module m(output reg q); initial begin q = 0; end endmodule",
+        )
+        .unwrap();
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Initial(_))));
+    }
+
+    #[test]
+    fn reduction_operators() {
+        let m = crate::parse_module(
+            "module m(input [3:0] a, output y, output z); assign y = &a; assign z = ^a; endmodule",
+        )
+        .unwrap();
+        let assigns: Vec<_> = m.assigns().collect();
+        assert!(matches!(assigns[0].rhs, Expr::Unary(UnaryOp::RedAnd, _)));
+        assert!(matches!(assigns[1].rhs, Expr::Unary(UnaryOp::RedXor, _)));
+    }
+}

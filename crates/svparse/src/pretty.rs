@@ -1,0 +1,555 @@
+//! Canonical pretty-printer.
+//!
+//! The emitter produces a deterministic, one-statement-per-line rendering of a module.
+//! All of the dataset machinery relies on this canonical form: bug injection re-emits
+//! the mutated AST and the "buggy line" of a training/evaluation sample is defined as
+//! the line of the canonical text that differs from the golden rendering.
+//!
+//! The canonical form is designed to be re-parsable: `parse(emit(ast))` succeeds and
+//! emitting again yields the identical string (idempotence), which is checked by a
+//! property test in the crate.
+
+use crate::ast::*;
+
+/// Emits a whole source file in canonical form.
+///
+/// # Examples
+///
+/// ```
+/// let file = svparse::parse("module m(input a, output b); assign b = a; endmodule")?;
+/// let text = svparse::emit_file(&file);
+/// assert!(text.contains("assign b = a;"));
+/// # Ok::<(), svparse::ParseError>(())
+/// ```
+pub fn emit_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, module) in file.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&emit_module(module));
+    }
+    out
+}
+
+/// Emits a single module in canonical form (one statement per line, two-space indent).
+pub fn emit_module(module: &Module) -> String {
+    let mut w = Writer::new();
+    if module.ports.is_empty() {
+        w.line(0, &format!("module {}();", module.name));
+    } else {
+        w.line(0, &format!("module {}(", module.name));
+        for (i, port) in module.ports.iter().enumerate() {
+            let comma = if i + 1 == module.ports.len() { "" } else { "," };
+            w.line(1, &format!("{}{}", emit_port(port), comma));
+        }
+        w.line(0, ");");
+    }
+    for item in &module.items {
+        emit_item(&mut w, item);
+    }
+    w.line(0, "endmodule");
+    w.finish()
+}
+
+/// Emits an expression in canonical form (minimal parentheses).
+pub fn emit_expr(expr: &Expr) -> String {
+    expr_text(expr, 0)
+}
+
+/// Emits a statement in canonical single-line or multi-line form, unindented.
+///
+/// Useful for rendering golden fixes in dataset entries.
+pub fn emit_stmt(stmt: &Stmt) -> String {
+    let mut w = Writer::new();
+    emit_stmt_at(&mut w, 0, stmt);
+    w.finish().trim_end().to_string()
+}
+
+/// Emits an lvalue in canonical form.
+pub fn emit_lvalue(lvalue: &LValue) -> String {
+    match lvalue {
+        LValue::Ident(n) => n.clone(),
+        LValue::Bit(n, idx) => format!("{n}[{}]", emit_expr(idx)),
+        LValue::Part(n, range) => format!("{n}{range}"),
+        LValue::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(emit_lvalue).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+struct Writer {
+    lines: Vec<String>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { lines: Vec::new() }
+    }
+
+    fn line(&mut self, indent: usize, text: &str) {
+        let mut s = "  ".repeat(indent);
+        s.push_str(text);
+        self.lines.push(s);
+    }
+
+    fn finish(self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+fn emit_port(port: &Port) -> String {
+    let mut s = port.dir.to_string();
+    if port.net == NetKind::Reg && port.dir == PortDir::Output {
+        s.push_str(" reg");
+    }
+    if let Some(range) = port.width {
+        s.push_str(&format!(" {range}"));
+    }
+    s.push(' ');
+    s.push_str(&port.name);
+    s
+}
+
+fn emit_item(w: &mut Writer, item: &Item) {
+    match item {
+        Item::Net(decl) => {
+            let range = decl
+                .width
+                .map(|r| format!(" {r}"))
+                .unwrap_or_default();
+            w.line(1, &format!("{}{} {};", decl.kind, range, decl.names.join(", ")));
+        }
+        Item::Param(p) => {
+            let kw = if p.local { "localparam" } else { "parameter" };
+            w.line(1, &format!("{kw} {} = {};", p.name, emit_expr(&p.value)));
+        }
+        Item::Assign(a) => {
+            w.line(
+                1,
+                &format!("assign {} = {};", emit_lvalue(&a.lhs), emit_expr(&a.rhs)),
+            );
+        }
+        Item::Always(block) => {
+            let sens = match &block.sensitivity {
+                Sensitivity::Star => "always @(*)".to_string(),
+                Sensitivity::Edges(events) => {
+                    let parts: Vec<String> = events
+                        .iter()
+                        .map(|e| format!("{} {}", e.edge, e.signal))
+                        .collect();
+                    format!("always @({})", parts.join(" or "))
+                }
+            };
+            w.line(1, &format!("{sens} begin"));
+            emit_body_lines(w, 2, &block.body);
+            w.line(1, "end");
+        }
+        Item::Initial(block) => {
+            w.line(1, "initial begin");
+            emit_body_lines(w, 2, &block.body);
+            w.line(1, "end");
+        }
+        Item::Property(p) => {
+            w.line(1, &format!("property {};", p.name));
+            w.line(2, &emit_property_spec(p));
+            w.line(1, "endproperty");
+        }
+        Item::Assertion(a) => {
+            let label = a
+                .label
+                .as_ref()
+                .map(|l| format!("{l}: "))
+                .unwrap_or_default();
+            let target = match &a.target {
+                AssertTarget::Named(name) => name.clone(),
+                AssertTarget::Inline(p) => emit_property_spec(p),
+            };
+            let message = a
+                .message
+                .as_ref()
+                .map(|m| format!(" else $error(\"{m}\")"))
+                .unwrap_or_default();
+            w.line(1, &format!("{label}assert property ({target}){message};"));
+        }
+    }
+}
+
+fn emit_property_spec(p: &PropertyDecl) -> String {
+    let mut s = format!("@({} {}) ", p.clock.edge, p.clock.signal);
+    if let Some(guard) = &p.disable_iff {
+        s.push_str(&format!("disable iff ({}) ", emit_expr(guard)));
+    }
+    s.push_str(&emit_prop_expr(&p.body));
+    s.push(';');
+    s
+}
+
+fn emit_prop_expr(p: &PropExpr) -> String {
+    match p {
+        PropExpr::Expr(e) => emit_expr(e),
+        PropExpr::Implication {
+            antecedent,
+            consequent,
+            overlapping,
+        } => {
+            let arrow = if *overlapping { "|->" } else { "|=>" };
+            format!(
+                "{} {arrow} {}",
+                emit_prop_expr(antecedent),
+                emit_prop_expr(consequent)
+            )
+        }
+        PropExpr::Delay { lhs, cycles, rhs } => {
+            let prefix = lhs
+                .as_ref()
+                .map(|l| format!("{} ", emit_prop_expr(l)))
+                .unwrap_or_default();
+            format!("{prefix}##{cycles} {}", emit_prop_expr(rhs))
+        }
+        PropExpr::Not(inner) => format!("not ({})", emit_prop_expr(inner)),
+    }
+}
+
+/// Emits the statements inside a `begin ... end` body without emitting the wrapper.
+fn emit_body_lines(w: &mut Writer, indent: usize, body: &Stmt) {
+    match body {
+        Stmt::Block { stmts, .. } => {
+            for stmt in stmts {
+                emit_stmt_at(w, indent, stmt);
+            }
+        }
+        other => emit_stmt_at(w, indent, other),
+    }
+}
+
+fn emit_stmt_at(w: &mut Writer, indent: usize, stmt: &Stmt) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            w.line(indent, "begin");
+            for s in stmts {
+                emit_stmt_at(w, indent + 1, s);
+            }
+            w.line(indent, "end");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => emit_if(w, indent, cond, then_branch, else_branch.as_deref(), "if"),
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            w.line(indent, &format!("case ({})", emit_expr(subject)));
+            for arm in arms {
+                let labels: Vec<String> = arm.labels.iter().map(emit_expr).collect();
+                if is_simple(&arm.body) {
+                    w.line(
+                        indent + 1,
+                        &format!("{}: {}", labels.join(", "), simple_stmt_text(&arm.body)),
+                    );
+                } else {
+                    w.line(indent + 1, &format!("{}: begin", labels.join(", ")));
+                    emit_body_lines(w, indent + 2, &arm.body);
+                    w.line(indent + 1, "end");
+                }
+            }
+            if let Some(d) = default {
+                if is_simple(d) {
+                    w.line(indent + 1, &format!("default: {}", simple_stmt_text(d)));
+                } else {
+                    w.line(indent + 1, "default: begin");
+                    emit_body_lines(w, indent + 2, d);
+                    w.line(indent + 1, "end");
+                }
+            }
+            w.line(indent, "endcase");
+        }
+        Stmt::Blocking { .. } | Stmt::NonBlocking { .. } | Stmt::Null => {
+            w.line(indent, &simple_stmt_text(stmt));
+        }
+    }
+}
+
+fn emit_if(
+    w: &mut Writer,
+    indent: usize,
+    cond: &Expr,
+    then_branch: &Stmt,
+    else_branch: Option<&Stmt>,
+    keyword: &str,
+) {
+    let header = format!("{keyword} ({})", emit_expr(cond));
+    if is_simple(then_branch) {
+        w.line(indent, &format!("{header} {}", simple_stmt_text(then_branch)));
+    } else {
+        w.line(indent, &format!("{header} begin"));
+        emit_body_lines(w, indent + 1, then_branch);
+        w.line(indent, "end");
+    }
+    match else_branch {
+        None => {}
+        Some(Stmt::If {
+            cond: else_cond,
+            then_branch: else_then,
+            else_branch: else_else,
+            ..
+        }) => {
+            emit_if(
+                w,
+                indent,
+                else_cond,
+                else_then,
+                else_else.as_deref(),
+                "else if",
+            );
+        }
+        Some(other) if is_simple(other) => {
+            w.line(indent, &format!("else {}", simple_stmt_text(other)));
+        }
+        Some(other) => {
+            w.line(indent, "else begin");
+            emit_body_lines(w, indent + 1, other);
+            w.line(indent, "end");
+        }
+    }
+}
+
+fn is_simple(stmt: &Stmt) -> bool {
+    matches!(
+        stmt,
+        Stmt::Blocking { .. } | Stmt::NonBlocking { .. } | Stmt::Null
+    )
+}
+
+fn simple_stmt_text(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Blocking { lhs, rhs, .. } => {
+            format!("{} = {};", emit_lvalue(lhs), emit_expr(rhs))
+        }
+        Stmt::NonBlocking { lhs, rhs, .. } => {
+            format!("{} <= {};", emit_lvalue(lhs), emit_expr(rhs))
+        }
+        Stmt::Null => ";".to_string(),
+        _ => unreachable!("simple_stmt_text called on compound statement"),
+    }
+}
+
+fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::LogicalOr => 1,
+        BinaryOp::LogicalAnd => 2,
+        BinaryOp::BitOr => 3,
+        BinaryOp::BitXor => 4,
+        BinaryOp::BitAnd => 5,
+        BinaryOp::Eq | BinaryOp::Ne => 6,
+        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 7,
+        BinaryOp::Shl | BinaryOp::Shr => 8,
+        BinaryOp::Add | BinaryOp::Sub => 9,
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 10,
+    }
+}
+
+fn expr_text(expr: &Expr, parent_prec: u8) -> String {
+    match expr {
+        Expr::Number(lit) => literal_text(lit),
+        Expr::Ident(n) => n.clone(),
+        Expr::Unary(op, inner) => {
+            // Parenthesise non-primary operands both for readability and to avoid
+            // token gluing (`& &x` vs `&&x`) when unary operators are nested.
+            if matches!(
+                inner.as_ref(),
+                Expr::Ident(_) | Expr::Number(_) | Expr::Bit(_, _) | Expr::Part(_, _)
+            ) {
+                format!("{}{}", op.symbol(), expr_text(inner, 11))
+            } else {
+                format!("{}({})", op.symbol(), expr_text(inner, 0))
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let prec = precedence(*op);
+            let text = format!(
+                "{} {} {}",
+                expr_text(lhs, prec),
+                op.symbol(),
+                expr_text(rhs, prec + 1)
+            );
+            if prec < parent_prec {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Ternary(cond, a, b) => {
+            let text = format!(
+                "{} ? {} : {}",
+                expr_text(cond, 1),
+                expr_text(a, 0),
+                expr_text(b, 0)
+            );
+            if parent_prec > 0 {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Bit(name, idx) => format!("{name}[{}]", expr_text(idx, 0)),
+        Expr::Part(name, range) => format!("{name}{range}"),
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| expr_text(p, 0)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Repeat(count, inner) => format!("{{{count}{{{}}}}}", expr_text(inner, 0)),
+        Expr::Past(inner, cycles) => {
+            if *cycles == 1 {
+                format!("$past({})", expr_text(inner, 0))
+            } else {
+                format!("$past({}, {cycles})", expr_text(inner, 0))
+            }
+        }
+        Expr::Rose(inner) => format!("$rose({})", expr_text(inner, 0)),
+        Expr::Fell(inner) => format!("$fell({})", expr_text(inner, 0)),
+        Expr::Stable(inner) => format!("$stable({})", expr_text(inner, 0)),
+    }
+}
+
+fn literal_text(lit: &Literal) -> String {
+    match (lit.width, lit.base) {
+        (None, _) => format!("{}", lit.value),
+        (Some(w), 'b') => format!("{w}'b{:b}", lit.value),
+        (Some(w), 'h') => format!("{w}'h{:x}", lit.value),
+        (Some(w), 'o') => format!("{w}'o{:o}", lit.value),
+        (Some(w), _) => format!("{w}'d{}", lit.value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    const SRC: &str = r#"
+module accu(
+  input clk,
+  input rst_n,
+  input valid_in,
+  output reg valid_out
+);
+  wire end_cnt;
+  reg [1:0] cnt;
+  assign end_cnt = (cnt == 2'd3) && valid_in;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= cnt + 2'd1;
+    else cnt <= cnt;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n) end_cnt |-> ##1 valid_out == 1;
+  endproperty
+  valid_out_check_assertion: assert property (valid_out_check) else $error("valid_out should be high");
+endmodule
+"#;
+
+    #[test]
+    fn roundtrip_is_idempotent() {
+        let module = parse_module(SRC).unwrap();
+        let once = emit_module(&module);
+        let reparsed = parse_module(&once).unwrap();
+        let twice = emit_module(&reparsed);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn one_statement_per_line() {
+        let module = parse_module(SRC).unwrap();
+        let text = emit_module(&module);
+        for line in text.lines() {
+            // No line contains two statement terminators outside of strings.
+            let without_strings: String = line.split('"').step_by(2).collect();
+            assert!(
+                without_strings.matches(';').count() <= 1,
+                "line has multiple statements: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn emits_else_if_chain() {
+        let module = parse_module(SRC).unwrap();
+        let text = emit_module(&module);
+        assert!(text.contains("else if (valid_in) cnt <= cnt + 2'd1;"));
+        assert!(text.contains("if (!rst_n) cnt <= 2'd0;"));
+    }
+
+    #[test]
+    fn emits_property_and_assertion() {
+        let module = parse_module(SRC).unwrap();
+        let text = emit_module(&module);
+        assert!(text.contains("property valid_out_check;"));
+        assert!(text.contains("end_cnt |-> ##1 valid_out == 1;"));
+        assert!(text.contains("assert property (valid_out_check) else $error("));
+    }
+
+    #[test]
+    fn minimal_parentheses_preserve_meaning() {
+        let module = parse_module(
+            "module m(input a, input b, input c, output x, output y); assign x = a & (b | c); assign y = (a & b) | c; endmodule",
+        )
+        .unwrap();
+        let text = emit_module(&module);
+        assert!(text.contains("assign x = a & (b | c);"));
+        assert!(text.contains("assign y = a & b | c;"));
+        // Re-parse and make sure the structure is preserved.
+        let reparsed = parse_module(&text).unwrap();
+        assert_eq!(emit_module(&reparsed), text);
+    }
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(literal_text(&Literal::bin(4, 0b1010)), "4'b1010");
+        assert_eq!(literal_text(&Literal::hex(8, 0xff)), "8'hff");
+        assert_eq!(literal_text(&Literal::sized(2, 3)), "2'd3");
+        assert_eq!(literal_text(&Literal::dec(7)), "7");
+    }
+
+    #[test]
+    fn emit_stmt_renders_single_line_fix() {
+        let module = parse_module(SRC).unwrap();
+        let always = module.always_blocks().next().unwrap();
+        let mut assigns = Vec::new();
+        always.body.walk(&mut |s| {
+            if matches!(s, Stmt::NonBlocking { .. }) {
+                assigns.push(s.clone());
+            }
+        });
+        assert_eq!(emit_stmt(&assigns[0]), "cnt <= 2'd0;");
+    }
+
+    #[test]
+    fn case_emission_roundtrips() {
+        let src = r#"
+module m(input [1:0] sel, input a, input b, output reg y);
+  always @(*) begin
+    case (sel)
+      2'd0: y = a;
+      2'd1: y = b;
+      default: y = 0;
+    endcase
+  end
+endmodule
+"#;
+        let module = parse_module(src).unwrap();
+        let once = emit_module(&module);
+        let again = emit_module(&parse_module(&once).unwrap());
+        assert_eq!(once, again);
+        assert!(once.contains("case (sel)"));
+        assert!(once.contains("default: y = 0;"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the frontend: randomly generated ASTs must pretty-print to
+//! text that re-parses to the same canonical form (emit ∘ parse is idempotent), and
+//! expression emission must preserve structure.
+
+use proptest::prelude::*;
+use svparse::{
+    emit_module, parse_module, BinaryOp, BitRange, Expr, Item, LValue, Literal, Module, NetDecl,
+    NetKind, Port, Span, Stmt, UnaryOp,
+};
+
+/// Signal pool used by generated expressions; all are declared in the wrapper module.
+const SIGNALS: &[&str] = &["a", "b", "c", "d", "sel"];
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    (1u32..=8, 0u64..256).prop_map(|(w, v)| {
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        Expr::Number(Literal::sized(w, v & mask))
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop::sample::select(BinaryOp::all().to_vec())
+}
+
+fn arb_unop() -> impl Strategy<Value = UnaryOp> {
+    prop::sample::select(vec![
+        UnaryOp::LogicalNot,
+        UnaryOp::BitNot,
+        UnaryOp::RedAnd,
+        UnaryOp::RedOr,
+        UnaryOp::RedXor,
+    ])
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal(),
+        prop::sample::select(SIGNALS.to_vec()).prop_map(Expr::ident),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            (arb_unop(), inner.clone()).prop_map(|(op, e)| Expr::unary(op, e)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| Expr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Concat),
+        ]
+    })
+}
+
+/// Wraps an expression into a module that declares every signal in the pool.
+fn wrap_module(expr: Expr) -> Module {
+    let ports = vec![
+        Port::input("a"),
+        Port::input("b"),
+        Port::input("c"),
+        Port::input_vec("d", 7),
+        Port::input_vec("sel", 1),
+        Port::output_wire_vec("y", 7),
+    ];
+    let items = vec![Item::Assign(svparse::ContinuousAssign {
+        lhs: LValue::Ident("y".into()),
+        rhs: expr,
+        span: Span::synthetic(),
+    })];
+    Module::new("prop_m", ports, items)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonical emission is idempotent: emit(parse(emit(ast))) == emit(ast).
+    #[test]
+    fn emit_parse_emit_is_idempotent(expr in arb_expr()) {
+        let module = wrap_module(expr);
+        let once = emit_module(&module);
+        let reparsed = parse_module(&once).expect("canonical text must re-parse");
+        let twice = emit_module(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Every canonical emission parses cleanly and keeps the same declared signals.
+    #[test]
+    fn canonical_text_reparses(expr in arb_expr()) {
+        let module = wrap_module(expr);
+        let text = emit_module(&module);
+        let reparsed = parse_module(&text).expect("canonical text must re-parse");
+        prop_assert_eq!(reparsed.ports.len(), module.ports.len());
+        prop_assert_eq!(reparsed.name, module.name);
+    }
+
+    /// Identifier collection is stable across the round trip.
+    #[test]
+    fn idents_preserved(expr in arb_expr()) {
+        let before = expr.idents();
+        let module = wrap_module(expr);
+        let text = emit_module(&module);
+        let reparsed = parse_module(&text).unwrap();
+        let after = reparsed.assigns().next().unwrap().rhs.idents();
+        prop_assert_eq!(before, after);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomly generated procedural statements survive the round trip.
+    #[test]
+    fn statements_roundtrip(conds in prop::collection::vec(arb_expr(), 1..4)) {
+        let mut stmts = Vec::new();
+        for (i, cond) in conds.into_iter().enumerate() {
+            let target = if i % 2 == 0 { "q" } else { "r" };
+            stmts.push(Stmt::If {
+                cond,
+                then_branch: Box::new(Stmt::NonBlocking {
+                    lhs: LValue::Ident(target.into()),
+                    rhs: Expr::ident("a"),
+                    span: Span::synthetic(),
+                }),
+                else_branch: Some(Box::new(Stmt::NonBlocking {
+                    lhs: LValue::Ident(target.into()),
+                    rhs: Expr::sized(1, 0),
+                    span: Span::synthetic(),
+                })),
+                span: Span::synthetic(),
+            });
+        }
+        let ports = vec![
+            Port::input("clk"),
+            Port::input("a"),
+            Port::input("b"),
+            Port::input("c"),
+            Port::input_vec("d", 7),
+            Port::input_vec("sel", 1),
+            Port::output_reg("q"),
+            Port::output_reg("r"),
+        ];
+        let items = vec![Item::Always(svparse::AlwaysBlock {
+            sensitivity: svparse::Sensitivity::Edges(vec![svparse::EdgeEvent::posedge("clk")]),
+            body: Stmt::Block { stmts, span: Span::synthetic() },
+            span: Span::synthetic(),
+        })];
+        let module = Module::new("prop_stmt", ports, items);
+        let once = emit_module(&module);
+        let reparsed = parse_module(&once).expect("canonical text must re-parse");
+        prop_assert_eq!(emit_module(&reparsed), once);
+    }
+}
+
+#[test]
+fn net_decl_roundtrip() {
+    let module = Module::new(
+        "decls",
+        vec![Port::input("a"), Port::output_wire("y")],
+        vec![
+            Item::Net(NetDecl {
+                kind: NetKind::Reg,
+                width: Some(BitRange::new(15, 0)),
+                names: vec!["x0".into(), "x1".into()],
+                span: Span::synthetic(),
+            }),
+            Item::Assign(svparse::ContinuousAssign {
+                lhs: LValue::Ident("y".into()),
+                rhs: Expr::ident("a"),
+                span: Span::synthetic(),
+            }),
+        ],
+    );
+    let once = emit_module(&module);
+    let reparsed = parse_module(&once).unwrap();
+    assert_eq!(emit_module(&reparsed), once);
+    assert!(once.contains("reg [15:0] x0, x1;"));
+}

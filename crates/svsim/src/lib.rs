@@ -1,0 +1,60 @@
+//! # svsim — cycle-accurate RTL simulation with concurrent-assertion checking
+//!
+//! This crate is the reproduction's stand-in for the event-driven simulator the
+//! AssertSolver paper uses to obtain assertion-failure logs.  It elaborates a
+//! [`svparse::Module`] into a [`Design`], simulates it cycle-by-cycle against a
+//! testbench stimulus, evaluates every concurrent assertion over the recorded trace
+//! and renders tool-style logs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//!
+//! let module = svparse::parse_module(r#"
+//! module counter(input clk, input rst_n, output reg [3:0] count);
+//!   always @(posedge clk or negedge rst_n) begin
+//!     if (!rst_n) count <= 4'd0;
+//!     else count <= count + 4'd1;
+//!   end
+//!   property no_overflow;
+//!     @(posedge clk) disable iff (!rst_n) count <= 4'd15;
+//!   endproperty
+//!   assert property (no_overflow);
+//! endmodule
+//! "#).map_err(|e| svsim::SimError::Elaboration(e.to_string()))?;
+//!
+//! let stimulus: Vec<svsim::InputVector> = (0..8)
+//!     .map(|i| BTreeMap::from([("rst_n".to_string(), u64::from(i >= 1))]))
+//!     .collect();
+//! let outcome = svsim::simulate(&module, &stimulus)?;
+//! assert!(outcome.passed());
+//! # Ok::<(), svsim::SimError>(())
+//! ```
+
+pub mod elaborate;
+pub mod eval;
+pub mod log;
+pub mod simulator;
+pub mod sva;
+pub mod value;
+
+pub use elaborate::{Design, ElabError, ResolvedAssertion, SignalClass};
+pub use eval::{eval_expr, eval_in_state, State};
+pub use log::{failing_assertions_in_log, render_failure_line, render_log};
+pub use simulator::{simulate, InputVector, SimError, SimOutcome, Simulator, Trace};
+pub use sva::{check_assertion, check_assertions, AssertionFailure};
+pub use value::Value;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::Design>();
+        assert_send_sync::<super::Trace>();
+        assert_send_sync::<super::AssertionFailure>();
+        assert_send_sync::<super::Value>();
+        assert_send_sync::<super::SimError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulate the paper's Fig. 1 buggy accumulator and show the assertion-failure logs
+//! a verification engineer (or AssertSolver) would start from.
+//!
+//! Run with `cargo run --release --example accumulator_debug`.
+
+use std::collections::BTreeMap;
+
+const BUGGY: &str = r#"
+module accu(input clk, input rst_n, input valid_in, output reg valid_out);
+  wire end_cnt;
+  reg [1:0] cnt;
+  assign end_cnt = (cnt == 2'd3) && valid_in;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= cnt + 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) valid_out <= 0;
+    else if (!end_cnt) valid_out <= 1;
+    else valid_out <= 0;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n) end_cnt |-> ##1 valid_out == 1;
+  endproperty
+  valid_out_check_assertion: assert property (valid_out_check) else $error("valid_out should be high when end_cnt high");
+endmodule
+"#;
+
+fn main() {
+    let module = svparse::parse_module(BUGGY).expect("buggy design parses");
+    let stimulus: Vec<svsim::InputVector> = (0..16)
+        .map(|i| {
+            BTreeMap::from([
+                ("rst_n".to_string(), u64::from(i >= 1)),
+                ("valid_in".to_string(), 1u64),
+            ])
+        })
+        .collect();
+    let outcome = svsim::simulate(&module, &stimulus).expect("simulation runs");
+    println!("{}", outcome.log);
+    println!("failures observed: {}", outcome.failures.len());
+    for failure in &outcome.failures {
+        println!("  {failure}");
+    }
+
+    let verdict = svverify::BoundedChecker::default().check_module(&module);
+    println!(
+        "bounded checker verdict: {}",
+        if verdict.failed() { "assertion can be violated (bug confirmed)" } else { "no violation found" }
+    );
+}

@@ -1,0 +1,21 @@
+//! Compare the baseline surrogate models (stand-ins for Claude-3.5, GPT-4, o1-preview,
+//! CodeLlama, Llama-3.1 and the Deepseek base model) on the human-crafted benchmark.
+//!
+//! Run with `cargo run --release --example model_shootout`.
+
+use assertsolver::{evaluate_model, human_crafted_cases, render_passk_table, EvalConfig};
+use svmodel::{all_baselines, RepairModel};
+
+fn main() {
+    let cases = human_crafted_cases();
+    println!("evaluating {} human-crafted SVA-Eval cases", cases.len());
+    let config = EvalConfig::quick(5);
+    let rows: Vec<(String, assertsolver::PassK)> = all_baselines()
+        .iter()
+        .map(|model| {
+            let eval = evaluate_model(model, &cases, &config);
+            (model.name().to_string(), eval.passk())
+        })
+        .collect();
+    println!("\n{}", render_passk_table("Baseline surrogates on SVA-Eval-Human", &rows));
+}

@@ -1,0 +1,29 @@
+//! Full training flow (PT -> SFT -> DPO) and a Table-III style comparison of the
+//! three checkpoints on the held-out benchmark.
+//!
+//! Run with `cargo run --release --example train_pipeline`.
+
+use assertsolver::{evaluate_model, render_passk_table, train, EvalConfig, TrainConfig};
+use svmodel::RepairModel;
+
+fn main() {
+    let artifacts = train(&TrainConfig::quick(11));
+    println!(
+        "trained on {} cases, evaluating on {} machine + {} human cases; {} DPO preference pairs",
+        artifacts.split.train.len(),
+        artifacts.sva_eval.machine.len(),
+        artifacts.sva_eval.human.len(),
+        artifacts.preference_pairs
+    );
+    let benchmark = artifacts.sva_eval.all();
+    let config = EvalConfig::quick(3);
+    let rows: Vec<(String, assertsolver::PassK)> =
+        [&artifacts.base, &artifacts.sft, &artifacts.assert_solver]
+            .into_iter()
+            .map(|model| {
+                let eval = evaluate_model(model, &benchmark, &config);
+                (model.name().to_string(), eval.passk())
+            })
+            .collect();
+    println!("\n{}", render_passk_table("Table III (this run)", &rows));
+}

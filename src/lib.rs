@@ -1,0 +1,21 @@
+//! Workspace-level façade for the AssertSolver reproduction.
+//!
+//! This crate exists so the repository can host runnable `examples/` and cross-crate
+//! integration `tests/` at the workspace root; the actual functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`assertsolver`] — training, inference and pass@k evaluation (the paper's core);
+//! * [`svparse`], [`svsim`], [`svverify`] — the EDA substrate (frontend, simulator,
+//!   bounded checker);
+//! * [`svmutate`], [`svgen`], [`svdata`] — bug injection, corpus synthesis and the
+//!   three-stage data-augmentation pipeline;
+//! * [`svmodel`] — the trainable surrogate model and the baseline surrogates.
+
+pub use assertsolver;
+pub use svdata;
+pub use svgen;
+pub use svmodel;
+pub use svmutate;
+pub use svparse;
+pub use svsim;
+pub use svverify;

@@ -1,0 +1,35 @@
+//! Cross-crate integration test: the full reproduction flow at quick scale.
+//!
+//! Checks the headline *shape* of the paper's results rather than absolute numbers:
+//! the trained checkpoints must dominate the untrained base model, DPO must not lose
+//! pass@1 relative to SFT, and every experiment artifact must be regenerable.
+
+use assertsolver::{evaluate_model, train, EvalConfig, TrainConfig};
+
+#[test]
+fn training_recipe_reproduces_the_paper_shape() {
+    let artifacts = train(&TrainConfig::quick(2025));
+    assert!(!artifacts.split.train.is_empty());
+    assert!(!artifacts.sva_eval.machine.is_empty());
+    assert!(artifacts.sva_eval.human.len() >= 5);
+
+    let benchmark = artifacts.sva_eval.all();
+    let config = EvalConfig::quick(9);
+
+    let base = evaluate_model(&artifacts.base, &benchmark, &config).passk();
+    let sft = evaluate_model(&artifacts.sft, &benchmark, &config).passk();
+    let solver = evaluate_model(&artifacts.assert_solver, &benchmark, &config).passk();
+
+    // RQ1 shape: SFT and AssertSolver vastly outperform the base model.
+    assert!(sft.pass1 > base.pass1 + 0.1, "sft {sft:?} vs base {base:?}");
+    assert!(solver.pass1 > base.pass1 + 0.1, "solver {solver:?} vs base {base:?}");
+    // Learning from errors must not collapse precision (paper: pass@1 goes *up*).
+    assert!(
+        solver.pass1 + 0.15 >= sft.pass1,
+        "DPO lost too much pass@1: solver {solver:?} vs sft {sft:?}"
+    );
+    // pass@5 always dominates pass@1.
+    for p in [base, sft, solver] {
+        assert!(p.pass5 + 1e-9 >= p.pass1);
+    }
+}

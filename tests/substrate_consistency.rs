@@ -1,0 +1,39 @@
+//! Property-style consistency checks across the substrate crates: every injected bug
+//! produced by the pipeline must (a) differ from its golden source in exactly one
+//! line, (b) carry logs naming an assertion that really exists in the design, and
+//! (c) be repaired by its own golden fix.
+
+use assertsolver::apply_line_edit;
+use svdata::{run_pipeline, PipelineConfig};
+use svverify::VerifyOracle;
+
+#[test]
+fn every_pipeline_case_is_internally_consistent() {
+    let output = run_pipeline(&PipelineConfig::tiny(77));
+    let oracle = VerifyOracle::default();
+    assert!(!output.datasets.sva_bug.is_empty());
+    for entry in output.datasets.sva_bug.iter().take(10) {
+        // (a) exactly one differing line at the recorded location.
+        let diffs = svmutate::diff_lines(&entry.golden_source, &entry.buggy_source);
+        assert_eq!(diffs.len(), 1, "module {}", entry.module_name);
+        assert_eq!(diffs[0].line, entry.bug_line_number);
+
+        // (b) failing assertions exist in the buggy module.
+        let module = svparse::parse_module(&entry.buggy_source).unwrap();
+        let names: Vec<String> = module.assertions().map(|a| a.display_name()).collect();
+        for failing in &entry.failing_assertions {
+            assert!(names.contains(failing), "unknown assertion {failing}");
+        }
+
+        // (c) the golden fix repairs the design.
+        let repaired_text =
+            apply_line_edit(&entry.buggy_source, entry.bug_line_number, &entry.fixed_line)
+                .unwrap();
+        let repaired = svparse::parse_module(&repaired_text).unwrap();
+        assert!(
+            oracle.repair_solves_failure(&repaired),
+            "golden fix does not repair {}",
+            entry.module_name
+        );
+    }
+}
