@@ -6,7 +6,11 @@ fn bench_frontend(c: &mut Criterion) {
     let small = instantiate(Family::Accumulator, FamilyParams::default(), 0).source;
     let large = instantiate(
         Family::RegisterFile,
-        FamilyParams { width: 8, depth: 8, variant: 0 },
+        FamilyParams {
+            width: 8,
+            depth: 8,
+            variant: 0,
+        },
         1,
     )
     .source;

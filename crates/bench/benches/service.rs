@@ -1,0 +1,53 @@
+//! Criterion bench: repair-service throughput as the worker pool scales (1/2/4/8).
+//!
+//! Each measurement drives a fixed mixed workload through `svserve` end to end
+//! (submit → shard queue → micro-batch → model → ticket), with the response cache
+//! disabled-by-construction (every request distinct) so the numbers measure the
+//! serving path rather than cache hits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svmodel::{AssertSolverModel, CaseInput};
+use svserve::{serve_scoped, RepairRequest, ServiceConfig};
+
+fn workload() -> Vec<RepairRequest> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(47));
+    let cases: Vec<CaseInput> = pipeline
+        .datasets
+        .sva_bug
+        .iter()
+        .map(CaseInput::from_entry)
+        .collect();
+    assert!(!cases.is_empty());
+    // Vary the temperature per request so every cache key is distinct and each
+    // request costs a real model invocation.
+    (0..64)
+        .map(|i| {
+            let case = cases[i % cases.len()].clone();
+            RepairRequest::new(case, 4, 0.2 + (i as f64) * 1e-6)
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let model = AssertSolverModel::base(1);
+    let requests = workload();
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("{workers}_workers_64_cases"), |b| {
+            b.iter(|| {
+                let outcomes = serve_scoped(
+                    &model,
+                    ServiceConfig::default().with_workers(workers),
+                    |service| service.solve_all(std::hint::black_box(requests.clone())),
+                );
+                assert_eq!(outcomes.len(), requests.len());
+                outcomes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -4,11 +4,14 @@ use svgen::{instantiate, Family, FamilyParams};
 use svverify::{BoundedChecker, CheckConfig};
 
 fn bench_verifier(c: &mut Criterion) {
-    let golden = svparse::parse_module(
-        &instantiate(Family::Counter, FamilyParams::default(), 0).source,
-    )
-    .unwrap();
-    let checker = BoundedChecker::new(CheckConfig { depth: 12, random_cases: 16, ..CheckConfig::default() });
+    let golden =
+        svparse::parse_module(&instantiate(Family::Counter, FamilyParams::default(), 0).source)
+            .unwrap();
+    let checker = BoundedChecker::new(CheckConfig {
+        depth: 12,
+        random_cases: 16,
+        ..CheckConfig::default()
+    });
     c.bench_function("bounded_check_counter", |b| {
         b.iter(|| checker.check_module(std::hint::black_box(&golden)))
     });

@@ -10,9 +10,8 @@
 //! case, closer to the paper's protocol).
 
 use assertsolver::{
-    evaluate_model, render_breakdown, render_distribution, render_histogram,
-    render_passk_table, render_split_table, train, EvalConfig, ModelEvaluation, PassK,
-    TrainConfig, TrainedArtifacts,
+    evaluate_model, render_breakdown, render_distribution, render_histogram, render_passk_table,
+    render_split_table, train, EvalConfig, ModelEvaluation, PassK, TrainConfig, TrainedArtifacts,
 };
 use svdata::distribution;
 use svmodel::{all_baselines, RepairModel};
@@ -140,9 +139,8 @@ impl ExperimentSuite {
 
     /// Table I: the bug taxonomy (static content from the paper).
     pub fn table1(&self) -> String {
-        let mut out = String::from(
-            "Table I: Bug types leading to assertion failures and examples\n",
-        );
+        let mut out =
+            String::from("Table I: Bug types leading to assertion failures and examples\n");
         out.push_str(&format!(
             "{:<10} {:<62} {:<28} {:<28} {:<20}\n",
             "Type", "Description", "Expected form", "Unexpected form", "Assertion"
@@ -204,7 +202,10 @@ impl ExperimentSuite {
         let solver = self.checkpoint("AssertSolver");
         render_histogram(
             "Fig. 3: Histogram of correct answers across sampled responses (x-axis: c)",
-            &[(&sft.name, &sft.evaluation), (&solver.name, &solver.evaluation)],
+            &[
+                (&sft.name, &sft.evaluation),
+                (&solver.name, &solver.evaluation),
+            ],
             self.samples,
         )
     }

@@ -94,11 +94,7 @@ fn build_human_entry(oracle: &VerifyOracle, case: &HumanCase) -> Option<SvaBugEn
     let outcome = svsim::simulate(&buggy, &witness).ok()?;
     let diff = single_line_diff(&golden_text, &buggy_text)?;
     let failing = failing_assertions_in_log(&outcome.log);
-    let visibility = classify_visibility(
-        &golden,
-        &[case.affected.to_string()],
-        &failing,
-    );
+    let visibility = classify_visibility(&golden, &[case.affected.to_string()], &failing);
     let spec = svgen::render_spec(&golden, case.spec_function);
     Some(SvaBugEntry {
         module_name: golden.name.clone(),
@@ -356,7 +352,10 @@ mod tests {
             cases.len()
         );
         for case in &cases {
-            assert!(human_case_is_consistent(case), "inconsistent case: {case:?}");
+            assert!(
+                human_case_is_consistent(case),
+                "inconsistent case: {case:?}"
+            );
             assert!(case.logs.contains("failed assertion"));
             assert!(case.bug_line_number >= 1);
         }

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
+use svserve::{serve_scoped, RepairRequest, ServiceConfig};
 use svverify::{CheckConfig, VerifyOracle};
 
 /// Evaluation protocol parameters (paper: n = 20, k ∈ {1, 5}, temperature 0.2).
@@ -21,6 +22,10 @@ pub struct EvalConfig {
     pub temperature: f64,
     /// Seed for sampling.
     pub seed: u64,
+    /// Worker threads for the repair service that samples the model
+    /// (0 = auto-detect from available parallelism).  Results are identical at any
+    /// worker count; this only changes wall-clock time.
+    pub workers: usize,
     /// Bounded-check configuration used to decide whether a repair solves the failure.
     pub check: CheckConfig,
 }
@@ -31,6 +36,7 @@ impl Default for EvalConfig {
             samples: 20,
             temperature: 0.2,
             seed: 0xE7A1,
+            workers: 0,
             check: CheckConfig {
                 depth: 12,
                 random_cases: 16,
@@ -53,6 +59,21 @@ impl EvalConfig {
             },
             ..Self::default()
         }
+    }
+
+    /// The repair-service configuration this protocol implies.
+    pub fn service_config(&self) -> ServiceConfig {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.workers
+        };
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_seed(self.seed)
     }
 }
 
@@ -96,7 +117,9 @@ impl ModelEvaluation {
     /// pass@k per Table-I bug-type label.
     pub fn by_bug_type(&self) -> BTreeMap<String, PassK> {
         let mut out = BTreeMap::new();
-        for label in ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"] {
+        for label in [
+            "Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond",
+        ] {
             let counts = self.counts(|r| r.profile.labels().contains(&label));
             if !counts.is_empty() {
                 out.insert(label.to_string(), PassK::from_counts(&counts));
@@ -147,7 +170,11 @@ impl ModelEvaluation {
 /// The fast path compares the proposed line and fix textually against the golden
 /// solution; otherwise the proposed edit is applied to the buggy source and the
 /// repaired design is re-checked with the bounded verifier.
-pub fn response_is_correct(entry: &SvaBugEntry, response: &Response, oracle: &VerifyOracle) -> bool {
+pub fn response_is_correct(
+    entry: &SvaBugEntry,
+    response: &Response,
+    oracle: &VerifyOracle,
+) -> bool {
     let line_matches = response.bug_line_number == entry.bug_line_number;
     if line_matches && response.fixed_line.trim() == entry.fixed_line.trim() {
         return true;
@@ -178,34 +205,44 @@ pub fn apply_line_edit(source: &str, line_number: u32, replacement: &str) -> Opt
     let mut lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
     let idx = (line_number as usize).checked_sub(1)?;
     let original = lines.get(idx)?;
-    let indent: String = original
-        .chars()
-        .take_while(|c| c.is_whitespace())
-        .collect();
+    let indent: String = original.chars().take_while(|c| c.is_whitespace()).collect();
     lines[idx] = format!("{indent}{}", replacement.trim());
     Some(lines.join("\n") + "\n")
 }
 
 /// Evaluates a model over a set of cases.
-pub fn evaluate_model(
-    model: &dyn RepairModel,
+///
+/// Sampling runs through the `svserve` repair service: every case is submitted to a
+/// sharded worker pool and sampled concurrently, with duplicate cases served from the
+/// service's content-addressed cache.  Because the service derives sampler seeds from
+/// case content (never from arrival order or worker identity), the evaluation result
+/// is identical at any [`EvalConfig::workers`] setting.
+pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
+    model: &M,
     entries: &[SvaBugEntry],
     config: &EvalConfig,
 ) -> ModelEvaluation {
+    let requests: Vec<RepairRequest> = entries
+        .iter()
+        .map(|entry| {
+            RepairRequest::new(
+                CaseInput::from_entry(entry),
+                config.samples,
+                config.temperature,
+            )
+        })
+        .collect();
+    let outcomes = serve_scoped(model, config.service_config(), |service| {
+        service.solve_all(requests)
+    });
+
     let oracle = VerifyOracle::new(config.check.clone());
     let mut results = Vec::with_capacity(entries.len());
-    for (index, entry) in entries.iter().enumerate() {
-        let case = CaseInput::from_entry(entry);
-        let responses = model.solve(
-            &case,
-            config.samples,
-            config.temperature,
-            config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
-        );
+    for (entry, outcome) in entries.iter().zip(&outcomes) {
         // Cache verdicts for identical responses so verification cost stays bounded.
         let mut verdicts: BTreeMap<(u32, String), bool> = BTreeMap::new();
         let mut correct = 0usize;
-        for response in &responses {
+        for response in outcome.responses.iter() {
             let key = (response.bug_line_number, response.fixed_line.clone());
             let ok = *verdicts
                 .entry(key)
@@ -216,7 +253,7 @@ pub fn evaluate_model(
         }
         results.push(CaseResult {
             module_name: entry.module_name.clone(),
-            n: responses.len(),
+            n: outcome.responses.len(),
             c: correct,
             profile: entry.profile,
             code_lines: entry.code_lines,
@@ -295,6 +332,29 @@ mod tests {
         let edited = apply_line_edit(source, 2, "assign y = a | b;").unwrap();
         assert!(edited.contains("  assign y = a | b;"));
         assert!(apply_line_edit(source, 99, "x").is_none());
+    }
+
+    #[test]
+    fn evaluation_is_identical_at_any_worker_count() {
+        let entries = human_crafted_cases();
+        let model = svmodel::AssertSolverModel::base(3);
+        let one = evaluate_model(
+            &model,
+            &entries,
+            &EvalConfig {
+                workers: 1,
+                ..EvalConfig::quick(5)
+            },
+        );
+        let four = evaluate_model(
+            &model,
+            &entries,
+            &EvalConfig {
+                workers: 4,
+                ..EvalConfig::quick(5)
+            },
+        );
+        assert_eq!(one, four, "worker count changed evaluation results");
     }
 
     #[test]

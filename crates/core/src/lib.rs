@@ -37,8 +37,7 @@ pub use evaluate::{
 };
 pub use passk::{pass_at_k, PassK};
 pub use report::{
-    render_breakdown, render_distribution, render_histogram, render_passk_table,
-    render_split_table,
+    render_breakdown, render_distribution, render_histogram, render_passk_table, render_split_table,
 };
 pub use train::{train, TrainConfig, TrainedArtifacts};
 

@@ -10,7 +10,10 @@ use crate::passk::PassK;
 pub fn render_passk_table(title: &str, rows: &[(String, PassK)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str(&format!("{:<28} {:>10} {:>10}\n", "Model", "pass@1(%)", "pass@5(%)"));
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10}\n",
+        "Model", "pass@1(%)", "pass@5(%)"
+    ));
     for (name, passk) in rows {
         out.push_str(&format!(
             "{:<28} {:>10.2} {:>10.2}\n",
@@ -23,10 +26,7 @@ pub fn render_passk_table(title: &str, rows: &[(String, PassK)]) -> String {
 }
 
 /// Renders a Table-IV style comparison with machine / human / combined columns.
-pub fn render_split_table(
-    title: &str,
-    rows: &[(String, PassK, PassK, PassK)],
-) -> String {
+pub fn render_split_table(title: &str, rows: &[(String, PassK, PassK, PassK)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
@@ -53,7 +53,11 @@ pub fn render_split_table(
 }
 
 /// Renders a Fig.-3 style histogram of the number of correct answers per case.
-pub fn render_histogram(title: &str, evaluations: &[(&str, &ModelEvaluation)], samples: usize) -> String {
+pub fn render_histogram(
+    title: &str,
+    evaluations: &[(&str, &ModelEvaluation)],
+    samples: usize,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!("{:<6}", "c"));
@@ -88,7 +92,9 @@ pub fn render_breakdown(
         out.push_str(&format!(" {:>16}", name));
     }
     out.push('\n');
-    for label in ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"] {
+    for label in [
+        "Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond",
+    ] {
         out.push_str(&format!("{:<14}", label));
         for (_, eval) in evaluations {
             let value = eval
@@ -139,14 +145,21 @@ pub fn render_distribution(title: &str, rows: &[(&str, svdata::Distribution)]) -
         out.push_str(&format!(" {:>8}\n", dist.total));
     }
     out.push_str(&format!("{:<12}", "Bug type"));
-    for label in ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"] {
+    for label in [
+        "Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond",
+    ] {
         out.push_str(&format!(" {:>9}", label));
     }
     out.push('\n');
     for (name, dist) in rows {
         out.push_str(&format!("{:<12}", name));
-        for label in ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"] {
-            out.push_str(&format!(" {:>9}", dist.per_bug_type.get(label).copied().unwrap_or(0)));
+        for label in [
+            "Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond",
+        ] {
+            out.push_str(&format!(
+                " {:>9}",
+                dist.per_bug_type.get(label).copied().unwrap_or(0)
+            ));
         }
         out.push('\n');
     }

@@ -38,7 +38,7 @@ impl Default for TrainConfig {
             challenge_temperature: 0.6,
             dpo_beta: 0.1,
             dpo_learning_rate: 0.05,
-            seed: 0x5EED_50,
+            seed: 0x005E_ED50,
         }
     }
 }

@@ -235,7 +235,8 @@ pub fn stage2_generate(accepted: &[AcceptedDesign], config: &PipelineConfig) -> 
             }
         }
         let golden_text = emit_module(&golden);
-        let mut injector = BugInjector::new(config.seed ^ (design_index as u64).wrapping_mul(0x9E37));
+        let mut injector =
+            BugInjector::new(config.seed ^ (design_index as u64).wrapping_mul(0x9E37));
         let bugs = injector.inject_batch(&golden, config.bugs_per_design);
         for bug in bugs {
             let buggy_text = emit_module(&bug.buggy);
@@ -251,8 +252,7 @@ pub fn stage2_generate(accepted: &[AcceptedDesign], config: &PipelineConfig) -> 
                         continue;
                     };
                     let failing = failing_assertions_in_log(&outcome.log);
-                    let visibility =
-                        classify_visibility(&golden, &bug.affected_signals, &failing);
+                    let visibility = classify_visibility(&golden, &bug.affected_signals, &failing);
                     out.cases.push(SvaCase {
                         module_name: design.module_name.clone(),
                         spec: design.spec.clone(),
@@ -493,7 +493,9 @@ pub fn distribution(entries: &[SvaBugEntry]) -> Distribution {
         total: entries.len(),
         ..Distribution::default()
     };
-    for label in ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"] {
+    for label in [
+        "Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond",
+    ] {
         dist.per_bug_type.insert(label.to_string(), 0);
     }
     for entry in entries {
@@ -566,7 +568,12 @@ mod tests {
     #[test]
     fn some_cots_are_validated_and_attached() {
         let out = tiny_output();
-        let with_cot = out.datasets.sva_bug.iter().filter(|e| e.cot.is_some()).count();
+        let with_cot = out
+            .datasets
+            .sva_bug
+            .iter()
+            .filter(|e| e.cot.is_some())
+            .count();
         assert!(with_cot >= 1, "no CoT passed validation");
         for entry in out.datasets.sva_bug.iter().filter(|e| e.cot.is_some()) {
             let cot = entry.cot.as_ref().unwrap();
@@ -595,8 +602,7 @@ mod tests {
         // Each of the three axes partitions the set.
         let direct = dist.per_bug_type["Direct"] + dist.per_bug_type["Indirect"];
         let structural = dist.per_bug_type["Cond"] + dist.per_bug_type["Non_cond"];
-        let kinds =
-            dist.per_bug_type["Var"] + dist.per_bug_type["Value"] + dist.per_bug_type["Op"];
+        let kinds = dist.per_bug_type["Var"] + dist.per_bug_type["Value"] + dist.per_bug_type["Op"];
         assert_eq!(direct, dist.total);
         assert_eq!(structural, dist.total);
         assert_eq!(kinds, dist.total);

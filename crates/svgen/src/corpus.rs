@@ -13,7 +13,13 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The five code-length bins of Table II, in paper order.
-pub const LENGTH_BINS: [&str; 5] = ["(0, 50]", "(50, 100]", "(100, 150]", "(150, 200]", "(200, +inf)"];
+pub const LENGTH_BINS: [&str; 5] = [
+    "(0, 50]",
+    "(50, 100]",
+    "(100, 150]",
+    "(150, 200]",
+    "(200, +inf)",
+];
 
 /// Returns the Table-II length bin for a line count.
 pub fn length_bin(lines: usize) -> &'static str {
@@ -183,7 +189,7 @@ fn vary_params(family: Family, index: usize, rng: &mut StdRng) -> FamilyParams {
     FamilyParams {
         width,
         depth,
-        variant: rng.gen_range(0..4),
+        variant: rng.gen_range(0..4u32),
     }
 }
 
@@ -229,8 +235,12 @@ mod tests {
         let a = CorpusGenerator::new(config).generate();
         let b = CorpusGenerator::new(config).generate();
         assert_eq!(a, b);
-        assert!(a.iter().any(|s| matches!(s.origin, SampleOrigin::Corrupted(_))));
-        assert!(a.iter().any(|s| matches!(s.origin, SampleOrigin::Duplicate)));
+        assert!(a
+            .iter()
+            .any(|s| matches!(s.origin, SampleOrigin::Corrupted(_))));
+        assert!(a
+            .iter()
+            .any(|s| matches!(s.origin, SampleOrigin::Duplicate)));
         assert!(a.len() > 24);
     }
 

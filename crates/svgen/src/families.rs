@@ -338,8 +338,8 @@ endmodule
 
 fn fifo(name: &str, p: FamilyParams) -> (String, String) {
     let depth = p.depth.clamp(2, 15) as u64;
-    let cw = 64 - (depth as u64).leading_zeros().max(60);
-    let cw = cw.max(2).min(4);
+    let cw = 64 - depth.leading_zeros().max(60);
+    let cw = cw.clamp(2, 4);
     let src = format!(
         r#"module {name}(
   input clk,
@@ -665,7 +665,7 @@ fn register_file(name: &str, p: FamilyParams) -> (String, String) {
     let msb = w - 1;
     let regs = p.depth.clamp(2, 8);
     let aw = 32 - (regs - 1).leading_zeros().max(29);
-    let aw = aw.max(1).min(3);
+    let aw = aw.clamp(1, 3);
     let amsb = aw.saturating_sub(1);
     let mut decls = String::new();
     let mut writes = String::new();
@@ -739,7 +739,10 @@ endmodule
     );
     (
         src,
-        format!("A baud-rate tick generator dividing the clock by {} using a {w}-bit counter.", div + 1),
+        format!(
+            "A baud-rate tick generator dividing the clock by {} using a {w}-bit counter.",
+            div + 1
+        ),
     )
 }
 
@@ -782,7 +785,9 @@ endmodule
     );
     (
         src,
-        format!("A {stages}-stage, {w}-bit register pipeline delaying the input by {stages} cycles."),
+        format!(
+            "A {stages}-stage, {w}-bit register pipeline delaying the input by {stages} cycles."
+        ),
     )
 }
 

@@ -97,10 +97,8 @@ mod tests {
 
     #[test]
     fn trailing_period_is_normalised() {
-        let module = svparse::parse_module(
-            "module m(input a, output y); assign y = a; endmodule",
-        )
-        .unwrap();
+        let module =
+            svparse::parse_module("module m(input a, output y); assign y = a; endmodule").unwrap();
         let spec = render_spec(&module, "A wire");
         assert!(spec.contains("Function: A wire.\n"));
     }

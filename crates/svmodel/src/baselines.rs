@@ -252,18 +252,22 @@ impl BaselineModel {
                 ) {
                     rng_choice(fixes.len(), rng)
                 } else {
-                    self.fix_policy.sample(&fix_features, effective_temperature, rng)
+                    self.fix_policy
+                        .sample(&fix_features, effective_temperature, rng)
                 };
-                (fixes[idx].text.clone(), self.fix_policy.score(&fixes[idx].features))
+                (
+                    fixes[idx].text.clone(),
+                    self.fix_policy.score(&fixes[idx].features),
+                )
             };
             // Self-check score: line score plus fix score, with a bonus when the edit
             // type matches what the line shape suggests (flipping conditions on
             // conditional lines, value tweaks on comparisons against constants).
             let mut score = self.line_policy.score(&line.features) + fix_score;
-            if line.text.starts_with("if (") || line.text.starts_with("else if (") {
-                if fixed_line.matches('!').count() != line.text.matches('!').count() {
-                    score += 0.5;
-                }
+            if (line.text.starts_with("if (") || line.text.starts_with("else if ("))
+                && fixed_line.matches('!').count() != line.text.matches('!').count()
+            {
+                score += 0.5;
             }
             let response = Response {
                 bug_line_number: line.line_number,
@@ -288,7 +292,10 @@ fn rng_choice(len: usize, rng: &mut StdRng) -> usize {
 
 /// Convenience: instantiates every baseline tier.
 pub fn all_baselines() -> Vec<BaselineModel> {
-    BaselineKind::all().into_iter().map(BaselineModel::new).collect()
+    BaselineKind::all()
+        .into_iter()
+        .map(BaselineModel::new)
+        .collect()
 }
 
 /// Marker edit-kind helper re-exported for the benches (maps fix edits to Table-I
@@ -296,8 +303,10 @@ pub fn all_baselines() -> Vec<BaselineModel> {
 pub fn edit_matches_kind(edit: FixEdit, kind: svmutate::BugKind) -> bool {
     matches!(
         (edit, kind),
-        (FixEdit::ToggleNegation | FixEdit::OpSwap, svmutate::BugKind::Op)
-            | (FixEdit::ValueTweak, svmutate::BugKind::Value)
+        (
+            FixEdit::ToggleNegation | FixEdit::OpSwap,
+            svmutate::BugKind::Op
+        ) | (FixEdit::ValueTweak, svmutate::BugKind::Value)
             | (FixEdit::VarSwap, svmutate::BugKind::Var)
     )
 }
@@ -337,9 +346,12 @@ mod tests {
         let out = run_pipeline(&PipelineConfig::tiny(23));
         let entries = out.datasets.sva_bug;
         assert!(entries.len() >= 6);
-        let (weak_full, _) = eval_accuracy(&BaselineModel::new(BaselineKind::RandomGuess), &entries);
-        let (strong_full, strong_line) =
-            eval_accuracy(&BaselineModel::new(BaselineKind::IterativeReasoner), &entries);
+        let (weak_full, _) =
+            eval_accuracy(&BaselineModel::new(BaselineKind::RandomGuess), &entries);
+        let (strong_full, strong_line) = eval_accuracy(
+            &BaselineModel::new(BaselineKind::IterativeReasoner),
+            &entries,
+        );
         assert!(
             strong_full >= weak_full,
             "iterative reasoner ({strong_full}) should not be worse than random ({weak_full})"
@@ -378,7 +390,10 @@ mod tests {
 
     #[test]
     fn edit_kind_mapping() {
-        assert!(edit_matches_kind(FixEdit::ValueTweak, svmutate::BugKind::Value));
+        assert!(edit_matches_kind(
+            FixEdit::ValueTweak,
+            svmutate::BugKind::Value
+        ));
         assert!(edit_matches_kind(FixEdit::VarSwap, svmutate::BugKind::Var));
         assert!(!edit_matches_kind(FixEdit::VarSwap, svmutate::BugKind::Op));
     }

@@ -134,7 +134,11 @@ pub fn line_candidates(case: &CaseInput, lm: &NgramLm) -> Vec<LineCandidate> {
         let tokens = crate::lm::tokenize(trimmed);
         let idents: BTreeSet<String> = tokens
             .iter()
-            .filter(|t| t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_'))
+            .filter(|t| {
+                t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            })
             .cloned()
             .collect();
         let assertion_mentions = idents.intersection(&assertion_signals).count();
@@ -146,7 +150,11 @@ pub fn line_candidates(case: &CaseInput, lm: &NgramLm) -> Vec<LineCandidate> {
             (Some(g), Some(sig)) => {
                 let mut best: Option<u32> = None;
                 for obs in &assertion_signals {
-                    let d = if obs == sig { Some(0) } else { g.distance(obs, sig) };
+                    let d = if obs == sig {
+                        Some(0)
+                    } else {
+                        g.distance(obs, sig)
+                    };
                     if let Some(d) = d {
                         best = Some(best.map_or(d, |b| b.min(d)));
                     }
@@ -223,7 +231,12 @@ mod tests {
 
     fn sample_case() -> (CaseInput, u32) {
         let out = run_pipeline(&PipelineConfig::tiny(3));
-        let entry = out.datasets.sva_bug.first().expect("pipeline produced cases").clone();
+        let entry = out
+            .datasets
+            .sva_bug
+            .first()
+            .expect("pipeline produced cases")
+            .clone();
         (CaseInput::from_entry(&entry), entry.bug_line_number)
     }
 
@@ -250,7 +263,9 @@ mod tests {
         assert!(!is_candidate_line("endmodule"));
         assert!(!is_candidate_line("begin"));
         assert!(!is_candidate_line("property p;"));
-        assert!(!is_candidate_line("valid_out_check_assertion: assert property (p);"));
+        assert!(!is_candidate_line(
+            "valid_out_check_assertion: assert property (p);"
+        ));
         assert!(is_candidate_line("assign y = a & b;"));
         assert!(is_candidate_line("if (!rst_n) q <= 0;"));
         assert!(is_candidate_line("case (sel)"));
@@ -259,7 +274,10 @@ mod tests {
 
     #[test]
     fn assigned_signal_extraction() {
-        assert_eq!(assigned_signal("if (!rst_n) cnt <= 2'd0;"), Some("cnt".into()));
+        assert_eq!(
+            assigned_signal("if (!rst_n) cnt <= 2'd0;"),
+            Some("cnt".into())
+        );
         assert_eq!(assigned_signal("assign y = a & b;"), Some("y".into()));
         assert_eq!(assigned_signal("flags[2] <= 1;"), Some("flags".into()));
         assert_eq!(assigned_signal("a == b"), None);

@@ -84,7 +84,10 @@ pub fn fix_candidates(
     for ident in identifiers_in(original) {
         let negated = format!("!{ident}");
         if original.contains(&negated) {
-            out.push((original.replacen(&negated, &ident, 1), FixEdit::ToggleNegation));
+            out.push((
+                original.replacen(&negated, &ident, 1),
+                FixEdit::ToggleNegation,
+            ));
         } else {
             // Only toggle inside a conditional context to avoid nonsense like
             // `assign !y = a`.
@@ -120,7 +123,11 @@ pub fn fix_candidates(
     // 3. Constant perturbations.
     for token in crate::lm::tokenize(original) {
         if let Some((width, value)) = parse_sized_literal(&token) {
-            let max = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let max = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let mut replacements: Vec<u64> = vec![
                 value.wrapping_add(1) & max,
                 value.wrapping_sub(1) & max,
@@ -169,7 +176,14 @@ pub fn fix_candidates(
     out.into_iter()
         .filter(|(text, _)| text != original && seen.insert(text.clone()))
         .map(|(text, edit)| {
-            let features = fix_features(&text, original, edit, assertion_signals, lm, original_surprisal);
+            let features = fix_features(
+                &text,
+                original,
+                edit,
+                assertion_signals,
+                lm,
+                original_surprisal,
+            );
             FixCandidate {
                 text,
                 edit,
@@ -212,7 +226,9 @@ fn identifiers_in(line: &str) -> Vec<String> {
     let mut out: Vec<String> = crate::lm::tokenize(line)
         .into_iter()
         .filter(|t| {
-            t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            t.chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
                 && ![
                     "if", "else", "case", "assign", "begin", "end", "default", "posedge",
                     "negedge", "or", "always",
@@ -355,7 +371,9 @@ mod tests {
         texts.sort();
         texts.dedup();
         assert_eq!(texts.len(), before);
-        assert!(!fixes.iter().any(|f| f.text == "else if (end_cnt && valid_in) valid_out <= 1;"));
+        assert!(!fixes
+            .iter()
+            .any(|f| f.text == "else if (end_cnt && valid_in) valid_out <= 1;"));
         for f in &fixes {
             assert_eq!(f.features.len(), FIX_FEATURES);
         }

@@ -36,9 +36,7 @@ pub use features::{line_candidates, CaseInput, LineCandidate, LINE_FEATURES};
 pub use fixgen::{fix_candidates, fix_candidates_for_case, FixCandidate, FixEdit, FIX_FEATURES};
 pub use lm::{tokenize, NgramLm};
 pub use policy::Policy;
-pub use solver::{
-    AssertSolverModel, PreferencePair, RepairModel, Response, TrainingStage,
-};
+pub use solver::{AssertSolverModel, PreferencePair, RepairModel, Response, TrainingStage};
 
 #[cfg(test)]
 mod tests {

@@ -161,7 +161,9 @@ mod tests {
     fn trained_model_prefers_seen_patterns() {
         let mut lm = NgramLm::new();
         for _ in 0..20 {
-            lm.train_text("always @(posedge clk or negedge rst_n) begin if (!rst_n) q <= 0; else q <= d; end");
+            lm.train_text(
+                "always @(posedge clk or negedge rst_n) begin if (!rst_n) q <= 0; else q <= d; end",
+            );
         }
         assert!(lm.is_trained());
         let familiar = lm.surprisal("if (!rst_n) q <= 0;");

@@ -181,9 +181,8 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..32 {
             let correct = i % 3;
-            let candidates: Vec<Vec<f64>> = (0..3)
-                .map(|j| vec![1.0, f64::from(j == correct)])
-                .collect();
+            let candidates: Vec<Vec<f64>> =
+                (0..3).map(|j| vec![1.0, f64::from(j == correct)]).collect();
             out.push((candidates, correct));
         }
         out
@@ -218,7 +217,11 @@ mod tests {
     #[test]
     fn distribution_sums_to_one_and_respects_temperature() {
         let policy = Policy::noisy(3, 7);
-        let candidates = vec![vec![1.0, 0.0, 1.0], vec![1.0, 1.0, 0.0], vec![1.0, 0.5, 0.5]];
+        let candidates = vec![
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.5, 0.5],
+        ];
         let dist = policy.distribution(&candidates, 0.2);
         let sum: f64 = dist.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -236,11 +239,15 @@ mod tests {
         let candidates = vec![vec![1.0, 0.2], vec![1.0, 0.9], vec![1.0, 0.5]];
         let a: Vec<usize> = {
             let mut rng = StdRng::seed_from_u64(1);
-            (0..10).map(|_| policy.sample(&candidates, 0.5, &mut rng)).collect()
+            (0..10)
+                .map(|_| policy.sample(&candidates, 0.5, &mut rng))
+                .collect()
         };
         let b: Vec<usize> = {
             let mut rng = StdRng::seed_from_u64(1);
-            (0..10).map(|_| policy.sample(&candidates, 0.5, &mut rng)).collect()
+            (0..10)
+                .map(|_| policy.sample(&candidates, 0.5, &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -333,8 +333,22 @@ mod tests {
     use super::*;
     use svdata::{run_pipeline, split_by_module, PipelineConfig};
 
-    fn pipeline_entries() -> (Vec<SvaBugEntry>, Vec<SvaBugEntry>, Vec<VerilogPtEntry>, Vec<VerilogBugEntry>) {
-        let out = run_pipeline(&PipelineConfig::tiny(17));
+    fn pipeline_entries() -> (
+        Vec<SvaBugEntry>,
+        Vec<SvaBugEntry>,
+        Vec<VerilogPtEntry>,
+        Vec<VerilogBugEntry>,
+    ) {
+        // A step up from `tiny`: the accuracy assertions below compare models on the
+        // eval split, and `tiny`'s one-or-two-case eval set makes them coin flips.
+        let out = run_pipeline(&PipelineConfig {
+            corpus: svgen::CorpusConfig {
+                golden_designs: 20,
+                ..svgen::CorpusConfig::default()
+            },
+            bugs_per_design: 4,
+            ..PipelineConfig::tiny(17)
+        });
         let split = split_by_module(out.datasets.sva_bug.clone(), 0.75, 1);
         (
             split.train,

@@ -167,7 +167,10 @@ endmodule
         let module = parse_module(SRC).unwrap();
         let by_label = signals_of_assertion(&module, "valid_out_check_assertion");
         let by_prop = signals_of_assertion(&module, "valid_out_check");
-        assert_eq!(by_label, vec!["end_cnt".to_string(), "valid_out".to_string()]);
+        assert_eq!(
+            by_label,
+            vec!["end_cnt".to_string(), "valid_out".to_string()]
+        );
         assert_eq!(by_label, by_prop);
         assert!(signals_of_assertion(&module, "nonexistent").is_empty());
     }

@@ -213,7 +213,10 @@ endmodule
         for _ in 0..20 {
             if let Some(bug) = injector.inject(&golden) {
                 let text = emit_module(&bug.buggy);
-                assert!(svparse::compile_check(&text).is_ok(), "mutant must compile:\n{text}");
+                assert!(
+                    svparse::compile_check(&text).is_ok(),
+                    "mutant must compile:\n{text}"
+                );
             }
         }
     }
@@ -223,7 +226,11 @@ endmodule
         let golden = parse_module(SRC).unwrap();
         let mut injector = BugInjector::new(21);
         let bugs = injector.inject_batch(&golden, 10);
-        assert!(bugs.len() >= 5, "expected several distinct mutants, got {}", bugs.len());
+        assert!(
+            bugs.len() >= 5,
+            "expected several distinct mutants, got {}",
+            bugs.len()
+        );
         let mut texts: Vec<String> = bugs.iter().map(|b| emit_module(&b.buggy)).collect();
         texts.sort();
         texts.dedup();
@@ -251,8 +258,12 @@ endmodule
     #[test]
     fn deterministic_per_seed() {
         let golden = parse_module(SRC).unwrap();
-        let a = BugInjector::new(99).inject(&golden).map(|b| emit_module(&b.buggy));
-        let b = BugInjector::new(99).inject(&golden).map(|b| emit_module(&b.buggy));
+        let a = BugInjector::new(99)
+            .inject(&golden)
+            .map(|b| emit_module(&b.buggy));
+        let b = BugInjector::new(99)
+            .inject(&golden)
+            .map(|b| emit_module(&b.buggy));
         assert_eq!(a, b);
     }
 

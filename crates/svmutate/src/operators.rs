@@ -55,7 +55,11 @@ pub fn mutate_value(expr: &Expr, rng: &mut StdRng) -> Option<Expr> {
             return *lit;
         }
         let width = lit.width.unwrap_or(32);
-        let max = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let max = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let new_value = match strategy {
             0 => (lit.value.wrapping_add(1)) & max,
             1 => lit.value.wrapping_sub(1) & max,
@@ -146,9 +150,7 @@ pub fn confusable_op(op: BinaryOp, rng: &mut StdRng) -> BinaryOp {
         BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor => {
             &[BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor]
         }
-        BinaryOp::LogicalAnd | BinaryOp::LogicalOr => {
-            &[BinaryOp::LogicalAnd, BinaryOp::LogicalOr]
-        }
+        BinaryOp::LogicalAnd | BinaryOp::LogicalOr => &[BinaryOp::LogicalAnd, BinaryOp::LogicalOr],
     };
     let alternatives: Vec<BinaryOp> = family.iter().copied().filter(|o| *o != op).collect();
     *alternatives.choose(rng).unwrap_or(&op)
@@ -212,7 +214,11 @@ pub fn enumerate_value_rewrites(expr: &Expr) -> Vec<Expr> {
             let rewritten = rewrite_literals(expr, &mut |i, lit| {
                 if i == site {
                     let width = lit.width.unwrap_or(32);
-                    let max = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+                    let max = if width >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << width) - 1
+                    };
                     let value = (lit.value as i64).wrapping_add(delta).max(0) as u64 & max;
                     if value != lit.value {
                         changed = true;
@@ -336,7 +342,9 @@ fn rewrite_binops_inner(
             let new_rhs = rewrite_binops_inner(rhs, counter, edit);
             Expr::Binary(new_op, Box::new(new_lhs), Box::new(new_rhs))
         }
-        other => map_children(other, &mut |child| rewrite_binops_inner(child, counter, edit)),
+        other => map_children(other, &mut |child| {
+            rewrite_binops_inner(child, counter, edit)
+        }),
     }
 }
 
@@ -353,16 +361,14 @@ fn map_children(expr: &Expr, recurse: &mut impl FnMut(&Expr) -> Expr) -> Expr {
     match expr {
         Expr::Number(_) | Expr::Ident(_) | Expr::Part(_, _) => expr.clone(),
         Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(recurse(inner))),
-        Expr::Binary(op, a, b) => {
-            Expr::Binary(*op, Box::new(recurse(a)), Box::new(recurse(b)))
-        }
+        Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(recurse(a)), Box::new(recurse(b))),
         Expr::Ternary(c, a, b) => Expr::Ternary(
             Box::new(recurse(c)),
             Box::new(recurse(a)),
             Box::new(recurse(b)),
         ),
         Expr::Bit(name, idx) => Expr::Bit(name.clone(), Box::new(recurse(idx))),
-        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| recurse(p)).collect()),
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(&mut *recurse).collect()),
         Expr::Repeat(n, inner) => Expr::Repeat(*n, Box::new(recurse(inner))),
         Expr::Past(inner, n) => Expr::Past(Box::new(recurse(inner)), *n),
         Expr::Rose(inner) => Expr::Rose(Box::new(recurse(inner))),
@@ -424,7 +430,10 @@ mod tests {
         let neg = mutate_op(&expr("valid"), &mut rng(4)).unwrap();
         assert_eq!(neg, expr("!valid"));
         // Toggling twice round-trips.
-        assert_eq!(toggle_negation(&toggle_negation(&expr("valid"))), expr("valid"));
+        assert_eq!(
+            toggle_negation(&toggle_negation(&expr("valid"))),
+            expr("valid")
+        );
     }
 
     #[test]
@@ -436,10 +445,7 @@ mod tests {
                 BinaryOp::Sub
             ));
             let cmp = confusable_op(BinaryOp::Lt, &mut r);
-            assert!(matches!(
-                cmp,
-                BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
-            ));
+            assert!(matches!(cmp, BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge));
             let logical = confusable_op(BinaryOp::LogicalAnd, &mut r);
             assert_eq!(logical, BinaryOp::LogicalOr);
         }

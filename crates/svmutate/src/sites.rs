@@ -297,7 +297,9 @@ endmodule
         let sites = collect_sites(&module);
         let target = sites
             .iter()
-            .find(|s| s.context == SiteContext::AssignRhs && s.affected == vec!["gated".to_string()])
+            .find(|s| {
+                s.context == SiteContext::AssignRhs && s.affected == vec!["gated".to_string()]
+            })
             .unwrap();
         let replacement = svparse::Expr::binary(
             svparse::BinaryOp::BitOr,

@@ -153,7 +153,10 @@ impl fmt::Display for BugProfile {
 }
 
 /// One row of Table I: a bug type with its description and example forms.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serializable but not deserializable: the row text is `&'static str` borrowed from
+/// the paper's verbatim table, which an owned JSON tree cannot provide.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct TaxonomyRow {
     /// Type label (`Direct`, `Indirect`, `Var`, `Value`, `Op`, `Cond`, `Non_cond`).
     pub label: &'static str,

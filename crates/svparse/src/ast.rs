@@ -269,12 +269,9 @@ impl Module {
     /// procedural blocks), as opposed to pure declarations.  Stage 1 of the data
     /// pipeline filters out modules without functional logic.
     pub fn has_functional_logic(&self) -> bool {
-        self.items.iter().any(|item| {
-            matches!(
-                item,
-                Item::Assign(_) | Item::Always(_) | Item::Initial(_)
-            )
-        })
+        self.items
+            .iter()
+            .any(|item| matches!(item, Item::Assign(_) | Item::Always(_) | Item::Initial(_)))
     }
 }
 
@@ -868,6 +865,7 @@ impl Expr {
     }
 
     /// Logical negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Expr::unary(UnaryOp::LogicalNot, self)
     }
@@ -1128,7 +1126,10 @@ mod tests {
             LValue::Ident("carry".into()),
             LValue::Part("sum".into(), BitRange::new(3, 0)),
         ]);
-        assert_eq!(lv.base_names(), vec!["carry".to_string(), "sum".to_string()]);
+        assert_eq!(
+            lv.base_names(),
+            vec!["carry".to_string(), "sum".to_string()]
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub struct Lexer<'a> {
 
 /// Multi-character symbols, longest first so that maximal munch works.
 const MULTI_SYMBOLS: &[&str] = &[
-    "|=>", "|->", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=", ">=", "<<",
-    ">>", "+:", "-:",
+    "|=>", "|->", "<<<", ">>>", "===", "!==", "##", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+:", "-:",
 ];
 
 const SINGLE_SYMBOLS: &[char] = &[

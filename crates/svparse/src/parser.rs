@@ -186,9 +186,9 @@ impl Parser {
         };
         let net = if self.eat_keyword(Keyword::Reg) {
             NetKind::Reg
-        } else if self.eat_keyword(Keyword::Wire) || self.eat_keyword(Keyword::Logic) {
-            NetKind::Wire
         } else {
+            // `wire`/`logic` are optional on ports; consume the keyword when present.
+            let _ = self.eat_keyword(Keyword::Wire) || self.eat_keyword(Keyword::Logic);
             NetKind::Wire
         };
         self.eat_keyword(Keyword::Signed);
@@ -468,8 +468,9 @@ impl Parser {
         if self.eat_symbol("[") {
             let first = self.parse_expr()?;
             if self.eat_symbol(":") {
-                let msb = expr_const(&first)
-                    .ok_or_else(|| ParseError::new("part-select bounds must be constant", self.line()))?;
+                let msb = expr_const(&first).ok_or_else(|| {
+                    ParseError::new("part-select bounds must be constant", self.line())
+                })?;
                 let lsb = self.expect_number()? as u32;
                 self.expect_symbol("]")?;
                 return Ok(LValue::Part(name, BitRange::new(msb as u32, lsb)));
@@ -749,9 +750,7 @@ impl Parser {
         })
     }
 
-    fn parse_property_spec(
-        &mut self,
-    ) -> Result<(EdgeEvent, Option<Expr>, PropExpr), ParseError> {
+    fn parse_property_spec(&mut self) -> Result<(EdgeEvent, Option<Expr>, PropExpr), ParseError> {
         self.expect_symbol("@")?;
         self.expect_symbol("(")?;
         let edge = if self.eat_keyword(Keyword::Posedge) {
@@ -763,10 +762,7 @@ impl Parser {
         };
         let clk = self.expect_ident()?;
         self.expect_symbol(")")?;
-        let clock = EdgeEvent {
-            edge,
-            signal: clk,
-        };
+        let clock = EdgeEvent { edge, signal: clk };
         let disable_iff = if self.eat_keyword(Keyword::Disable) {
             self.expect_keyword(Keyword::Iff)?;
             self.expect_symbol("(")?;
@@ -831,7 +827,9 @@ impl Parser {
         self.expect_symbol("(")?;
         let target = if self.peek().is_symbol("@") {
             let (clock, disable_iff, body) = self.parse_property_spec()?;
-            let inline_name = label.clone().unwrap_or_else(|| "inline_property".to_string());
+            let inline_name = label
+                .clone()
+                .unwrap_or_else(|| "inline_property".to_string());
             AssertTarget::Inline(Box::new(PropertyDecl {
                 name: inline_name,
                 clock,
@@ -1098,14 +1096,9 @@ endmodule
 
     #[test]
     fn initial_block() {
-        let m = crate::parse_module(
-            "module m(output reg q); initial begin q = 0; end endmodule",
-        )
-        .unwrap();
-        assert!(m
-            .items
-            .iter()
-            .any(|i| matches!(i, Item::Initial(_))));
+        let m = crate::parse_module("module m(output reg q); initial begin q = 0; end endmodule")
+            .unwrap();
+        assert!(m.items.iter().any(|i| matches!(i, Item::Initial(_))));
     }
 
     #[test]

@@ -117,11 +117,11 @@ fn emit_port(port: &Port) -> String {
 fn emit_item(w: &mut Writer, item: &Item) {
     match item {
         Item::Net(decl) => {
-            let range = decl
-                .width
-                .map(|r| format!(" {r}"))
-                .unwrap_or_default();
-            w.line(1, &format!("{}{} {};", decl.kind, range, decl.names.join(", ")));
+            let range = decl.width.map(|r| format!(" {r}")).unwrap_or_default();
+            w.line(
+                1,
+                &format!("{}{} {};", decl.kind, range, decl.names.join(", ")),
+            );
         }
         Item::Param(p) => {
             let kw = if p.local { "localparam" } else { "parameter" };
@@ -288,7 +288,10 @@ fn emit_if(
 ) {
     let header = format!("{keyword} ({})", emit_expr(cond));
     if is_simple(then_branch) {
-        w.line(indent, &format!("{header} {}", simple_stmt_text(then_branch)));
+        w.line(
+            indent,
+            &format!("{header} {}", simple_stmt_text(then_branch)),
+        );
     } else {
         w.line(indent, &format!("{header} begin"));
         emit_body_lines(w, indent + 1, then_branch);

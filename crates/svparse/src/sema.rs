@@ -168,10 +168,7 @@ impl DependencyGraph {
     pub fn build(module: &Module) -> Self {
         let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut add = |target: &str, sources: Vec<String>| {
-            edges
-                .entry(target.to_string())
-                .or_default()
-                .extend(sources.into_iter());
+            edges.entry(target.to_string()).or_default().extend(sources);
         };
         for assign in module.assigns() {
             for target in assign.lhs.base_names() {
@@ -305,20 +302,8 @@ pub fn const_eval(expr: &Expr) -> Option<u64> {
                 BinaryOp::Add => a.wrapping_add(b),
                 BinaryOp::Sub => a.wrapping_sub(b),
                 BinaryOp::Mul => a.wrapping_mul(b),
-                BinaryOp::Div => {
-                    if b == 0 {
-                        0
-                    } else {
-                        a / b
-                    }
-                }
-                BinaryOp::Mod => {
-                    if b == 0 {
-                        0
-                    } else {
-                        a % b
-                    }
-                }
+                BinaryOp::Div => a.checked_div(b).unwrap_or(0),
+                BinaryOp::Mod => a.checked_rem(b).unwrap_or(0),
                 BinaryOp::Shl => a.wrapping_shl(b as u32),
                 BinaryOp::Shr => a.wrapping_shr(b as u32),
                 BinaryOp::Lt => u64::from(a < b),
@@ -380,9 +365,7 @@ pub fn check_module(module: &Module) -> SemaReport {
                     } else if let Some(info) = table.signal(&name) {
                         if info.kind == NetKind::Reg && info.dir != Some(PortDir::Input) {
                             report.warnings.push(SemaError {
-                                message: format!(
-                                    "continuous assignment drives reg `{name}`"
-                                ),
+                                message: format!("continuous assignment drives reg `{name}`"),
                                 line: assign.span.start_line,
                             });
                         }
@@ -534,10 +517,8 @@ endmodule
 
     #[test]
     fn undeclared_identifier_is_error() {
-        let m = parse_module(
-            "module m(input a, output b); assign b = a & missing; endmodule",
-        )
-        .unwrap();
+        let m =
+            parse_module("module m(input a, output b); assign b = a & missing; endmodule").unwrap();
         let report = check_module(&m);
         assert!(!report.is_clean());
         assert!(report.errors[0].message.contains("missing"));

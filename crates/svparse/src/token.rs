@@ -70,6 +70,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Maps an identifier to a keyword, if it is one.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(word: &str) -> Option<Keyword> {
         Some(match word {
             "module" => Keyword::Module,

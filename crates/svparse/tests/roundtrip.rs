@@ -1,8 +1,14 @@
-//! Property-based tests for the frontend: randomly generated ASTs must pretty-print to
-//! text that re-parses to the same canonical form (emit ∘ parse is idempotent), and
-//! expression emission must preserve structure.
+//! Randomised round-trip tests for the frontend: randomly generated ASTs must
+//! pretty-print to text that re-parses to the same canonical form (emit ∘ parse is
+//! idempotent), and expression emission must preserve structure.
+//!
+//! Originally written against `proptest`; the workspace now vendors a minimal `rand`
+//! stand-in instead, so the strategies are hand-rolled seeded generators.  Every case
+//! is deterministic per seed, and failures print the offending seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use svparse::{
     emit_module, parse_module, BinaryOp, BitRange, Expr, Item, LValue, Literal, Module, NetDecl,
     NetKind, Port, Span, Stmt, UnaryOp,
@@ -11,42 +17,60 @@ use svparse::{
 /// Signal pool used by generated expressions; all are declared in the wrapper module.
 const SIGNALS: &[&str] = &["a", "b", "c", "d", "sel"];
 
-fn arb_literal() -> impl Strategy<Value = Expr> {
-    (1u32..=8, 0u64..256).prop_map(|(w, v)| {
-        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
-        Expr::Number(Literal::sized(w, v & mask))
-    })
+fn arb_literal(rng: &mut StdRng) -> Expr {
+    let width = rng.gen_range(1..=8u32);
+    let value = rng.gen_range(0..256u64);
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    Expr::Number(Literal::sized(width, value & mask))
 }
 
-fn arb_binop() -> impl Strategy<Value = BinaryOp> {
-    prop::sample::select(BinaryOp::all().to_vec())
-}
-
-fn arb_unop() -> impl Strategy<Value = UnaryOp> {
-    prop::sample::select(vec![
+fn arb_unop(rng: &mut StdRng) -> UnaryOp {
+    *[
         UnaryOp::LogicalNot,
         UnaryOp::BitNot,
         UnaryOp::RedAnd,
         UnaryOp::RedOr,
         UnaryOp::RedXor,
-    ])
+    ]
+    .choose(rng)
+    .expect("non-empty op pool")
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_literal(),
-        prop::sample::select(SIGNALS.to_vec()).prop_map(Expr::ident),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
-            (arb_unop(), inner.clone()).prop_map(|(op, e)| Expr::unary(op, e)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Expr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Concat),
-        ]
-    })
+/// Recursive expression generator mirroring the old proptest strategy: leaves are
+/// literals or identifiers; inner nodes are binary/unary/ternary/concat.
+fn arb_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            arb_literal(rng)
+        } else {
+            Expr::ident(*SIGNALS.choose(rng).expect("non-empty signal pool"))
+        };
+    }
+    match rng.gen_range(0..4u8) {
+        0 => {
+            let op = *BinaryOp::all().choose(rng).expect("non-empty binop pool");
+            let lhs = arb_expr(rng, depth - 1);
+            let rhs = arb_expr(rng, depth - 1);
+            Expr::binary(op, lhs, rhs)
+        }
+        1 => {
+            let op = arb_unop(rng);
+            Expr::unary(op, arb_expr(rng, depth - 1))
+        }
+        2 => Expr::Ternary(
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+        _ => {
+            let arity = rng.gen_range(2..4usize);
+            Expr::Concat((0..arity).map(|_| arb_expr(rng, depth - 1)).collect())
+        }
+    }
 }
 
 /// Wraps an expression into a module that declares every signal in the pool.
@@ -67,47 +91,62 @@ fn wrap_module(expr: Expr) -> Module {
     Module::new("prop_m", ports, items)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Canonical emission is idempotent: emit(parse(emit(ast))) == emit(ast).
-    #[test]
-    fn emit_parse_emit_is_idempotent(expr in arb_expr()) {
-        let module = wrap_module(expr);
+/// Canonical emission is idempotent: emit(parse(emit(ast))) == emit(ast).
+#[test]
+fn emit_parse_emit_is_idempotent() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let module = wrap_module(arb_expr(&mut rng, 4));
         let once = emit_module(&module);
-        let reparsed = parse_module(&once).expect("canonical text must re-parse");
+        let reparsed = parse_module(&once)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical text must re-parse: {e:?}"));
         let twice = emit_module(&reparsed);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}: emission not idempotent");
     }
+}
 
-    /// Every canonical emission parses cleanly and keeps the same declared signals.
-    #[test]
-    fn canonical_text_reparses(expr in arb_expr()) {
-        let module = wrap_module(expr);
+/// Every canonical emission parses cleanly and keeps the same declared signals.
+#[test]
+fn canonical_text_reparses() {
+    for seed in 1000..1128u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let module = wrap_module(arb_expr(&mut rng, 4));
         let text = emit_module(&module);
-        let reparsed = parse_module(&text).expect("canonical text must re-parse");
-        prop_assert_eq!(reparsed.ports.len(), module.ports.len());
-        prop_assert_eq!(reparsed.name, module.name);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical text must re-parse: {e:?}"));
+        assert_eq!(reparsed.ports.len(), module.ports.len(), "seed {seed}");
+        assert_eq!(reparsed.name, module.name, "seed {seed}");
     }
+}
 
-    /// Identifier collection is stable across the round trip.
-    #[test]
-    fn idents_preserved(expr in arb_expr()) {
+/// Identifier collection is stable across the round trip.
+#[test]
+fn idents_preserved() {
+    for seed in 2000..2128u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expr = arb_expr(&mut rng, 4);
         let before = expr.idents();
         let module = wrap_module(expr);
         let text = emit_module(&module);
         let reparsed = parse_module(&text).unwrap();
-        let after = reparsed.assigns().next().unwrap().rhs.idents();
-        prop_assert_eq!(before, after);
+        let after = reparsed
+            .assigns()
+            .next()
+            .expect("wrapper module has one assign")
+            .rhs
+            .idents();
+        assert_eq!(before, after, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Randomly generated procedural statements survive the round trip.
-    #[test]
-    fn statements_roundtrip(conds in prop::collection::vec(arb_expr(), 1..4)) {
+/// Randomly generated procedural statements survive the round trip.
+#[test]
+fn statements_roundtrip() {
+    for seed in 3000..3064u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conds: Vec<Expr> = (0..rng.gen_range(1..4usize))
+            .map(|_| arb_expr(&mut rng, 4))
+            .collect();
         let mut stmts = Vec::new();
         for (i, cond) in conds.into_iter().enumerate() {
             let target = if i % 2 == 0 { "q" } else { "r" };
@@ -138,13 +177,17 @@ proptest! {
         ];
         let items = vec![Item::Always(svparse::AlwaysBlock {
             sensitivity: svparse::Sensitivity::Edges(vec![svparse::EdgeEvent::posedge("clk")]),
-            body: Stmt::Block { stmts, span: Span::synthetic() },
+            body: Stmt::Block {
+                stmts,
+                span: Span::synthetic(),
+            },
             span: Span::synthetic(),
         })];
         let module = Module::new("prop_stmt", ports, items);
         let once = emit_module(&module);
-        let reparsed = parse_module(&once).expect("canonical text must re-parse");
-        prop_assert_eq!(emit_module(&reparsed), once);
+        let reparsed = parse_module(&once)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical text must re-parse: {e:?}"));
+        assert_eq!(emit_module(&reparsed), once, "seed {seed}");
     }
 }
 

@@ -1,0 +1,194 @@
+//! Content-addressed response cache with LRU eviction.
+//!
+//! Cache keys are a 128-bit FNV-1a hash over the full request content — spec, buggy
+//! source, failure log, sample count and temperature — so two requests share an entry
+//! exactly when the model would be asked the identical question.  The same key also
+//! seeds the sampler (see [`crate::service`]), which is what makes service results
+//! independent of worker count and arrival order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use svmodel::{CaseInput, Response};
+
+/// Content hash of one repair request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CaseKey(pub u128);
+
+impl CaseKey {
+    /// Folds the 128-bit key into 64 bits (used for shard routing and seeding).
+    pub fn fold64(self) -> u64 {
+        (self.0 as u64) ^ ((self.0 >> 64) as u64)
+    }
+}
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+fn fnv1a128(state: u128, bytes: &[u8]) -> u128 {
+    let mut hash = state;
+    for &byte in bytes {
+        hash ^= byte as u128;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes one field with a length prefix so field boundaries cannot alias
+/// (`("ab", "c")` must not collide with `("a", "bc")`).
+fn fold_field(state: u128, bytes: &[u8]) -> u128 {
+    let with_len = fnv1a128(state, &(bytes.len() as u64).to_le_bytes());
+    fnv1a128(with_len, bytes)
+}
+
+/// Computes the content-addressed key of a request.
+pub fn case_key(case: &CaseInput, samples: usize, temperature: f64) -> CaseKey {
+    let mut hash = FNV_OFFSET;
+    hash = fold_field(hash, case.spec.as_bytes());
+    hash = fold_field(hash, case.buggy_source.as_bytes());
+    hash = fold_field(hash, case.logs.as_bytes());
+    hash = fold_field(hash, &(samples as u64).to_le_bytes());
+    hash = fold_field(hash, &temperature.to_bits().to_le_bytes());
+    CaseKey(hash)
+}
+
+struct Entry {
+    responses: Arc<Vec<Response>>,
+    stamp: u64,
+}
+
+/// A least-recently-used response cache.
+///
+/// Recency is tracked with a monotonically increasing stamp per access plus a
+/// stamp-ordered index, giving `O(log n)` lookup/insert/evict without unsafe code.
+pub struct LruCache {
+    map: HashMap<u128, Entry>,
+    by_stamp: BTreeMap<u64, u128>,
+    next_stamp: u64,
+    capacity: usize,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` entries (minimum one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            next_stamp: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.  Hits cost one `Arc` bump,
+    /// not a deep clone of the response strings.
+    pub fn get(&mut self, key: CaseKey) -> Option<Arc<Vec<Response>>> {
+        let entry = self.map.get_mut(&key.0)?;
+        self.by_stamp.remove(&entry.stamp);
+        entry.stamp = self.next_stamp;
+        self.by_stamp.insert(self.next_stamp, key.0);
+        self.next_stamp += 1;
+        Some(Arc::clone(&entry.responses))
+    }
+
+    /// Inserts a response set, evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: CaseKey, responses: Arc<Vec<Response>>) {
+        if let Some(existing) = self.map.get(&key.0) {
+            self.by_stamp.remove(&existing.stamp);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest_stamp, &oldest_key)) = self.by_stamp.iter().next() {
+                self.by_stamp.remove(&oldest_stamp);
+                self.map.remove(&oldest_key);
+            }
+        }
+        self.map.insert(
+            key.0,
+            Entry {
+                responses,
+                stamp: self.next_stamp,
+            },
+        );
+        self.by_stamp.insert(self.next_stamp, key.0);
+        self.next_stamp += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(spec: &str, source: &str, logs: &str) -> CaseInput {
+        CaseInput {
+            spec: spec.to_string(),
+            buggy_source: source.to_string(),
+            logs: logs.to_string(),
+        }
+    }
+
+    fn response(line: u32) -> Response {
+        Response {
+            bug_line_number: line,
+            buggy_line: format!("line {line}"),
+            fixed_line: format!("fixed {line}"),
+            cot: None,
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_content_addressed() {
+        let a = case_key(&case("spec", "src", "log"), 8, 0.2);
+        let b = case_key(&case("spec", "src", "log"), 8, 0.2);
+        assert_eq!(a, b, "identical content must produce identical keys");
+
+        // Every key component must matter.
+        assert_ne!(a, case_key(&case("spec2", "src", "log"), 8, 0.2));
+        assert_ne!(a, case_key(&case("spec", "src2", "log"), 8, 0.2));
+        assert_ne!(a, case_key(&case("spec", "src", "log2"), 8, 0.2));
+        assert_ne!(a, case_key(&case("spec", "src", "log"), 9, 0.2));
+        assert_ne!(a, case_key(&case("spec", "src", "log"), 8, 0.3));
+    }
+
+    #[test]
+    fn key_fields_do_not_alias_across_boundaries() {
+        let a = case_key(&case("ab", "c", ""), 1, 0.0);
+        let b = case_key(&case("a", "bc", ""), 1, 0.0);
+        assert_ne!(a, b, "field boundaries must be part of the hash");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let keys: Vec<CaseKey> = (0..4)
+            .map(|i| case_key(&case(&format!("s{i}"), "", ""), 1, 0.0))
+            .collect();
+        let mut cache = LruCache::new(3);
+        for (i, &key) in keys.iter().take(3).enumerate() {
+            cache.insert(key, Arc::new(vec![response(i as u32)]));
+        }
+        // Touch key 0 so key 1 becomes the LRU entry.
+        assert!(cache.get(keys[0]).is_some());
+        cache.insert(keys[3], Arc::new(vec![response(3)]));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(keys[1]).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(keys[0]).is_some());
+        assert!(cache.get(keys[2]).is_some());
+        assert!(cache.get(keys[3]).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_grow_the_cache() {
+        let key = case_key(&case("s", "", ""), 1, 0.0);
+        let mut cache = LruCache::new(2);
+        cache.insert(key, Arc::new(vec![response(1)]));
+        cache.insert(key, Arc::new(vec![response(2)]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(key).unwrap()[0].bug_line_number, 2);
+    }
+}

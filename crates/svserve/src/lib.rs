@@ -1,0 +1,63 @@
+//! # svserve — a concurrent, sharded repair service over any [`svmodel::RepairModel`]
+//!
+//! The paper evaluates AssertSolver one case at a time; this crate is the serving
+//! harness that turns a repair model into a system that can absorb heavy traffic:
+//!
+//! * **Sharded worker pool** — N worker threads, each owning one bounded queue shard
+//!   ([`queue`]); submitters block when a shard is full (backpressure) instead of
+//!   growing memory without bound.
+//! * **Micro-batching** — workers drain up to [`ServiceConfig::max_batch`] jobs per
+//!   wake-up, amortizing queue synchronization across model invocations
+//!   ([`ServiceMetrics::mean_batch_size`] shows the effect).
+//! * **Content-addressed response cache** — answers are cached under a 128-bit hash
+//!   of `(spec, buggy source, failure log, samples, temperature)` with LRU eviction
+//!   and hit/miss counters ([`cache`]).
+//! * **Metrics** — [`ServiceMetrics`] snapshots throughput, per-stage latency
+//!   (queue wait / cache lookup / solve), queue depth and cache hit rate.
+//! * **Determinism** — sampler seeds derive from the content hash plus the service
+//!   seed, never from arrival order or worker identity, so the same workload yields
+//!   byte-identical responses at any worker count.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use svserve::{serve_scoped, RepairRequest, ServiceConfig};
+//! use svmodel::{AssertSolverModel, CaseInput};
+//!
+//! let model = AssertSolverModel::base(1);
+//! let case = CaseInput {
+//!     spec: "spec".into(),
+//!     buggy_source: "module m(); endmodule".into(),
+//!     logs: String::new(),
+//! };
+//! let outcomes = serve_scoped(&model, ServiceConfig::default(), |service| {
+//!     service.solve_all(vec![RepairRequest::new(case, 3, 0.2)])
+//! });
+//! assert_eq!(outcomes[0].responses.len(), 3);
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+
+pub use cache::{case_key, CaseKey, LruCache};
+pub use metrics::ServiceMetrics;
+pub use queue::ServiceClosed;
+pub use service::{
+    serve_scoped, RepairOutcome, RepairRequest, RepairService, RepairTicket, ScopedService,
+    ServiceConfig,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::ServiceConfig>();
+        assert_send_sync::<super::ServiceMetrics>();
+        assert_send_sync::<super::RepairRequest>();
+        assert_send_sync::<super::RepairOutcome>();
+        assert_send_sync::<super::RepairTicket>();
+    }
+}

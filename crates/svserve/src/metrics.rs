@@ -1,0 +1,233 @@
+//! Lock-free service instrumentation and the [`ServiceMetrics`] snapshot.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Internal atomic counters shared by the submit path and the workers.
+pub(crate) struct MetricsRecorder {
+    started_at: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    solve_panics: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    cache_lookup_ns: AtomicU64,
+    solve_ns: AtomicU64,
+}
+
+impl MetricsRecorder {
+    pub(crate) fn new() -> Self {
+        Self {
+            started_at: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            solve_panics: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            cache_lookup_ns: AtomicU64::new(0),
+            solve_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_submit(&self, depth_after: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.peak_queue_depth
+            .fetch_max(depth_after as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_solve_panic(&self) {
+        self.solve_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_job(
+        &self,
+        queue_wait: Duration,
+        cache_lookup: Duration,
+        solve: Option<Duration>,
+    ) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_ns
+            .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+        self.cache_lookup_ns
+            .fetch_add(cache_lookup.as_nanos() as u64, Ordering::Relaxed);
+        match solve {
+            Some(duration) => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.solve_ns
+                    .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        workers: usize,
+        queue_depth: usize,
+        cache_entries: usize,
+    ) -> ServiceMetrics {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let solve_panics = self.solve_panics.load(Ordering::Relaxed);
+        let uptime = self.started_at.elapsed();
+        let per_mean = |total_ns: &AtomicU64, count: u64| {
+            if count == 0 {
+                0.0
+            } else {
+                total_ns.load(Ordering::Relaxed) as f64 / count as f64 / 1_000.0
+            }
+        };
+        ServiceMetrics {
+            workers,
+            submitted,
+            completed,
+            queue_depth,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed) as usize,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            cache_hit_rate: if cache_hits + cache_misses == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / (cache_hits + cache_misses) as f64
+            },
+            solve_panics,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            mean_queue_wait_us: per_mean(&self.queue_wait_ns, completed),
+            mean_cache_lookup_us: per_mean(&self.cache_lookup_ns, completed),
+            mean_solve_us: per_mean(&self.solve_ns, cache_misses),
+            uptime_secs: uptime.as_secs_f64(),
+            throughput_per_sec: if uptime.as_secs_f64() > 0.0 {
+                completed as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time view of service health and performance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceMetrics {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Requests accepted by `submit`.
+    pub submitted: u64,
+    /// Requests fully served (cache hits included).
+    pub completed: u64,
+    /// Jobs currently waiting across all shards.
+    pub queue_depth: usize,
+    /// Highest single-shard depth observed at submit time.
+    pub peak_queue_depth: usize,
+    /// Requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Requests that required a model invocation.
+    pub cache_misses: u64,
+    /// Entries currently resident across all shard caches.
+    pub cache_entries: usize,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing completed.
+    pub cache_hit_rate: f64,
+    /// Model invocations that panicked; the service absorbed the panic and served
+    /// an empty response set instead of stranding the ticket.
+    pub solve_panics: u64,
+    /// Mean jobs drained per worker wake-up (micro-batching effectiveness).
+    pub mean_batch_size: f64,
+    /// Mean time a job spent queued, in microseconds.
+    pub mean_queue_wait_us: f64,
+    /// Mean cache probe time, in microseconds.
+    pub mean_cache_lookup_us: f64,
+    /// Mean model invocation time (misses only), in microseconds.
+    pub mean_solve_us: f64,
+    /// Service lifetime at snapshot, in seconds.
+    pub uptime_secs: f64,
+    /// Completed requests per second of uptime.
+    pub throughput_per_sec: f64,
+}
+
+impl ServiceMetrics {
+    /// Renders the snapshot as an aligned text block for logs and examples.
+    pub fn render(&self) -> String {
+        format!(
+            "service metrics\n\
+             \x20 workers           {:>10}\n\
+             \x20 submitted         {:>10}\n\
+             \x20 completed         {:>10}\n\
+             \x20 throughput        {:>10.1} cases/s\n\
+             \x20 queue depth       {:>10} (peak {})\n\
+             \x20 cache             {:>10} entries, {} hits / {} misses ({:.1}% hit rate)\n\
+             \x20 solve panics      {:>10}\n\
+             \x20 mean batch size   {:>10.2}\n\
+             \x20 queue wait        {:>10.1} µs mean\n\
+             \x20 cache lookup      {:>10.1} µs mean\n\
+             \x20 model solve       {:>10.1} µs mean\n\
+             \x20 uptime            {:>10.3} s",
+            self.workers,
+            self.submitted,
+            self.completed,
+            self.throughput_per_sec,
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.cache_entries,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate * 100.0,
+            self.solve_panics,
+            self.mean_batch_size,
+            self.mean_queue_wait_us,
+            self.mean_cache_lookup_us,
+            self.mean_solve_us,
+            self.uptime_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let recorder = MetricsRecorder::new();
+        recorder.record_submit(3);
+        recorder.record_submit(1);
+        recorder.record_batch();
+        recorder.record_job(
+            Duration::from_micros(10),
+            Duration::from_micros(1),
+            Some(Duration::from_micros(100)),
+        );
+        recorder.record_job(Duration::from_micros(30), Duration::from_micros(1), None);
+        let snap = recorder.snapshot(4, 1, 7);
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.peak_queue_depth, 3);
+        assert_eq!(snap.cache_entries, 7);
+        assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert!((snap.mean_batch_size - 2.0).abs() < 1e-12);
+        assert!((snap.mean_queue_wait_us - 20.0).abs() < 1e-9);
+        assert!((snap.mean_solve_us - 100.0).abs() < 1e-9);
+        assert!(snap.render().contains("cases/s"));
+    }
+}

@@ -1,0 +1,650 @@
+//! The repair service: submit/await frontend over a sharded worker pool.
+//!
+//! Two frontends share one engine ([`ServiceCore`] + [`worker_loop`]):
+//!
+//! * [`RepairService`] owns its model (`Arc<M>`) and keeps a persistent pool until
+//!   [`RepairService::shutdown`] or drop — the long-running daemon shape;
+//! * [`serve_scoped`] borrows the model for the duration of a closure using scoped
+//!   threads — the shape `assertsolver::evaluate_model` uses, since evaluation only
+//!   holds `&M`.
+//!
+//! ## Determinism
+//!
+//! The response set for a request is a pure function of the request content and the
+//! service seed: the sampler seed is derived from the content hash (never from
+//! arrival order or worker identity), and requests route to shards by the same hash.
+//! Running the same workload with 1 or 8 workers therefore yields byte-identical
+//! responses — only the wall-clock changes.
+
+use crate::cache::{case_key, CaseKey, LruCache};
+use crate::metrics::{MetricsRecorder, ServiceMetrics};
+use crate::queue::{ServiceClosed, Shard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use svmodel::{CaseInput, RepairModel, Response};
+
+/// Service tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads (and queue/cache shards). Clamped to at least 1.
+    pub workers: usize,
+    /// Bounded depth of each shard queue; submitters block past this (backpressure).
+    pub shard_capacity: usize,
+    /// Maximum jobs a worker drains per wake-up (micro-batching).
+    pub max_batch: usize,
+    /// Total response-cache entries across all shards.
+    pub cache_capacity: usize,
+    /// Service seed mixed into every per-case sampler seed.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            shard_capacity: 64,
+            max_batch: 8,
+            cache_capacity: 1024,
+            seed: 0x0005_E127_AB1E,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns the config with the worker count replaced.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the config with the service seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.shard_capacity = self.shard_capacity.max(1);
+        self.max_batch = self.max_batch.max(1);
+        self.cache_capacity = self.cache_capacity.max(self.workers);
+        self
+    }
+}
+
+/// One repair request: the case plus the sampling protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairRequest {
+    /// Model input (spec, buggy source, failure log).
+    pub case: CaseInput,
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// Sampling temperature.
+    pub temperature: f64,
+}
+
+impl RepairRequest {
+    /// Convenience constructor.
+    pub fn new(case: CaseInput, samples: usize, temperature: f64) -> Self {
+        Self {
+            case,
+            samples,
+            temperature,
+        }
+    }
+
+    /// The request's content-addressed cache key.
+    pub fn key(&self) -> CaseKey {
+        case_key(&self.case, self.samples, self.temperature)
+    }
+}
+
+/// A served request: the model's answers plus provenance and timing.
+///
+/// Responses are shared (`Arc`) with the service cache, so a cache hit costs one
+/// reference bump rather than a deep clone of every sampled string.  An empty
+/// response set with [`ServiceMetrics::solve_panics`] > 0 indicates the model
+/// panicked on this case (the service absorbs the panic instead of stranding the
+/// ticket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The sampled responses, in sampling order.
+    pub responses: Arc<Vec<Response>>,
+    /// Whether the answer came from the response cache.
+    pub from_cache: bool,
+    /// Index of the worker (= shard) that served the request.
+    pub worker: usize,
+    /// Time the job spent queued before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Cache lookup plus (on a miss) model invocation time.
+    pub service_time: Duration,
+}
+
+struct TicketState {
+    slot: Mutex<Option<RepairOutcome>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn fulfill(&self, outcome: RepairOutcome) {
+        *self.slot.lock().expect("ticket lock") = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// Await-handle for a submitted request.
+pub struct RepairTicket {
+    state: Arc<TicketState>,
+}
+
+impl RepairTicket {
+    /// Blocks until the request has been served.
+    pub fn wait(self) -> RepairOutcome {
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket lock");
+        }
+    }
+
+    /// Non-blocking poll; returns the outcome once served.
+    pub fn try_take(&self) -> Option<RepairOutcome> {
+        self.state.slot.lock().expect("ticket lock").take()
+    }
+}
+
+struct Job {
+    request: RepairRequest,
+    key: CaseKey,
+    seed: u64,
+    enqueued_at: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// Shared engine state: shard queues, shard caches, metrics, lifecycle flag.
+pub(crate) struct ServiceCore {
+    config: ServiceConfig,
+    shards: Vec<Shard<Job>>,
+    caches: Vec<Mutex<LruCache>>,
+    metrics: MetricsRecorder,
+    closed: AtomicBool,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ServiceCore {
+    fn new(config: ServiceConfig) -> Self {
+        let config = config.normalized();
+        let per_shard_cache = config.cache_capacity.div_ceil(config.workers);
+        Self {
+            shards: (0..config.workers)
+                .map(|_| Shard::new(config.shard_capacity))
+                .collect(),
+            caches: (0..config.workers)
+                .map(|_| Mutex::new(LruCache::new(per_shard_cache)))
+                .collect(),
+            metrics: MetricsRecorder::new(),
+            closed: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// Derives the sampler seed for a request: a pure function of service seed and
+    /// content hash, never of arrival order or worker identity.
+    fn derive_seed(&self, key: CaseKey) -> u64 {
+        splitmix64(self.config.seed ^ key.fold64())
+    }
+
+    fn shard_for(&self, key: CaseKey) -> usize {
+        (key.fold64() % self.shards.len() as u64) as usize
+    }
+
+    fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServiceClosed);
+        }
+        let key = request.key();
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let job = Job {
+            seed: self.derive_seed(key),
+            enqueued_at: Instant::now(),
+            ticket: Arc::clone(&state),
+            request,
+            key,
+        };
+        let shard = self.shard_for(key);
+        let depth = self.shards[shard].push_blocking(job, &self.closed)?;
+        self.metrics.record_submit(depth);
+        Ok(RepairTicket { state })
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    fn cache_entries(&self) -> usize {
+        self.caches
+            .iter()
+            .map(|cache| cache.lock().expect("cache lock").len())
+            .sum()
+    }
+
+    fn snapshot(&self) -> ServiceMetrics {
+        self.metrics.snapshot(
+            self.config.workers,
+            self.queue_depth(),
+            self.cache_entries(),
+        )
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.notify_all();
+        }
+    }
+}
+
+/// Closes the core when dropped, so scoped workers exit even if the body panics.
+struct CloseGuard<'a>(&'a ServiceCore);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+fn worker_loop<M: RepairModel + ?Sized>(core: &ServiceCore, model: &M, shard_idx: usize) {
+    loop {
+        let batch = core.shards[shard_idx].drain_batch(core.config.max_batch, &core.closed);
+        if batch.is_empty() {
+            // Closed and drained.
+            return;
+        }
+        core.metrics.record_batch();
+        for job in batch {
+            let queue_wait = job.enqueued_at.elapsed();
+            let service_start = Instant::now();
+            let cached = core.caches[shard_idx]
+                .lock()
+                .expect("cache lock")
+                .get(job.key);
+            let cache_lookup = service_start.elapsed();
+            let (responses, solve_time) = match cached {
+                Some(responses) => (responses, None),
+                None => {
+                    let solve_start = Instant::now();
+                    // A panicking model must not take the worker down: an unwinding
+                    // worker would strand every ticket in its shard (waiters block
+                    // forever and scoped pools never join).  Catch the panic, serve
+                    // an empty response set, and count it in the metrics.
+                    let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        model.solve(
+                            &job.request.case,
+                            job.request.samples,
+                            job.request.temperature,
+                            job.seed,
+                        )
+                    }));
+                    let elapsed = solve_start.elapsed();
+                    match solved {
+                        Ok(responses) => {
+                            let responses = Arc::new(responses);
+                            core.caches[shard_idx]
+                                .lock()
+                                .expect("cache lock")
+                                .insert(job.key, Arc::clone(&responses));
+                            (responses, Some(elapsed))
+                        }
+                        Err(_) => {
+                            // Not cached: a retry should reach the model again.
+                            core.metrics.record_solve_panic();
+                            (Arc::new(Vec::new()), Some(elapsed))
+                        }
+                    }
+                }
+            };
+            core.metrics
+                .record_job(queue_wait, cache_lookup, solve_time);
+            job.ticket.fulfill(RepairOutcome {
+                responses,
+                from_cache: solve_time.is_none(),
+                worker: shard_idx,
+                queue_wait,
+                service_time: service_start.elapsed(),
+            });
+        }
+    }
+}
+
+/// A persistent repair service owning its model and worker pool.
+pub struct RepairService<M: RepairModel + Send + Sync + 'static> {
+    core: Arc<ServiceCore>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    _model: Arc<M>,
+}
+
+impl<M: RepairModel + Send + Sync + 'static> RepairService<M> {
+    /// Starts the worker pool.
+    pub fn start(model: Arc<M>, config: ServiceConfig) -> Self {
+        let core = Arc::new(ServiceCore::new(config));
+        let handles = (0..core.config.workers)
+            .map(|shard_idx| {
+                let core = Arc::clone(&core);
+                let model = Arc::clone(&model);
+                std::thread::Builder::new()
+                    .name(format!("svserve-worker-{shard_idx}"))
+                    .spawn(move || worker_loop(&core, &*model, shard_idx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            core,
+            handles,
+            _model: model,
+        }
+    }
+
+    /// Submits one request; blocks only when the target shard is at capacity.
+    pub fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+        self.core.submit(request)
+    }
+
+    /// Submits a whole workload and waits for every answer, preserving input order.
+    pub fn solve_all(&self, requests: Vec<RepairRequest>) -> Vec<RepairOutcome> {
+        solve_all_on(&self.core, requests)
+    }
+
+    /// Takes a metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.core.snapshot()
+    }
+
+    /// Stops accepting work, drains the queues and joins the workers.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.core.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.core.snapshot()
+    }
+}
+
+impl<M: RepairModel + Send + Sync + 'static> Drop for RepairService<M> {
+    fn drop(&mut self) {
+        self.core.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Borrowed-model service handle available inside [`serve_scoped`].
+pub struct ScopedService<'a> {
+    core: &'a ServiceCore,
+}
+
+impl ScopedService<'_> {
+    /// Submits one request; blocks only when the target shard is at capacity.
+    pub fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+        self.core.submit(request)
+    }
+
+    /// Submits a whole workload and waits for every answer, preserving input order.
+    pub fn solve_all(&self, requests: Vec<RepairRequest>) -> Vec<RepairOutcome> {
+        solve_all_on(self.core, requests)
+    }
+
+    /// Takes a metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.core.snapshot()
+    }
+}
+
+fn solve_all_on(core: &ServiceCore, requests: Vec<RepairRequest>) -> Vec<RepairOutcome> {
+    // Submit everything first (backpressure throttles us while workers drain),
+    // then await in input order.
+    let tickets: Vec<RepairTicket> = requests
+        .into_iter()
+        .map(|request| core.submit(request).expect("service open during solve_all"))
+        .collect();
+    tickets.into_iter().map(RepairTicket::wait).collect()
+}
+
+/// Runs a worker pool over a *borrowed* model for the duration of `body`.
+///
+/// The pool is built on scoped threads, so `model` only needs `Sync` — no `Arc`, no
+/// `'static`.  Workers drain outstanding jobs and exit when `body` returns (or
+/// panics).
+pub fn serve_scoped<M, F, R>(model: &M, config: ServiceConfig, body: F) -> R
+where
+    M: RepairModel + Sync + ?Sized,
+    F: FnOnce(&ScopedService<'_>) -> R,
+{
+    let core = ServiceCore::new(config);
+    std::thread::scope(|scope| {
+        let guard = CloseGuard(&core);
+        for shard_idx in 0..core.config.workers {
+            let core_ref = &core;
+            scope.spawn(move || worker_loop(core_ref, model, shard_idx));
+        }
+        let service = ScopedService { core: &core };
+        let result = body(&service);
+        drop(guard); // close + wake workers so the scope can join
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Deterministic test model: echoes a line number derived from case + seed, and
+    /// counts invocations so tests can prove cache hits skip the model.
+    struct CountingModel {
+        calls: AtomicUsize,
+    }
+
+    impl CountingModel {
+        fn new() -> Self {
+            Self {
+                calls: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl RepairModel for CountingModel {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn solve(
+            &self,
+            case: &CaseInput,
+            samples: usize,
+            _temperature: f64,
+            seed: u64,
+        ) -> Vec<Response> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            (0..samples)
+                .map(|i| Response {
+                    bug_line_number: (case.spec.len() as u32) + i as u32,
+                    buggy_line: case.buggy_source.clone(),
+                    fixed_line: format!("seed-{seed}-sample-{i}"),
+                    cot: None,
+                })
+                .collect()
+        }
+    }
+
+    fn request(tag: usize) -> RepairRequest {
+        RepairRequest::new(
+            CaseInput {
+                spec: format!("spec {tag}"),
+                buggy_source: format!("module m{tag}(); endmodule"),
+                logs: format!("assertion a{tag} failed"),
+            },
+            4,
+            0.2,
+        )
+    }
+
+    #[test]
+    fn owned_service_serves_and_shuts_down() {
+        let model = Arc::new(CountingModel::new());
+        let service =
+            RepairService::start(Arc::clone(&model), ServiceConfig::default().with_workers(2));
+        let outcomes = service.solve_all((0..20).map(request).collect());
+        assert_eq!(outcomes.len(), 20);
+        assert!(outcomes.iter().all(|o| o.responses.len() == 4));
+        let metrics = service.shutdown();
+        assert_eq!(metrics.completed, 20);
+        assert_eq!(metrics.cache_misses, 20);
+        assert_eq!(model.calls.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn repeated_submission_is_served_from_cache() {
+        let model = Arc::new(CountingModel::new());
+        let service =
+            RepairService::start(Arc::clone(&model), ServiceConfig::default().with_workers(2));
+        let first = service.submit(request(7)).unwrap().wait();
+        let second = service.submit(request(7)).unwrap().wait();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(first.responses, second.responses);
+        assert_eq!(
+            model.calls.load(Ordering::SeqCst),
+            1,
+            "cache hit must not re-invoke the model"
+        );
+        let metrics = service.metrics();
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.cache_misses, 1);
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts_and_orders() {
+        let workload: Vec<RepairRequest> = (0..40).map(request).collect();
+        let mut reversed = workload.clone();
+        reversed.reverse();
+
+        let run = |requests: Vec<RepairRequest>, workers: usize| -> Vec<Arc<Vec<Response>>> {
+            let model = CountingModel::new();
+            serve_scoped(
+                &model,
+                ServiceConfig::default().with_workers(workers),
+                |service| {
+                    service
+                        .solve_all(requests)
+                        .into_iter()
+                        .map(|o| o.responses)
+                        .collect()
+                },
+            )
+        };
+
+        let one = run(workload.clone(), 1);
+        let four = run(workload.clone(), 4);
+        assert_eq!(one, four, "worker count must not change results");
+
+        let mut reversed_results = run(reversed, 4);
+        reversed_results.reverse();
+        assert_eq!(
+            one, reversed_results,
+            "arrival order must not change results"
+        );
+    }
+
+    #[test]
+    fn scoped_service_reports_queue_and_batch_metrics() {
+        let model = CountingModel::new();
+        let metrics = serve_scoped(
+            &model,
+            ServiceConfig::default().with_workers(1).with_seed(9),
+            |service| {
+                let outcomes = service.solve_all((0..10).map(request).collect());
+                assert!(outcomes.iter().all(|o| o.worker == 0));
+                service.metrics()
+            },
+        );
+        assert_eq!(metrics.workers, 1);
+        assert_eq!(metrics.completed, 10);
+        assert!(metrics.mean_batch_size >= 1.0);
+        assert!(metrics.throughput_per_sec > 0.0);
+    }
+
+    #[test]
+    fn a_panicking_model_does_not_strand_tickets() {
+        struct PanickyModel;
+        impl RepairModel for PanickyModel {
+            fn name(&self) -> &str {
+                "panicky"
+            }
+            fn solve(
+                &self,
+                case: &CaseInput,
+                samples: usize,
+                _temperature: f64,
+                _seed: u64,
+            ) -> Vec<Response> {
+                if case.spec.contains("spec 3") {
+                    panic!("malformed case");
+                }
+                vec![
+                    Response {
+                        bug_line_number: 1,
+                        buggy_line: String::new(),
+                        fixed_line: String::new(),
+                        cot: None,
+                    };
+                    samples
+                ]
+            }
+        }
+
+        let metrics = serve_scoped(
+            &PanickyModel,
+            ServiceConfig::default().with_workers(2),
+            |service| {
+                let outcomes = service.solve_all((0..8).map(request).collect());
+                assert_eq!(outcomes.len(), 8, "every ticket must be fulfilled");
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    if i == 3 {
+                        assert!(outcome.responses.is_empty());
+                    } else {
+                        assert_eq!(outcome.responses.len(), 4);
+                    }
+                }
+                service.metrics()
+            },
+        );
+        assert_eq!(metrics.solve_panics, 1);
+        assert_eq!(metrics.completed, 8);
+    }
+
+    #[test]
+    fn shard_routing_is_content_based() {
+        let core = ServiceCore::new(ServiceConfig::default().with_workers(4));
+        for tag in 0..32 {
+            let key = request(tag).key();
+            assert_eq!(core.shard_for(key), core.shard_for(key));
+        }
+        // Seeds derive from content, not order: same request, same seed.
+        let key = request(3).key();
+        assert_eq!(core.derive_seed(key), core.derive_seed(key));
+        assert_ne!(core.derive_seed(key), core.derive_seed(request(4).key()));
+    }
+}

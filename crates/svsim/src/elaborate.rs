@@ -297,7 +297,10 @@ endmodule
         let design = Design::elaborate(&parse_module(SRC).unwrap()).unwrap();
         assert_eq!(design.clock.as_deref(), Some("clk"));
         assert_eq!(design.reset_n.as_deref(), Some("rst_n"));
-        assert_eq!(design.inputs, vec!["rst_n".to_string(), "valid_in".to_string()]);
+        assert_eq!(
+            design.inputs,
+            vec!["rst_n".to_string(), "valid_in".to_string()]
+        );
         assert_eq!(design.outputs, vec!["valid_out".to_string()]);
         assert_eq!(design.width("cnt"), 2);
         assert!(design.has_assertions());

@@ -178,9 +178,10 @@ pub fn exec_stmt(
         } => {
             let subject_value = eval_in_state(subject, state);
             for arm in arms {
-                let matched = arm.labels.iter().any(|label| {
-                    eval_in_state(label, state).bits() == subject_value.bits()
-                });
+                let matched = arm
+                    .labels
+                    .iter()
+                    .any(|label| eval_in_state(label, state).bits() == subject_value.bits());
                 if matched {
                     exec_stmt(&arm.body, state, deferred, widths);
                     return;
@@ -324,8 +325,14 @@ mod tests {
         let state = state_of(&[("d", 0b1100_1010, 8), ("i", 3, 3)]);
         assert!(eval_in_state(&expr("d[i]"), &state).is_true());
         assert_eq!(eval_in_state(&expr("d[7:4]"), &state).bits(), 0b1100);
-        assert_eq!(eval_in_state(&expr("{d[3:0], d[7:4]}"), &state).bits(), 0b1010_1100);
-        assert_eq!(eval_in_state(&expr("{2{d[3:0]}}"), &state).bits(), 0b1010_1010);
+        assert_eq!(
+            eval_in_state(&expr("{d[3:0], d[7:4]}"), &state).bits(),
+            0b1010_1100
+        );
+        assert_eq!(
+            eval_in_state(&expr("{2{d[3:0]}}"), &state).bits(),
+            0b1010_1010
+        );
     }
 
     #[test]
@@ -366,10 +373,13 @@ endmodule
 "#,
         )
         .unwrap();
-        let widths: BTreeMap<String, u32> =
-            [("q".to_string(), 4u32), ("en".to_string(), 1), ("rst_n".to_string(), 1)]
-                .into_iter()
-                .collect();
+        let widths: BTreeMap<String, u32> = [
+            ("q".to_string(), 4u32),
+            ("en".to_string(), 1),
+            ("rst_n".to_string(), 1),
+        ]
+        .into_iter()
+        .collect();
         let block = module.always_blocks().next().unwrap();
         let mut state = state_of(&[("rst_n", 1, 1), ("en", 1, 1), ("q", 7, 4)]);
         let mut deferred = Vec::new();
@@ -427,11 +437,15 @@ endmodule
 
     #[test]
     fn concat_assignment_splits_bits() {
-        let widths: BTreeMap<String, u32> =
-            [("carry".to_string(), 1u32), ("sum".to_string(), 4)].into_iter().collect();
+        let widths: BTreeMap<String, u32> = [("carry".to_string(), 1u32), ("sum".to_string(), 4)]
+            .into_iter()
+            .collect();
         let mut state = state_of(&[("carry", 0, 1), ("sum", 0, 4)]);
         let mut deferred = Vec::new();
-        let lhs = LValue::Concat(vec![LValue::Ident("carry".into()), LValue::Ident("sum".into())]);
+        let lhs = LValue::Concat(vec![
+            LValue::Ident("carry".into()),
+            LValue::Ident("sum".into()),
+        ]);
         apply_assignment(
             &lhs,
             Value::new(0b1_1010, 5),

@@ -45,7 +45,10 @@ pub fn render_log(design: &Design, trace: &Trace, failures: &[AssertionFailure])
     }
     let mut by_assertion: Vec<(String, usize)> = Vec::new();
     for failure in failures {
-        match by_assertion.iter_mut().find(|(name, _)| name == &failure.assertion) {
+        match by_assertion
+            .iter_mut()
+            .find(|(name, _)| name == &failure.assertion)
+        {
             Some((_, count)) => *count += 1,
             None => by_assertion.push((failure.assertion.clone(), 1)),
         }

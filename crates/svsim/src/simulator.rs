@@ -349,7 +349,9 @@ endmodule
         ]);
         let trace = Simulator::run(&design, &stimulus).unwrap();
         // Pre-edge samples: count lags the enable by one cycle.
-        let counts: Vec<u64> = (0..5).map(|t| trace.value("count", t).unwrap().bits()).collect();
+        let counts: Vec<u64> = (0..5)
+            .map(|t| trace.value("count", t).unwrap().bits())
+            .collect();
         assert_eq!(counts, vec![0, 0, 1, 2, 2]);
     }
 

@@ -69,7 +69,12 @@ pub fn check_assertion(assertion: &ResolvedAssertion, trace: &Trace) -> Vec<Asse
                 continue;
             }
         }
-        match eval_prop(&assertion.property.body, trace, start, &assertion.property.disable_iff) {
+        match eval_prop(
+            &assertion.property.body,
+            trace,
+            start,
+            &assertion.property.disable_iff,
+        ) {
             Attempt::Fails(cycle) => failures.push(AssertionFailure {
                 assertion: assertion.name.clone(),
                 start_cycle: start,
@@ -87,12 +92,7 @@ pub fn eval_at(expr: &Expr, trace: &Trace, cycle: usize) -> Value {
     eval_expr(expr, &|name, past| trace.value_past(name, cycle, past))
 }
 
-fn eval_prop(
-    prop: &PropExpr,
-    trace: &Trace,
-    cycle: usize,
-    guard: &Option<Expr>,
-) -> Attempt {
+fn eval_prop(prop: &PropExpr, trace: &Trace, cycle: usize, guard: &Option<Expr>) -> Attempt {
     match eval_sequence(prop, trace, cycle, guard) {
         SeqResult::Pending => Attempt::Pending,
         SeqResult::Disabled => Attempt::Holds,
@@ -114,12 +114,7 @@ enum SeqResult {
     Disabled,
 }
 
-fn eval_sequence(
-    prop: &PropExpr,
-    trace: &Trace,
-    cycle: usize,
-    guard: &Option<Expr>,
-) -> SeqResult {
+fn eval_sequence(prop: &PropExpr, trace: &Trace, cycle: usize, guard: &Option<Expr>) -> SeqResult {
     if cycle >= trace.len() {
         return SeqResult::Pending;
     }
@@ -161,7 +156,11 @@ fn eval_sequence(
             SeqResult::Pending => SeqResult::Pending,
             SeqResult::Disabled => SeqResult::Disabled,
             SeqResult::Match { end_cycle } => {
-                let start = if *overlapping { end_cycle } else { end_cycle + 1 };
+                let start = if *overlapping {
+                    end_cycle
+                } else {
+                    end_cycle + 1
+                };
                 eval_sequence(consequent, trace, start, guard)
             }
         },
@@ -249,8 +248,7 @@ endmodule
         let failures = check_assertions(&design, &trace);
         assert!(failures.is_empty(), "unexpected failures: {failures:?}");
         // The antecedent must actually trigger, otherwise the pass is vacuous.
-        let triggered = (0..trace.len())
-            .any(|t| trace.value("end_cnt", t).unwrap().is_true());
+        let triggered = (0..trace.len()).any(|t| trace.value("end_cnt", t).unwrap().is_true());
         assert!(triggered, "stimulus never exercised the antecedent");
     }
 
@@ -276,9 +274,7 @@ endmodule
         // Keep reset asserted the whole time: the buggy design can never fail because
         // every attempt is disabled.
         let stim: Vec<InputVector> = (0..8)
-            .map(|_| {
-                BTreeMap::from([("rst_n".to_string(), 0u64), ("valid_in".to_string(), 1u64)])
-            })
+            .map(|_| BTreeMap::from([("rst_n".to_string(), 0u64), ("valid_in".to_string(), 1u64)]))
             .collect();
         let trace = Simulator::run(&design, &stim).unwrap();
         assert!(check_assertions(&design, &trace).is_empty());

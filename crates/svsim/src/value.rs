@@ -26,7 +26,7 @@ impl Value {
     /// Panics if `width` is zero or exceeds [`Value::MAX_WIDTH`].
     pub fn new(bits: u64, width: u32) -> Self {
         assert!(
-            width >= 1 && width <= Self::MAX_WIDTH,
+            (1..=Self::MAX_WIDTH).contains(&width),
             "value width must be in 1..=64, got {width}"
         );
         Self {
@@ -169,13 +169,21 @@ pub mod ops {
 
     /// Division; division by zero yields zero (the two-state stand-in for `x`).
     pub fn div(a: Value, b: Value) -> Value {
-        let q = if b.bits() == 0 { 0 } else { a.bits() / b.bits() };
+        let q = if b.bits() == 0 {
+            0
+        } else {
+            a.bits() / b.bits()
+        };
         Value::new(q, arith_width(a, b))
     }
 
     /// Remainder; modulo zero yields zero.
     pub fn rem(a: Value, b: Value) -> Value {
-        let r = if b.bits() == 0 { 0 } else { a.bits() % b.bits() };
+        let r = if b.bits() == 0 {
+            0
+        } else {
+            a.bits() % b.bits()
+        };
         Value::new(r, arith_width(a, b))
     }
 

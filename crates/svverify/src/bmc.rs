@@ -145,21 +145,23 @@ impl BoundedChecker {
             .depth
             .max(design.max_property_horizon() as usize + 4);
 
-        let (method, stimuli) = if stimulus::exhaustive_is_tractable(
-            design,
-            depth,
-            self.config.max_exhaustive_bits,
-        ) {
-            (
-                CheckMethod::Exhaustive,
-                stimulus::exhaustive_stimuli(design, depth),
-            )
-        } else {
-            (
-                CheckMethod::Randomised,
-                stimulus::random_stimuli(design, depth, self.config.random_cases, self.config.seed),
-            )
-        };
+        let (method, stimuli) =
+            if stimulus::exhaustive_is_tractable(design, depth, self.config.max_exhaustive_bits) {
+                (
+                    CheckMethod::Exhaustive,
+                    stimulus::exhaustive_stimuli(design, depth),
+                )
+            } else {
+                (
+                    CheckMethod::Randomised,
+                    stimulus::random_stimuli(
+                        design,
+                        depth,
+                        self.config.random_cases,
+                        self.config.seed,
+                    ),
+                )
+            };
 
         let mut simulated = 0usize;
         for stim in &stimuli {
@@ -226,7 +228,10 @@ endmodule
 "#;
 
     fn buggy() -> String {
-        GOLDEN.replace("else if (end_cnt) valid_out <= 1;", "else if (!end_cnt) valid_out <= 1;")
+        GOLDEN.replace(
+            "else if (end_cnt) valid_out <= 1;",
+            "else if (!end_cnt) valid_out <= 1;",
+        )
     }
 
     #[test]

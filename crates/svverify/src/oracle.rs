@@ -173,10 +173,9 @@ endmodule
     fn equivalence_check_distinguishes_designs() {
         let golden = parse_module(GOLDEN).unwrap();
         let same = parse_module(GOLDEN).unwrap();
-        let buggy = parse_module(
-            &GOLDEN.replace("code <= (bin >> 1) ^ bin;", "code <= (bin >> 1) | bin;"),
-        )
-        .unwrap();
+        let buggy =
+            parse_module(&GOLDEN.replace("code <= (bin >> 1) ^ bin;", "code <= (bin >> 1) | bin;"))
+                .unwrap();
         let oracle = VerifyOracle::default();
         assert!(oracle.outputs_equivalent(&golden, &same, 8, 7).unwrap());
         assert!(!oracle.outputs_equivalent(&golden, &buggy, 8, 7).unwrap());

@@ -46,6 +46,10 @@ fn main() {
     let verdict = svverify::BoundedChecker::default().check_module(&module);
     println!(
         "bounded checker verdict: {}",
-        if verdict.failed() { "assertion can be violated (bug confirmed)" } else { "no violation found" }
+        if verdict.failed() {
+            "assertion can be violated (bug confirmed)"
+        } else {
+            "no violation found"
+        }
     );
 }

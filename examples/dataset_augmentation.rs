@@ -7,23 +7,30 @@ use svdata::{distribution, run_pipeline, split_by_module, PipelineConfig};
 fn main() {
     let config = PipelineConfig::tiny(42);
     let output = run_pipeline(&config);
-    println!("Stage 1: {} accepted designs, {} duplicates removed, {} trivial, {} failed compile",
+    println!(
+        "Stage 1: {} accepted designs, {} duplicates removed, {} trivial, {} failed compile",
         output.stage1.accepted.len(),
         output.stage1.duplicates_removed,
         output.stage1.trivial_rejected,
-        output.stage1.compile_rejected);
+        output.stage1.compile_rejected
+    );
     println!("Stage 2: {} SVA-Bug cases, {} Verilog-Bug entries, {} invalid-SVA designs, {} discarded mutants",
         output.datasets.sva_bug.len(),
         output.datasets.verilog_bug.len(),
         output.invalid_sva_designs,
         output.discarded_mutants);
-    println!("Stage 3: {:.1}% of generated CoTs passed validation (paper reports 74.55%)",
-        output.cot_valid_fraction * 100.0);
+    println!(
+        "Stage 3: {:.1}% of generated CoTs passed validation (paper reports 74.55%)",
+        output.cot_valid_fraction * 100.0
+    );
 
     let split = split_by_module(output.datasets.sva_bug.clone(), config.train_fraction, 1);
     let table = assertsolver::render_distribution(
         "Table II (this run)",
-        &[("SVA-Bug", distribution(&split.train)), ("SVA-Eval", distribution(&split.eval))],
+        &[
+            ("SVA-Bug", distribution(&split.train)),
+            ("SVA-Eval", distribution(&split.eval)),
+        ],
     );
     println!("\n{table}");
 }

@@ -17,5 +17,8 @@ fn main() {
             (model.name().to_string(), eval.passk())
         })
         .collect();
-    println!("\n{}", render_passk_table("Baseline surrogates on SVA-Eval-Human", &rows));
+    println!(
+        "\n{}",
+        render_passk_table("Baseline surrogates on SVA-Eval-Human", &rows)
+    );
 }

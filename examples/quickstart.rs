@@ -25,7 +25,10 @@ fn main() {
         .assert_solver
         .solve(&CaseInput::from_entry(&fig1), 1, 0.2, 1)[0];
     println!("Model answer (JSON): {}", response.to_json());
-    println!("\nGolden solution   : line {} -> {}", fig1.bug_line_number, fig1.fixed_line);
+    println!(
+        "\nGolden solution   : line {} -> {}",
+        fig1.bug_line_number, fig1.fixed_line
+    );
     println!(
         "Model localisation: line {} -> {}",
         response.bug_line_number, response.fixed_line

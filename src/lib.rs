@@ -9,7 +9,16 @@
 //!   bounded checker);
 //! * [`svmutate`], [`svgen`], [`svdata`] — bug injection, corpus synthesis and the
 //!   three-stage data-augmentation pipeline;
-//! * [`svmodel`] — the trainable surrogate model and the baseline surrogates.
+//! * [`svmodel`] — the trainable surrogate model and the baseline surrogates;
+//! * [`svserve`] — the serving layer: a concurrent, sharded repair service that wraps
+//!   any [`svmodel::RepairModel`] behind a submit/await API with bounded queues and
+//!   backpressure, micro-batching, a content-addressed LRU response cache and
+//!   [`svserve::ServiceMetrics`] snapshots.  Sampler seeds derive from case content,
+//!   so results are byte-identical at any worker count
+//!   (`examples/repair_service.rs` demonstrates all three guarantees).
+//!
+//! `assertsolver::evaluate_model` runs its pass@k sampling loop through `svserve`,
+//! so every table and figure of the reproduction exercises the serving layer.
 
 pub use assertsolver;
 pub use svdata;
@@ -17,5 +26,6 @@ pub use svgen;
 pub use svmodel;
 pub use svmutate;
 pub use svparse;
+pub use svserve;
 pub use svsim;
 pub use svverify;

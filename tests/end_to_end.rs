@@ -22,7 +22,10 @@ fn training_recipe_reproduces_the_paper_shape() {
 
     // RQ1 shape: SFT and AssertSolver vastly outperform the base model.
     assert!(sft.pass1 > base.pass1 + 0.1, "sft {sft:?} vs base {base:?}");
-    assert!(solver.pass1 > base.pass1 + 0.1, "solver {solver:?} vs base {base:?}");
+    assert!(
+        solver.pass1 > base.pass1 + 0.1,
+        "solver {solver:?} vs base {base:?}"
+    );
     // Learning from errors must not collapse precision (paper: pass@1 goes *up*).
     assert!(
         solver.pass1 + 0.15 >= sft.pass1,

@@ -26,9 +26,12 @@ fn every_pipeline_case_is_internally_consistent() {
         }
 
         // (c) the golden fix repairs the design.
-        let repaired_text =
-            apply_line_edit(&entry.buggy_source, entry.bug_line_number, &entry.fixed_line)
-                .unwrap();
+        let repaired_text = apply_line_edit(
+            &entry.buggy_source,
+            entry.bug_line_number,
+            &entry.fixed_line,
+        )
+        .unwrap();
         let repaired = svparse::parse_module(&repaired_text).unwrap();
         assert!(
             oracle.repair_solves_failure(&repaired),

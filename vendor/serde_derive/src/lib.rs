@@ -1,0 +1,481 @@
+//! Hand-rolled `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no registry access, so this proc-macro crate is written
+//! against `proc_macro` alone — no `syn`, no `quote`.  It parses just enough of the
+//! item definition to learn the shape (struct with named/tuple fields, or enum whose
+//! variants are unit/tuple/struct), then renders the trait impls as source text and
+//! reparses them into a `TokenStream`.
+//!
+//! Supported shapes cover everything this workspace derives; generic types are
+//! rejected with a compile error rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => render_serialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => render_deserialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            None => Ok(Shape::UnitStruct { name }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream())?,
+                })
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(group.stream())?,
+                })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(group.stream())?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional explicit discriminant (`= expr`) up to the next comma.
+        while pos < tokens.len()
+            && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            pos += 1;
+        }
+        if pos < tokens.len() {
+            pos += 1; // consume the comma
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn render_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({field:?}.to_string(), \
+                     ::serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+                 }}\n}}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                     }}\n}}"
+                )
+            } else {
+                let items = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Array(vec![{items}])\n\
+                     }}\n}}"
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders = (0..*arity)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binders}) => ::serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), {payload})]),\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let items = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), ::serde::Value::Object(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
+
+fn render_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok({name})\n\
+             }}\n}}"
+        ),
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!(
+                    "{field}: ::serde::Deserialize::from_value(\
+                     __value.get({field:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::DeError::custom(\
+                     format!(\"field `{{}}` of `{{}}`: {{}}\", {field:?}, {name:?}, e)))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if __value.as_object().is_none() {{\n\
+                 return Err(::serde::DeError::custom(\
+                 format!(\"expected object for struct `{{}}`\", {name:?})));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(__value)?))\n\
+                     }}\n}}"
+                )
+            } else {
+                let items = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__items.get({i})\
+                             .ok_or_else(|| ::serde::DeError::custom(\"tuple too short\"))?)?"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     let __items = __value.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for tuple struct\"))?;\n\
+                     Ok({name}({items}))\n\
+                     }}\n}}"
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__items.get({i})\
+                                         .ok_or_else(|| ::serde::DeError::custom(\
+                                         \"variant payload too short\"))?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{{ let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array payload\"))?;\n\
+                                 Ok({name}::{vname}({items})) }}"
+                            )
+                        };
+                        data_arms.push_str(&format!("{vname:?} => {body},\n"));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __payload.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "{vname:?} => Ok({name}::{vname} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Value::Str(__s) = __value {{\n\
+                 match __s.as_str() {{\n{unit_arms}\
+                 __other => return Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{{}}`\", {name:?}))),\n}}\n\
+                 }}\n\
+                 let __entries = __value.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(format!(\"expected variant of `{{}}`\", {name:?})))?;\n\
+                 let (__tag, __payload) = __entries.first().ok_or_else(|| \
+                 ::serde::DeError::custom(\"empty variant object\"))?;\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{{}}`\", {name:?}))),\n}}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
