@@ -1,0 +1,114 @@
+//! Verify-pool throughput as the worker count scales (1/2/4/8).
+//!
+//! Each measurement drives a fixed corpus of `(case, candidate response)` verdict
+//! jobs through `svserve::verify_scoped` end to end (submit → shard queue →
+//! micro-batch → bounded-checker judge → ticket), with a fresh pool per pass so the
+//! verdict cache is cold and every job costs a real `response_is_correct` verdict.
+//!
+//! Besides the human-readable table, every worker count emits one machine-readable
+//! line — `BENCH_SUMMARY {...}` — so future `BENCH_*.json` trajectories can track
+//! verifier throughput over time:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"verify_pool","workers":4,"jobs":96,...,"speedup_vs_1":2.71}
+//! ```
+//!
+//! Run with `cargo bench --bench verify_pool`.  (On a single-core container the
+//! speedup column naturally stays ~1.0; on multi-core hosts 4 workers are expected
+//! to clear 1.5× over 1 worker, since verdicts are embarrassingly parallel.)
+
+use criterion::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use svdata::SvaBugEntry;
+use svmodel::{AssertSolverModel, CaseInput, RepairModel};
+use svserve::{verdict_key, verify_scoped, VerifyConfig, VerifyRequest};
+use svverify::{CheckConfig, VerifyOracle};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PASSES_PER_COUNT: usize = 3;
+
+/// Builds a fixed verdict workload: pipeline + human cases, each with several
+/// model-sampled candidates, deduplicated so every job computes a distinct verdict.
+fn verdict_jobs(check: &CheckConfig) -> Vec<VerifyRequest<SvaBugEntry>> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(41));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(12);
+    let model = AssertSolverModel::base(3);
+    let fingerprint = check.fingerprint();
+
+    let mut seen = std::collections::BTreeSet::new();
+    let mut jobs = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let case = Arc::new(entry.clone());
+        let responses = model.solve(&CaseInput::from_entry(entry), 6, 0.6, 0xBE_EC4 + i as u64);
+        for response in responses {
+            let key = verdict_key(
+                &[
+                    entry.buggy_source.as_bytes(),
+                    &entry.bug_line_number.to_le_bytes(),
+                    entry.fixed_line.as_bytes(),
+                ],
+                &response,
+                &fingerprint,
+            );
+            if seen.insert(key) {
+                jobs.push(VerifyRequest::new(Arc::clone(&case), response, key));
+            }
+        }
+    }
+    jobs
+}
+
+fn main() {
+    let check = CheckConfig {
+        depth: 10,
+        random_cases: 8,
+        ..CheckConfig::default()
+    };
+    let jobs = verdict_jobs(&check);
+    let oracle = VerifyOracle::new(check);
+    let judge = |entry: &SvaBugEntry, response: &svmodel::Response| {
+        assertsolver::response_is_correct(entry, response, &oracle)
+    };
+    println!(
+        "verify_pool: {} distinct verdict jobs, best of {PASSES_PER_COUNT} passes per worker count",
+        jobs.len()
+    );
+
+    let mut baseline_secs = None;
+    for workers in WORKER_COUNTS {
+        let mut best_secs = f64::INFINITY;
+        let mut accepted = 0usize;
+        for _ in 0..PASSES_PER_COUNT {
+            // A fresh pool per pass: the verdict cache starts cold, so the numbers
+            // measure the judging path rather than cache hits.
+            let start = Instant::now();
+            let outcomes = verify_scoped(
+                &judge,
+                VerifyConfig::default().with_workers(workers),
+                |verifier| verifier.judge_all(black_box(jobs.clone())),
+            );
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(outcomes.len(), jobs.len());
+            accepted = outcomes.iter().filter(|o| o.verdict).count();
+            best_secs = best_secs.min(elapsed);
+        }
+        let throughput = jobs.len() as f64 / best_secs;
+        let speedup = match baseline_secs {
+            None => {
+                baseline_secs = Some(best_secs);
+                1.0
+            }
+            Some(base) => base / best_secs,
+        };
+        println!(
+            "  {workers} worker(s): {best_secs:>7.3} s, {throughput:>8.1} verdicts/s, speedup {speedup:>5.2}x ({accepted} accepted)"
+        );
+        println!(
+            "BENCH_SUMMARY {{\"bench\":\"verify_pool\",\"workers\":{workers},\"jobs\":{},\"seconds\":{best_secs:.4},\"verdicts_per_sec\":{throughput:.1},\"speedup_vs_1\":{speedup:.2}}}",
+            jobs.len()
+        );
+    }
+}

@@ -7,10 +7,15 @@
 
 use crate::passk::PassK;
 use serde::{Deserialize, Serialize};
+use std::collections::btree_map::Entry as BTreeEntry;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
-use svserve::{serve_scoped, RepairRequest, ServiceConfig};
+use svserve::{
+    serve_scoped, verdict_key, RepairRequest, ServiceConfig, VerdictKey, VerifyConfig,
+    VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
+};
 use svverify::{CheckConfig, VerifyOracle};
 
 /// Evaluation protocol parameters (paper: n = 20, k ∈ {1, 5}, temperature 0.2).
@@ -26,6 +31,10 @@ pub struct EvalConfig {
     /// (0 = auto-detect from available parallelism).  Results are identical at any
     /// worker count; this only changes wall-clock time.
     pub workers: usize,
+    /// Worker threads for the verification offload pool that judges candidates
+    /// (0 = auto: the `ASSERTSOLVER_VERIFY_WORKERS` environment override, else the
+    /// `svserve::VerifyConfig` default).  Results are identical at any worker count.
+    pub verify_workers: usize,
     /// Bounded-check configuration used to decide whether a repair solves the failure.
     pub check: CheckConfig,
 }
@@ -37,6 +46,7 @@ impl Default for EvalConfig {
             temperature: 0.2,
             seed: 0xE7A1,
             workers: 0,
+            verify_workers: 0,
             check: CheckConfig {
                 depth: 12,
                 random_cases: 16,
@@ -74,6 +84,20 @@ impl EvalConfig {
         ServiceConfig::default()
             .with_workers(workers)
             .with_seed(self.seed)
+    }
+
+    /// The verify-pool configuration this protocol implies.
+    ///
+    /// `verify_workers == 0` defers to [`VerifyConfig::default`], which honours the
+    /// `ASSERTSOLVER_VERIFY_WORKERS` environment override; an explicit setting wins
+    /// over both.
+    pub fn verify_config(&self) -> VerifyConfig {
+        let base = VerifyConfig::default();
+        if self.verify_workers == 0 {
+            base
+        } else {
+            base.with_workers(self.verify_workers)
+        }
     }
 }
 
@@ -210,17 +234,119 @@ pub fn apply_line_edit(source: &str, line_number: u32, replacement: &str) -> Opt
     Some(lines.join("\n") + "\n")
 }
 
+/// A persistent verification backend for model evaluation.
+///
+/// Wraps an `svserve::VerifyPool` whose judge is [`response_is_correct`] under a
+/// [`VerifyOracle`] built from the evaluation's [`CheckConfig`].  Verdict-cache keys
+/// are `hash(case fingerprint, response, CheckConfig fingerprint)`, so keeping one
+/// verifier alive across several [`evaluate_model_with`] calls replays already-judged
+/// candidates from the cache — re-evaluating a corpus the pool has seen is pure
+/// cache hits, and the verdicts (being pure functions) are identical either way.
+pub struct EvalVerifier {
+    pool: VerifyPool<SvaBugEntry>,
+    check_fingerprint: [u8; 28],
+}
+
+impl EvalVerifier {
+    /// Starts the verify workers for the given protocol.
+    pub fn start(config: &EvalConfig) -> Self {
+        let oracle = VerifyOracle::new(config.check.clone());
+        let judge = move |entry: &SvaBugEntry, response: &Response| {
+            response_is_correct(entry, response, &oracle)
+        };
+        Self {
+            pool: VerifyPool::start(Arc::new(judge), config.verify_config()),
+            check_fingerprint: config.check.fingerprint(),
+        }
+    }
+
+    /// The verdict-cache key for judging `response` against `entry`.
+    ///
+    /// The case fingerprint covers exactly the entry fields the verdict depends on
+    /// (buggy source, golden bug line and fix); the [`CheckConfig`] fingerprint
+    /// covers every bounded-check parameter.  The response is normalized to the two
+    /// fields [`response_is_correct`] reads — proposed line number and fix text —
+    /// so identical fixes that differ only in echoed context or reasoning text
+    /// share one cached verdict, exactly as the old serial dedup did.
+    pub fn key_for(&self, entry: &SvaBugEntry, response: &Response) -> VerdictKey {
+        let normalized = Response {
+            bug_line_number: response.bug_line_number,
+            buggy_line: String::new(),
+            fixed_line: response.fixed_line.clone(),
+            cot: None,
+        };
+        verdict_key(
+            &[
+                entry.buggy_source.as_bytes(),
+                &entry.bug_line_number.to_le_bytes(),
+                entry.fixed_line.as_bytes(),
+            ],
+            &normalized,
+            &self.check_fingerprint,
+        )
+    }
+
+    /// Submits one candidate for judgement.
+    pub fn submit(&self, case: Arc<SvaBugEntry>, response: Response) -> VerifyTicket {
+        let key = self.key_for(&case, &response);
+        self.submit_keyed(case, response, key)
+    }
+
+    /// Submits one candidate whose [`VerdictKey`] the caller already computed.
+    pub fn submit_keyed(
+        &self,
+        case: Arc<SvaBugEntry>,
+        response: Response,
+        key: VerdictKey,
+    ) -> VerifyTicket {
+        self.pool
+            .submit(VerifyRequest::new(case, response, key))
+            .expect("verify pool open during evaluation")
+    }
+
+    /// Takes a metrics snapshot of the verification stage.
+    pub fn metrics(&self) -> VerifyMetrics {
+        self.pool.metrics()
+    }
+
+    /// Stops the verify workers and returns the final metrics.
+    pub fn shutdown(self) -> VerifyMetrics {
+        self.pool.shutdown()
+    }
+}
+
 /// Evaluates a model over a set of cases.
 ///
-/// Sampling runs through the `svserve` repair service: every case is submitted to a
-/// sharded worker pool and sampled concurrently, with duplicate cases served from the
-/// service's content-addressed cache.  Because the service derives sampler seeds from
-/// case content (never from arrival order or worker identity), the evaluation result
-/// is identical at any [`EvalConfig::workers`] setting.
+/// Sampling runs through the `svserve` repair service and verification through a
+/// fresh [`EvalVerifier`]; see [`evaluate_model_with`] for the pipeline.  To share a
+/// warm verdict cache across several evaluations, start an [`EvalVerifier`] once and
+/// call [`evaluate_model_with`] directly.
 pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
     model: &M,
     entries: &[SvaBugEntry],
     config: &EvalConfig,
+) -> ModelEvaluation {
+    let verifier = EvalVerifier::start(config);
+    let evaluation = evaluate_model_with(model, entries, config, &verifier);
+    verifier.shutdown();
+    evaluation
+}
+
+/// Evaluates a model with an externally managed verification backend.
+///
+/// The two `svserve` pools run concurrently as a pipeline: every case is submitted
+/// to the sharded repair pool up front, and as soon as one case's samples arrive its
+/// distinct candidates are fanned out to the verify pool — so verdicts for early
+/// cases are computed while later cases are still being sampled, instead of
+/// sample-all-then-verify-serially.  Because sampler seeds derive from case content
+/// and verdicts are pure functions of `(case, response, CheckConfig)`, the result is
+/// identical at any [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] setting
+/// and whether the verifier's verdict cache is cold or pre-warmed.
+pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    verifier: &EvalVerifier,
 ) -> ModelEvaluation {
     let requests: Vec<RepairRequest> = entries
         .iter()
@@ -232,34 +358,66 @@ pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
             )
         })
         .collect();
-    let outcomes = serve_scoped(model, config.service_config(), |service| {
-        service.solve_all(requests)
-    });
-
-    let oracle = VerifyOracle::new(config.check.clone());
-    let mut results = Vec::with_capacity(entries.len());
-    for (entry, outcome) in entries.iter().zip(&outcomes) {
-        // Cache verdicts for identical responses so verification cost stays bounded.
-        let mut verdicts: BTreeMap<(u32, String), bool> = BTreeMap::new();
-        let mut correct = 0usize;
-        for response in outcome.responses.iter() {
-            let key = (response.bug_line_number, response.fixed_line.clone());
-            let ok = *verdicts
-                .entry(key)
-                .or_insert_with(|| response_is_correct(entry, response, &oracle));
-            if ok {
-                correct += 1;
+    let results = serve_scoped(model, config.service_config(), |service| {
+        let tickets: Vec<_> = requests
+            .into_iter()
+            .map(|request| {
+                service
+                    .submit(request)
+                    .expect("service open during evaluation")
+            })
+            .collect();
+        // Stage 2 of the pipeline: await each case's samples in input order and fan
+        // its distinct candidates out to the verify pool.  Identical responses within
+        // a case collapse to one verdict job with a multiplicity, which keeps the
+        // per-case correct count `c` independent of verify-pool scheduling.
+        let mut pending: Vec<(usize, Vec<(usize, VerifyTicket)>)> =
+            Vec::with_capacity(entries.len());
+        for (entry, ticket) in entries.iter().zip(tickets) {
+            let outcome = ticket.wait();
+            let case = Arc::new(entry.clone());
+            let mut multiplicity: BTreeMap<VerdictKey, usize> = BTreeMap::new();
+            let mut distinct: Vec<(VerdictKey, Response)> = Vec::new();
+            for response in outcome.responses.iter() {
+                match multiplicity.entry(verifier.key_for(entry, response)) {
+                    BTreeEntry::Occupied(mut occupied) => *occupied.get_mut() += 1,
+                    BTreeEntry::Vacant(vacant) => {
+                        distinct.push((*vacant.key(), response.clone()));
+                        vacant.insert(1);
+                    }
+                }
             }
+            let submitted = distinct
+                .into_iter()
+                .map(|(key, response)| {
+                    (
+                        multiplicity[&key],
+                        verifier.submit_keyed(Arc::clone(&case), response, key),
+                    )
+                })
+                .collect();
+            pending.push((outcome.responses.len(), submitted));
         }
-        results.push(CaseResult {
-            module_name: entry.module_name.clone(),
-            n: outcome.responses.len(),
-            c: correct,
-            profile: entry.profile,
-            code_lines: entry.code_lines,
-            human_crafted: entry.human_crafted,
-        });
-    }
+        // Stage 3: collect verdicts (verify workers have been judging all along).
+        entries
+            .iter()
+            .zip(pending)
+            .map(|(entry, (n, submitted))| {
+                let c = submitted
+                    .into_iter()
+                    .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
+                    .sum();
+                CaseResult {
+                    module_name: entry.module_name.clone(),
+                    n,
+                    c,
+                    profile: entry.profile,
+                    code_lines: entry.code_lines,
+                    human_crafted: entry.human_crafted,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
     ModelEvaluation {
         model: model.name().to_string(),
         results,
@@ -343,6 +501,7 @@ mod tests {
             &entries,
             &EvalConfig {
                 workers: 1,
+                verify_workers: 1,
                 ..EvalConfig::quick(5)
             },
         );
@@ -351,10 +510,34 @@ mod tests {
             &entries,
             &EvalConfig {
                 workers: 4,
+                verify_workers: 4,
                 ..EvalConfig::quick(5)
             },
         );
         assert_eq!(one, four, "worker count changed evaluation results");
+    }
+
+    #[test]
+    fn warm_verdict_cache_reuses_verdicts_without_changing_results() {
+        let entries: Vec<SvaBugEntry> = human_crafted_cases().into_iter().take(4).collect();
+        let model = svmodel::AssertSolverModel::base(3);
+        let config = EvalConfig {
+            workers: 2,
+            verify_workers: 2,
+            ..EvalConfig::quick(7)
+        };
+        let verifier = EvalVerifier::start(&config);
+        let cold = evaluate_model_with(&model, &entries, &config, &verifier);
+        let cold_metrics = verifier.metrics();
+        let warm = evaluate_model_with(&model, &entries, &config, &verifier);
+        let warm_metrics = verifier.shutdown();
+        assert_eq!(cold, warm, "a pre-warmed verdict cache changed results");
+        assert!(
+            warm_metrics.cache_hits > cold_metrics.cache_hits,
+            "second evaluation must replay verdicts from the cache"
+        );
+        // The warm pass re-judges nothing: every verdict job it added was a hit.
+        assert_eq!(warm_metrics.cache_misses, cold_metrics.cache_misses);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod train;
 
 pub use benchmark::{human_crafted_cases, SvaEval};
 pub use evaluate::{
-    apply_line_edit, evaluate_model, response_is_correct, CaseResult, EvalConfig, ModelEvaluation,
+    apply_line_edit, evaluate_model, evaluate_model_with, response_is_correct, CaseResult,
+    EvalConfig, EvalVerifier, ModelEvaluation,
 };
 pub use passk::{pass_at_k, PassK};
 pub use report::{

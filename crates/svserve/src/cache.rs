@@ -1,12 +1,22 @@
-//! Content-addressed response cache with LRU eviction.
+//! Content-addressed caches with LRU eviction, shared by both worker pools.
 //!
-//! Cache keys are a 128-bit FNV-1a hash over the full request content — spec, buggy
-//! source, failure log, sample count and temperature — so two requests share an entry
-//! exactly when the model would be asked the identical question.  The same key also
-//! seeds the sampler (see [`crate::service`]), which is what makes service results
-//! independent of worker count and arrival order.
+//! Cache keys are 128-bit FNV-1a hashes over the full job content:
+//!
+//! * [`CaseKey`] (repair pool) — spec, buggy source, failure log, sample count and
+//!   temperature, so two requests share an entry exactly when the model would be
+//!   asked the identical question.  The same key also seeds the sampler (see
+//!   [`crate::service`]), which is what makes service results independent of worker
+//!   count and arrival order.
+//! * [`VerdictKey`] (verify pool) — the caller-supplied case fingerprint, every field
+//!   of the candidate [`Response`], and the checker-configuration fingerprint, so a
+//!   cached verdict is reused exactly when the same candidate would be re-judged for
+//!   the same case under the same bounded-check settings.
+//!
+//! All fields are folded with a length prefix, so field boundaries can never alias
+//! (`("ab", "c")` hashes differently from `("a", "bc")`).
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::sync::Arc;
 use svmodel::{CaseInput, Response};
 
@@ -51,23 +61,63 @@ pub fn case_key(case: &CaseInput, samples: usize, temperature: f64) -> CaseKey {
     CaseKey(hash)
 }
 
-struct Entry {
-    responses: Arc<Vec<Response>>,
+/// Content hash of one `(case, candidate response, checker config)` verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerdictKey(pub u128);
+
+impl VerdictKey {
+    /// Folds the 128-bit key into 64 bits (used for verify-shard routing).
+    pub fn fold64(self) -> u64 {
+        (self.0 as u64) ^ ((self.0 >> 64) as u64)
+    }
+}
+
+/// Computes the content-addressed key of one verdict.
+///
+/// `case_fields` is the caller's stable fingerprint of the case being judged (the
+/// verify pool is generic over the case type, so it cannot hash the case itself);
+/// `config` is the byte fingerprint of the checker configuration (e.g.
+/// `svverify::CheckConfig::fingerprint`).  Every field is folded with a length
+/// prefix, including the field *count*, so no two distinct triples alias.
+pub fn verdict_key(case_fields: &[&[u8]], response: &Response, config: &[u8]) -> VerdictKey {
+    let mut hash = FNV_OFFSET;
+    hash = fold_field(hash, &(case_fields.len() as u64).to_le_bytes());
+    for field in case_fields {
+        hash = fold_field(hash, field);
+    }
+    hash = fold_field(hash, &u64::from(response.bug_line_number).to_le_bytes());
+    hash = fold_field(hash, response.buggy_line.as_bytes());
+    hash = fold_field(hash, response.fixed_line.as_bytes());
+    match &response.cot {
+        Some(cot) => {
+            hash = fold_field(hash, b"cot");
+            hash = fold_field(hash, cot.as_bytes());
+        }
+        None => hash = fold_field(hash, b"no-cot"),
+    }
+    hash = fold_field(hash, config);
+    VerdictKey(hash)
+}
+
+struct Entry<V> {
+    value: V,
     stamp: u64,
 }
 
-/// A least-recently-used response cache.
+/// A least-recently-used content-addressed cache.
 ///
-/// Recency is tracked with a monotonically increasing stamp per access plus a
-/// stamp-ordered index, giving `O(log n)` lookup/insert/evict without unsafe code.
-pub struct LruCache {
-    map: HashMap<u128, Entry>,
-    by_stamp: BTreeMap<u64, u128>,
+/// Defaults to the repair pool's shape (response sets keyed by [`CaseKey`]); the
+/// verify pool instantiates it as `LruCache<VerdictKey, bool>`.  Recency is tracked
+/// with a monotonically increasing stamp per access plus a stamp-ordered index,
+/// giving `O(log n)` lookup/insert/evict without unsafe code.
+pub struct LruCache<K = CaseKey, V = Arc<Vec<Response>>> {
+    map: HashMap<K, Entry<V>>,
+    by_stamp: BTreeMap<u64, K>,
     next_stamp: u64,
     capacity: usize,
 }
 
-impl LruCache {
+impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries (minimum one).
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -88,20 +138,20 @@ impl LruCache {
         self.map.is_empty()
     }
 
-    /// Looks up a key, refreshing its recency on a hit.  Hits cost one `Arc` bump,
-    /// not a deep clone of the response strings.
-    pub fn get(&mut self, key: CaseKey) -> Option<Arc<Vec<Response>>> {
-        let entry = self.map.get_mut(&key.0)?;
+    /// Looks up a key, refreshing its recency on a hit.  Values are cloned out;
+    /// pick a cheap-to-clone value type (`Arc<...>`, `bool`).
+    pub fn get(&mut self, key: K) -> Option<V> {
+        let entry = self.map.get_mut(&key)?;
         self.by_stamp.remove(&entry.stamp);
         entry.stamp = self.next_stamp;
-        self.by_stamp.insert(self.next_stamp, key.0);
+        self.by_stamp.insert(self.next_stamp, key);
         self.next_stamp += 1;
-        Some(Arc::clone(&entry.responses))
+        Some(entry.value.clone())
     }
 
-    /// Inserts a response set, evicting the least recently used entry when full.
-    pub fn insert(&mut self, key: CaseKey, responses: Arc<Vec<Response>>) {
-        if let Some(existing) = self.map.get(&key.0) {
+    /// Inserts a value, evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(existing) = self.map.get(&key) {
             self.by_stamp.remove(&existing.stamp);
         } else if self.map.len() >= self.capacity {
             if let Some((&oldest_stamp, &oldest_key)) = self.by_stamp.iter().next() {
@@ -110,13 +160,13 @@ impl LruCache {
             }
         }
         self.map.insert(
-            key.0,
+            key,
             Entry {
-                responses,
+                value,
                 stamp: self.next_stamp,
             },
         );
-        self.by_stamp.insert(self.next_stamp, key.0);
+        self.by_stamp.insert(self.next_stamp, key);
         self.next_stamp += 1;
     }
 }
@@ -161,6 +211,52 @@ mod tests {
         let a = case_key(&case("ab", "c", ""), 1, 0.0);
         let b = case_key(&case("a", "bc", ""), 1, 0.0);
         assert_ne!(a, b, "field boundaries must be part of the hash");
+    }
+
+    #[test]
+    fn verdict_key_covers_every_component() {
+        let base = verdict_key(&[b"case"], &response(3), b"cfg");
+        assert_eq!(base, verdict_key(&[b"case"], &response(3), b"cfg"));
+
+        // Case fingerprint, each response field, and config must all matter.
+        assert_ne!(base, verdict_key(&[b"case2"], &response(3), b"cfg"));
+        assert_ne!(base, verdict_key(&[b"case"], &response(4), b"cfg"));
+        assert_ne!(base, verdict_key(&[b"case"], &response(3), b"cfg2"));
+        let mut with_cot = response(3);
+        with_cot.cot = Some("because".into());
+        assert_ne!(base, verdict_key(&[b"case"], &with_cot, b"cfg"));
+        let mut other_fix = response(3);
+        other_fix.fixed_line = "something else".into();
+        assert_ne!(base, verdict_key(&[b"case"], &other_fix, b"cfg"));
+    }
+
+    #[test]
+    fn verdict_key_case_fields_do_not_alias() {
+        // Neither field boundaries nor the field count may alias.
+        let r = response(1);
+        assert_ne!(
+            verdict_key(&[b"ab", b"c"], &r, b""),
+            verdict_key(&[b"a", b"bc"], &r, b"")
+        );
+        assert_ne!(
+            verdict_key(&[b"ab"], &r, b""),
+            verdict_key(&[b"a", b"b"], &r, b"")
+        );
+    }
+
+    #[test]
+    fn verdict_cache_holds_bools() {
+        let keys: Vec<VerdictKey> = (0..3)
+            .map(|i| verdict_key(&[b"case"], &response(i), b"cfg"))
+            .collect();
+        let mut cache: LruCache<VerdictKey, bool> = LruCache::new(2);
+        cache.insert(keys[0], true);
+        cache.insert(keys[1], false);
+        assert_eq!(cache.get(keys[0]), Some(true));
+        cache.insert(keys[2], true);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(keys[1]), None, "LRU verdict must be evicted");
+        assert_eq!(cache.get(keys[2]), Some(true));
     }
 
     #[test]

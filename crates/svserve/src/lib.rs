@@ -17,6 +17,11 @@
 //! * **Determinism** — sampler seeds derive from the content hash plus the service
 //!   seed, never from arrival order or worker identity, so the same workload yields
 //!   byte-identical responses at any worker count.
+//! * **Verification offload** — a second sharded pool ([`verify`]) built from the
+//!   same recipe judges `(case, candidate response)` pairs on dedicated workers,
+//!   with a content-addressed verdict cache keyed by
+//!   `hash(case, response, checker config)`; sampling and verification pipeline
+//!   through the two pools concurrently in `assertsolver::evaluate_model`.
 //!
 //! ## Quick example
 //!
@@ -40,13 +45,19 @@ pub mod cache;
 pub mod metrics;
 pub mod queue;
 pub mod service;
+mod ticket;
+pub mod verify;
 
-pub use cache::{case_key, CaseKey, LruCache};
-pub use metrics::ServiceMetrics;
+pub use cache::{case_key, verdict_key, CaseKey, LruCache, VerdictKey};
+pub use metrics::{ServiceMetrics, VerifyMetrics};
 pub use queue::ServiceClosed;
 pub use service::{
     serve_scoped, RepairOutcome, RepairRequest, RepairService, RepairTicket, ScopedService,
     ServiceConfig,
+};
+pub use verify::{
+    env_verify_workers, verify_scoped, ResponseJudge, ScopedVerifier, VerdictOutcome, VerifyConfig,
+    VerifyPool, VerifyRequest, VerifyTicket, VERIFY_WORKERS_ENV,
 };
 
 #[cfg(test)]
@@ -59,5 +70,10 @@ mod tests {
         assert_send_sync::<super::RepairRequest>();
         assert_send_sync::<super::RepairOutcome>();
         assert_send_sync::<super::RepairTicket>();
+        assert_send_sync::<super::VerifyConfig>();
+        assert_send_sync::<super::VerifyMetrics>();
+        assert_send_sync::<super::VerifyRequest<String>>();
+        assert_send_sync::<super::VerdictOutcome>();
+        assert_send_sync::<super::VerifyTicket>();
     }
 }

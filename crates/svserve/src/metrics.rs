@@ -1,10 +1,19 @@
-//! Lock-free service instrumentation and the [`ServiceMetrics`] snapshot.
+//! Lock-free pool instrumentation and the [`ServiceMetrics`] / [`VerifyMetrics`]
+//! snapshots.
+//!
+//! One [`MetricsRecorder`] instruments one worker pool.  The repair pool snapshots it
+//! as [`ServiceMetrics`]; the verify pool snapshots the same counters (plus the
+//! verdict tallies) as [`VerifyMetrics`], and a combined view is available through
+//! [`ServiceMetrics::with_verify`].
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Internal atomic counters shared by the submit path and the workers.
+///
+/// The "solve" stage doubles as the verify pool's "verdict" stage: both are the
+/// cache-miss work a worker performs between dequeue and ticket fulfilment.
 pub(crate) struct MetricsRecorder {
     started_at: Instant,
     submitted: AtomicU64,
@@ -13,6 +22,8 @@ pub(crate) struct MetricsRecorder {
     cache_misses: AtomicU64,
     batches: AtomicU64,
     solve_panics: AtomicU64,
+    verdicts_true: AtomicU64,
+    verdicts_false: AtomicU64,
     peak_queue_depth: AtomicU64,
     queue_wait_ns: AtomicU64,
     cache_lookup_ns: AtomicU64,
@@ -29,6 +40,8 @@ impl MetricsRecorder {
             cache_misses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             solve_panics: AtomicU64::new(0),
+            verdicts_true: AtomicU64::new(0),
+            verdicts_false: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             cache_lookup_ns: AtomicU64::new(0),
@@ -48,6 +61,14 @@ impl MetricsRecorder {
 
     pub(crate) fn record_solve_panic(&self) {
         self.solve_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_verdict(&self, verdict: bool) {
+        if verdict {
+            self.verdicts_true.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.verdicts_false.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn record_job(
@@ -73,18 +94,13 @@ impl MetricsRecorder {
         }
     }
 
-    pub(crate) fn snapshot(
-        &self,
-        workers: usize,
-        queue_depth: usize,
-        cache_entries: usize,
-    ) -> ServiceMetrics {
-        let submitted = self.submitted.load(Ordering::Relaxed);
+    /// Loads every counter the two snapshot shapes share, in one place, so the
+    /// rate/mean formulas cannot drift between the repair and verify views.
+    fn stage(&self) -> Stage {
         let completed = self.completed.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses = self.cache_misses.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
-        let solve_panics = self.solve_panics.load(Ordering::Relaxed);
         let uptime = self.started_at.elapsed();
         let per_mean = |total_ns: &AtomicU64, count: u64| {
             if count == 0 {
@@ -93,21 +109,18 @@ impl MetricsRecorder {
                 total_ns.load(Ordering::Relaxed) as f64 / count as f64 / 1_000.0
             }
         };
-        ServiceMetrics {
-            workers,
-            submitted,
+        Stage {
+            submitted: self.submitted.load(Ordering::Relaxed),
             completed,
-            queue_depth,
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed) as usize,
             cache_hits,
             cache_misses,
-            cache_entries,
             cache_hit_rate: if cache_hits + cache_misses == 0 {
                 0.0
             } else {
                 cache_hits as f64 / (cache_hits + cache_misses) as f64
             },
-            solve_panics,
+            panics: self.solve_panics.load(Ordering::Relaxed),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -115,7 +128,7 @@ impl MetricsRecorder {
             },
             mean_queue_wait_us: per_mean(&self.queue_wait_ns, completed),
             mean_cache_lookup_us: per_mean(&self.cache_lookup_ns, completed),
-            mean_solve_us: per_mean(&self.solve_ns, cache_misses),
+            mean_work_us: per_mean(&self.solve_ns, cache_misses),
             uptime_secs: uptime.as_secs_f64(),
             throughput_per_sec: if uptime.as_secs_f64() > 0.0 {
                 completed as f64 / uptime.as_secs_f64()
@@ -124,6 +137,81 @@ impl MetricsRecorder {
             },
         }
     }
+
+    pub(crate) fn snapshot(
+        &self,
+        workers: usize,
+        queue_depth: usize,
+        cache_entries: usize,
+    ) -> ServiceMetrics {
+        let stage = self.stage();
+        ServiceMetrics {
+            workers,
+            submitted: stage.submitted,
+            completed: stage.completed,
+            queue_depth,
+            peak_queue_depth: stage.peak_queue_depth,
+            cache_hits: stage.cache_hits,
+            cache_misses: stage.cache_misses,
+            cache_entries,
+            cache_hit_rate: stage.cache_hit_rate,
+            solve_panics: stage.panics,
+            mean_batch_size: stage.mean_batch_size,
+            mean_queue_wait_us: stage.mean_queue_wait_us,
+            mean_cache_lookup_us: stage.mean_cache_lookup_us,
+            mean_solve_us: stage.mean_work_us,
+            uptime_secs: stage.uptime_secs,
+            throughput_per_sec: stage.throughput_per_sec,
+            verify: None,
+        }
+    }
+
+    pub(crate) fn snapshot_verify(
+        &self,
+        workers: usize,
+        queue_depth: usize,
+        cache_entries: usize,
+    ) -> VerifyMetrics {
+        let stage = self.stage();
+        VerifyMetrics {
+            workers,
+            submitted: stage.submitted,
+            completed: stage.completed,
+            queue_depth,
+            peak_queue_depth: stage.peak_queue_depth,
+            cache_hits: stage.cache_hits,
+            cache_misses: stage.cache_misses,
+            cache_entries,
+            cache_hit_rate: stage.cache_hit_rate,
+            verdict_panics: stage.panics,
+            verdicts_true: self.verdicts_true.load(Ordering::Relaxed),
+            verdicts_false: self.verdicts_false.load(Ordering::Relaxed),
+            mean_batch_size: stage.mean_batch_size,
+            mean_queue_wait_us: stage.mean_queue_wait_us,
+            mean_cache_lookup_us: stage.mean_cache_lookup_us,
+            mean_verdict_us: stage.mean_work_us,
+            uptime_secs: stage.uptime_secs,
+            throughput_per_sec: stage.throughput_per_sec,
+        }
+    }
+}
+
+/// The pool-agnostic slice of a snapshot: everything both views derive from the
+/// shared counters ("work" is model solve time for repair, verdict time for verify).
+struct Stage {
+    submitted: u64,
+    completed: u64,
+    peak_queue_depth: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    panics: u64,
+    mean_batch_size: f64,
+    mean_queue_wait_us: f64,
+    mean_cache_lookup_us: f64,
+    mean_work_us: f64,
+    uptime_secs: f64,
+    throughput_per_sec: f64,
 }
 
 /// A point-in-time view of service health and performance.
@@ -162,12 +250,102 @@ pub struct ServiceMetrics {
     pub uptime_secs: f64,
     /// Completed requests per second of uptime.
     pub throughput_per_sec: f64,
+    /// Verification-stage metrics, when the service runs in tandem with a verify
+    /// pool (see [`ServiceMetrics::with_verify`]); `None` for a sampling-only pool.
+    pub verify: Option<VerifyMetrics>,
 }
 
-impl ServiceMetrics {
+/// A point-in-time view of the verification offload pool.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct VerifyMetrics {
+    /// Number of verify worker threads.
+    pub workers: usize,
+    /// Verdict jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Verdict jobs fully served (cache hits included).
+    pub completed: u64,
+    /// Jobs currently waiting across all verify shards.
+    pub queue_depth: usize,
+    /// Highest single-shard depth observed at submit time.
+    pub peak_queue_depth: usize,
+    /// Verdicts answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Verdicts that required running the judge.
+    pub cache_misses: u64,
+    /// Verdicts currently resident across all shard caches.
+    pub cache_entries: usize,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing completed.
+    pub cache_hit_rate: f64,
+    /// Judge invocations that panicked; the pool absorbed the panic and served a
+    /// failed verdict instead of stranding the ticket (never cached).
+    pub verdict_panics: u64,
+    /// Computed verdicts that accepted the candidate.
+    pub verdicts_true: u64,
+    /// Computed verdicts that rejected the candidate.
+    pub verdicts_false: u64,
+    /// Mean jobs drained per worker wake-up (micro-batching effectiveness).
+    pub mean_batch_size: f64,
+    /// Mean time a job spent queued, in microseconds.
+    pub mean_queue_wait_us: f64,
+    /// Mean cache probe time, in microseconds.
+    pub mean_cache_lookup_us: f64,
+    /// Mean judge invocation time (misses only), in microseconds.
+    pub mean_verdict_us: f64,
+    /// Pool lifetime at snapshot, in seconds.
+    pub uptime_secs: f64,
+    /// Completed verdicts per second of uptime.
+    pub throughput_per_sec: f64,
+}
+
+impl VerifyMetrics {
     /// Renders the snapshot as an aligned text block for logs and examples.
     pub fn render(&self) -> String {
         format!(
+            "verify metrics\n\
+             \x20 workers           {:>10}\n\
+             \x20 submitted         {:>10}\n\
+             \x20 completed         {:>10}\n\
+             \x20 throughput        {:>10.1} verdicts/s\n\
+             \x20 queue depth       {:>10} (peak {})\n\
+             \x20 cache             {:>10} entries, {} hits / {} misses ({:.1}% hit rate)\n\
+             \x20 verdicts          {:>10} accepted, {} rejected, {} panics\n\
+             \x20 mean batch size   {:>10.2}\n\
+             \x20 queue wait        {:>10.1} µs mean\n\
+             \x20 cache lookup      {:>10.1} µs mean\n\
+             \x20 verdict           {:>10.1} µs mean\n\
+             \x20 uptime            {:>10.3} s",
+            self.workers,
+            self.submitted,
+            self.completed,
+            self.throughput_per_sec,
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.cache_entries,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate * 100.0,
+            self.verdicts_true,
+            self.verdicts_false,
+            self.verdict_panics,
+            self.mean_batch_size,
+            self.mean_queue_wait_us,
+            self.mean_cache_lookup_us,
+            self.mean_verdict_us,
+            self.uptime_secs,
+        )
+    }
+}
+
+impl ServiceMetrics {
+    /// Attaches a verify-pool snapshot, producing the combined two-pool view.
+    pub fn with_verify(mut self, verify: VerifyMetrics) -> Self {
+        self.verify = Some(verify);
+        self
+    }
+    /// Renders the snapshot as an aligned text block for logs and examples; a
+    /// combined snapshot appends the verification stage.
+    pub fn render(&self) -> String {
+        let base = format!(
             "service metrics\n\
              \x20 workers           {:>10}\n\
              \x20 submitted         {:>10}\n\
@@ -197,7 +375,11 @@ impl ServiceMetrics {
             self.mean_cache_lookup_us,
             self.mean_solve_us,
             self.uptime_secs,
-        )
+        );
+        match &self.verify {
+            Some(verify) => format!("{base}\n{}", verify.render()),
+            None => base,
+        }
     }
 }
 
@@ -229,5 +411,47 @@ mod tests {
         assert!((snap.mean_queue_wait_us - 20.0).abs() < 1e-9);
         assert!((snap.mean_solve_us - 100.0).abs() < 1e-9);
         assert!(snap.render().contains("cases/s"));
+    }
+
+    #[test]
+    fn verify_snapshot_tallies_verdicts() {
+        let recorder = MetricsRecorder::new();
+        recorder.record_submit(2);
+        recorder.record_batch();
+        recorder.record_verdict(true);
+        recorder.record_job(
+            Duration::from_micros(5),
+            Duration::from_micros(1),
+            Some(Duration::from_micros(40)),
+        );
+        recorder.record_verdict(false);
+        recorder.record_job(
+            Duration::from_micros(5),
+            Duration::from_micros(1),
+            Some(Duration::from_micros(60)),
+        );
+        recorder.record_job(Duration::from_micros(5), Duration::from_micros(1), None);
+        let snap = recorder.snapshot_verify(2, 0, 2);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.verdicts_true, 1);
+        assert_eq!(snap.verdicts_false, 1);
+        assert_eq!(snap.verdict_panics, 0);
+        assert!((snap.mean_verdict_us - 50.0).abs() < 1e-9);
+        assert!(snap.render().contains("verdicts/s"));
+    }
+
+    #[test]
+    fn combined_render_includes_both_stages() {
+        let repair = MetricsRecorder::new();
+        let verify = MetricsRecorder::new();
+        let combined = repair
+            .snapshot(2, 0, 0)
+            .with_verify(verify.snapshot_verify(4, 0, 0));
+        let text = combined.render();
+        assert!(text.contains("service metrics"));
+        assert!(text.contains("verify metrics"));
+        assert_eq!(combined.verify.as_ref().unwrap().workers, 4);
     }
 }

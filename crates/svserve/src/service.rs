@@ -1,5 +1,8 @@
 //! The repair service: submit/await frontend over a sharded worker pool.
 //!
+//! This is the *sampling* half of the two-pool serving architecture; its verdict
+//! twin, built from the same recipe, lives in [`crate::verify`].
+//!
 //! Two frontends share one engine ([`ServiceCore`] + [`worker_loop`]):
 //!
 //! * [`RepairService`] owns its model (`Arc<M>`) and keeps a persistent pool until
@@ -19,8 +22,9 @@
 use crate::cache::{case_key, CaseKey, LruCache};
 use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::queue::{ServiceClosed, Shard};
+use crate::ticket::TicketState;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use svmodel::{CaseInput, RepairModel, Response};
 
@@ -121,38 +125,20 @@ pub struct RepairOutcome {
     pub service_time: Duration,
 }
 
-struct TicketState {
-    slot: Mutex<Option<RepairOutcome>>,
-    ready: Condvar,
-}
-
-impl TicketState {
-    fn fulfill(&self, outcome: RepairOutcome) {
-        *self.slot.lock().expect("ticket lock") = Some(outcome);
-        self.ready.notify_all();
-    }
-}
-
 /// Await-handle for a submitted request.
 pub struct RepairTicket {
-    state: Arc<TicketState>,
+    state: Arc<TicketState<RepairOutcome>>,
 }
 
 impl RepairTicket {
     /// Blocks until the request has been served.
     pub fn wait(self) -> RepairOutcome {
-        let mut slot = self.state.slot.lock().expect("ticket lock");
-        loop {
-            if let Some(outcome) = slot.take() {
-                return outcome;
-            }
-            slot = self.state.ready.wait(slot).expect("ticket lock");
-        }
+        self.state.wait()
     }
 
     /// Non-blocking poll; returns the outcome once served.
     pub fn try_take(&self) -> Option<RepairOutcome> {
-        self.state.slot.lock().expect("ticket lock").take()
+        self.state.try_take()
     }
 }
 
@@ -161,7 +147,7 @@ struct Job {
     key: CaseKey,
     seed: u64,
     enqueued_at: Instant,
-    ticket: Arc<TicketState>,
+    ticket: Arc<TicketState<RepairOutcome>>,
 }
 
 /// Shared engine state: shard queues, shard caches, metrics, lifecycle flag.
@@ -212,10 +198,7 @@ impl ServiceCore {
             return Err(ServiceClosed);
         }
         let key = request.key();
-        let state = Arc::new(TicketState {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        });
+        let state = TicketState::new();
         let job = Job {
             seed: self.derive_seed(key),
             enqueued_at: Instant::now(),

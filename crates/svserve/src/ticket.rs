@@ -1,0 +1,44 @@
+//! Shared submit/await ticket used by both worker pools.
+//!
+//! A ticket is one slot guarded by a mutex plus a condvar.  The repair pool and the
+//! verify pool each wrap it in a typed handle ([`crate::RepairTicket`],
+//! [`crate::VerifyTicket`]); the slot type is the pool's outcome struct.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One-shot rendezvous between a submitter and the worker that serves its job.
+pub(crate) struct TicketState<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> TicketState<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deposits the outcome and wakes every waiter.
+    pub(crate) fn fulfill(&self, outcome: T) {
+        *self.slot.lock().expect("ticket lock") = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the outcome arrives.
+    pub(crate) fn wait(&self) -> T {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.ready.wait(slot).expect("ticket lock");
+        }
+    }
+
+    /// Non-blocking poll.
+    pub(crate) fn try_take(&self) -> Option<T> {
+        self.slot.lock().expect("ticket lock").take()
+    }
+}

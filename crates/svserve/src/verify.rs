@@ -1,0 +1,627 @@
+//! The verification offload pool: parallel, cached, deterministic verdicts.
+//!
+//! `assertsolver::evaluate_model` used to run every bounded-checker verdict serially
+//! on the caller thread, and ROADMAP profiling showed that loop dominating evaluation
+//! wall-clock.  This module is the second half of the two-pool serving architecture:
+//! a sharded worker pool that accepts `(case, candidate response)` jobs, runs a
+//! caller-supplied [`ResponseJudge`] on dedicated workers, and returns tickets — the
+//! same recipe as the repair pool in [`crate::service`] (bounded queues with
+//! backpressure, micro-batched dequeue, panic absorption, content-hash-derived shard
+//! placement).
+//!
+//! Two frontends share one engine ([`VerifyCore`] + [`verify_worker_loop`]):
+//!
+//! * [`VerifyPool`] owns its judge (`Arc<dyn ResponseJudge>`) and keeps a persistent
+//!   pool until [`VerifyPool::shutdown`] or drop — reusable across evaluation runs,
+//!   so the verdict cache stays warm;
+//! * [`verify_scoped`] borrows the judge for the duration of a closure using scoped
+//!   threads.
+//!
+//! ## Determinism
+//!
+//! Verdicts are pure functions of `(case, response, checker config)` — exactly the
+//! content hashed into the [`VerdictKey`] — so the pool introduces no nondeterminism:
+//! a job's verdict is the same whether it was computed on worker 0 or worker 7, on a
+//! cold cache or a warm one.  Shard placement derives from the key (never arrival
+//! order), which keeps per-shard caches disjoint at any worker count.
+//!
+//! ## Panic absorption
+//!
+//! A judge that panics must not take its worker down (an unwinding worker would
+//! strand every ticket in its shard and poison the pool for later jobs).  The pool
+//! catches the panic, serves a *failed* verdict for that candidate, counts it in
+//! [`VerifyMetrics::verdict_panics`], and does **not** cache the failure, so a retry
+//! reaches the judge again.
+
+use crate::cache::{LruCache, VerdictKey};
+use crate::metrics::{MetricsRecorder, VerifyMetrics};
+use crate::queue::{ServiceClosed, Shard};
+use crate::ticket::TicketState;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use svmodel::Response;
+
+/// Environment variable overriding the default verify worker count
+/// (`VerifyConfig::default()`); CI runs the suite at 1 and 4 to exercise both the
+/// single-threaded and the parallel verdict paths.
+pub const VERIFY_WORKERS_ENV: &str = "ASSERTSOLVER_VERIFY_WORKERS";
+
+/// Reads the verify-worker override from the environment, if set and positive.
+pub fn env_verify_workers() -> Option<usize> {
+    std::env::var(VERIFY_WORKERS_ENV)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&workers| workers > 0)
+}
+
+/// Verify-pool tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyConfig {
+    /// Worker threads (and queue/cache shards). Clamped to at least 1.
+    pub workers: usize,
+    /// Bounded depth of each shard queue; submitters block past this (backpressure).
+    pub shard_capacity: usize,
+    /// Maximum jobs a worker drains per wake-up (micro-batching).
+    pub max_batch: usize,
+    /// Total verdict-cache entries across all shards.
+    pub cache_capacity: usize,
+}
+
+impl Default for VerifyConfig {
+    /// Defaults to 4 workers unless [`VERIFY_WORKERS_ENV`] overrides it.  Verdict
+    /// jobs are much smaller than repair requests, so queues and caches run deeper
+    /// than [`crate::ServiceConfig`]'s.
+    fn default() -> Self {
+        Self {
+            workers: env_verify_workers().unwrap_or(4),
+            shard_capacity: 128,
+            max_batch: 16,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Returns the config with the worker count replaced.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the config with the total cache capacity replaced.
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.shard_capacity = self.shard_capacity.max(1);
+        self.max_batch = self.max_batch.max(1);
+        self.cache_capacity = self.cache_capacity.max(self.workers);
+        self
+    }
+}
+
+/// Anything that can judge whether a candidate response solves a case.
+///
+/// Implemented for free by any `Fn(&C, &Response) -> bool + Sync` closure, which is
+/// how `assertsolver` plugs `response_is_correct` + `VerifyOracle` in.  Judges must
+/// be pure in `(case, response)` — the pool caches and replays their verdicts.
+pub trait ResponseJudge<C>: Sync {
+    /// Returns `true` when the candidate solves the case.
+    fn verdict(&self, case: &C, response: &Response) -> bool;
+}
+
+impl<C, F> ResponseJudge<C> for F
+where
+    F: Fn(&C, &Response) -> bool + Sync,
+{
+    fn verdict(&self, case: &C, response: &Response) -> bool {
+        self(case, response)
+    }
+}
+
+/// One verdict job: the case, the candidate, and the content key that routes it.
+///
+/// The pool is generic over the case type, so it cannot compute the key itself; the
+/// caller builds it with [`crate::cache::verdict_key`] from the case fingerprint,
+/// the response, and the checker-config fingerprint.  Cases are shared (`Arc`) so a
+/// corpus entry judged against 20 candidates is not cloned 20 times.
+#[derive(Debug, Clone)]
+pub struct VerifyRequest<C> {
+    /// The case being judged.
+    pub case: Arc<C>,
+    /// The candidate response.
+    pub response: Response,
+    /// Content hash of `(case, response, checker config)`.
+    pub key: VerdictKey,
+}
+
+impl<C> VerifyRequest<C> {
+    /// Convenience constructor.
+    pub fn new(case: Arc<C>, response: Response, key: VerdictKey) -> Self {
+        Self {
+            case,
+            response,
+            key,
+        }
+    }
+}
+
+/// A served verdict: the judgement plus provenance and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictOutcome {
+    /// Whether the candidate solves the case.  `false` for candidates whose judge
+    /// invocation panicked (see [`VerifyMetrics::verdict_panics`]).
+    pub verdict: bool,
+    /// Whether the answer came from the verdict cache.
+    pub from_cache: bool,
+    /// Index of the worker (= shard) that served the job.
+    pub worker: usize,
+    /// Time the job spent queued before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Cache lookup plus (on a miss) judge invocation time.
+    pub service_time: Duration,
+}
+
+/// Await-handle for a submitted verdict job.
+pub struct VerifyTicket {
+    state: Arc<TicketState<VerdictOutcome>>,
+}
+
+impl VerifyTicket {
+    /// Blocks until the verdict has been served.
+    pub fn wait(self) -> VerdictOutcome {
+        self.state.wait()
+    }
+
+    /// Non-blocking poll; returns the outcome once served.
+    pub fn try_take(&self) -> Option<VerdictOutcome> {
+        self.state.try_take()
+    }
+}
+
+struct VerifyJob<C> {
+    request: VerifyRequest<C>,
+    enqueued_at: Instant,
+    ticket: Arc<TicketState<VerdictOutcome>>,
+}
+
+/// Shared engine state: shard queues, shard verdict caches, metrics, lifecycle flag.
+pub(crate) struct VerifyCore<C> {
+    config: VerifyConfig,
+    shards: Vec<Shard<VerifyJob<C>>>,
+    caches: Vec<Mutex<LruCache<VerdictKey, bool>>>,
+    metrics: MetricsRecorder,
+    closed: AtomicBool,
+}
+
+impl<C> VerifyCore<C> {
+    fn new(config: VerifyConfig) -> Self {
+        let config = config.normalized();
+        let per_shard_cache = config.cache_capacity.div_ceil(config.workers);
+        Self {
+            shards: (0..config.workers)
+                .map(|_| Shard::new(config.shard_capacity))
+                .collect(),
+            caches: (0..config.workers)
+                .map(|_| Mutex::new(LruCache::new(per_shard_cache)))
+                .collect(),
+            metrics: MetricsRecorder::new(),
+            closed: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    fn shard_for(&self, key: VerdictKey) -> usize {
+        (key.fold64() % self.shards.len() as u64) as usize
+    }
+
+    fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, ServiceClosed> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServiceClosed);
+        }
+        let state = TicketState::new();
+        let shard = self.shard_for(request.key);
+        let job = VerifyJob {
+            enqueued_at: Instant::now(),
+            ticket: Arc::clone(&state),
+            request,
+        };
+        let depth = self.shards[shard].push_blocking(job, &self.closed)?;
+        self.metrics.record_submit(depth);
+        Ok(VerifyTicket { state })
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    fn cache_entries(&self) -> usize {
+        self.caches
+            .iter()
+            .map(|cache| cache.lock().expect("verdict cache lock").len())
+            .sum()
+    }
+
+    fn snapshot(&self) -> VerifyMetrics {
+        self.metrics.snapshot_verify(
+            self.config.workers,
+            self.queue_depth(),
+            self.cache_entries(),
+        )
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.notify_all();
+        }
+    }
+}
+
+/// Closes the core when dropped, so scoped workers exit even if the body panics.
+struct VerifyCloseGuard<'a, C>(&'a VerifyCore<C>);
+
+impl<C> Drop for VerifyCloseGuard<'_, C> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
+    core: &VerifyCore<C>,
+    judge: &J,
+    shard_idx: usize,
+) {
+    loop {
+        let batch = core.shards[shard_idx].drain_batch(core.config.max_batch, &core.closed);
+        if batch.is_empty() {
+            // Closed and drained.
+            return;
+        }
+        core.metrics.record_batch();
+        for job in batch {
+            let queue_wait = job.enqueued_at.elapsed();
+            let service_start = Instant::now();
+            let cached = core.caches[shard_idx]
+                .lock()
+                .expect("verdict cache lock")
+                .get(job.request.key);
+            let cache_lookup = service_start.elapsed();
+            let (verdict, verdict_time) = match cached {
+                Some(verdict) => (verdict, None),
+                None => {
+                    let verdict_start = Instant::now();
+                    // A panicking judge must not take the worker down: an unwinding
+                    // worker would strand every ticket in its shard and poison the
+                    // pool for later jobs.  Catch the panic, serve a failed verdict,
+                    // and count it in the metrics.
+                    let judged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        judge.verdict(&job.request.case, &job.request.response)
+                    }));
+                    let elapsed = verdict_start.elapsed();
+                    match judged {
+                        Ok(verdict) => {
+                            core.caches[shard_idx]
+                                .lock()
+                                .expect("verdict cache lock")
+                                .insert(job.request.key, verdict);
+                            core.metrics.record_verdict(verdict);
+                            (verdict, Some(elapsed))
+                        }
+                        Err(_) => {
+                            // Not cached: a retry should reach the judge again.
+                            core.metrics.record_solve_panic();
+                            (false, Some(elapsed))
+                        }
+                    }
+                }
+            };
+            core.metrics
+                .record_job(queue_wait, cache_lookup, verdict_time);
+            job.ticket.fulfill(VerdictOutcome {
+                verdict,
+                from_cache: verdict_time.is_none(),
+                worker: shard_idx,
+                queue_wait,
+                service_time: service_start.elapsed(),
+            });
+        }
+    }
+}
+
+/// A persistent verification pool owning its judge and workers.
+///
+/// The judge is type-erased (`dyn ResponseJudge`) so callers can hold the pool in a
+/// struct without naming closure types; the dynamic dispatch is noise next to a
+/// bounded-checker verdict.  Keeping one pool across evaluation runs keeps the
+/// verdict cache warm — re-evaluating a corpus the pool has already judged is pure
+/// cache hits.
+pub struct VerifyPool<C: Send + Sync + 'static> {
+    core: Arc<VerifyCore<C>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<C: Send + Sync + 'static> VerifyPool<C> {
+    /// Starts the verify workers.
+    pub fn start(judge: Arc<dyn ResponseJudge<C> + Send + Sync>, config: VerifyConfig) -> Self {
+        let core = Arc::new(VerifyCore::new(config));
+        let handles = (0..core.config.workers)
+            .map(|shard_idx| {
+                let core = Arc::clone(&core);
+                let judge = Arc::clone(&judge);
+                std::thread::Builder::new()
+                    .name(format!("svserve-verify-{shard_idx}"))
+                    .spawn(move || verify_worker_loop(&core, &*judge, shard_idx))
+                    .expect("spawn verify worker thread")
+            })
+            .collect();
+        Self { core, handles }
+    }
+
+    /// Submits one verdict job; blocks only when the target shard is at capacity.
+    pub fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, ServiceClosed> {
+        self.core.submit(request)
+    }
+
+    /// Submits a whole batch and waits for every verdict, preserving input order.
+    pub fn judge_all(&self, requests: Vec<VerifyRequest<C>>) -> Vec<VerdictOutcome> {
+        judge_all_on(&self.core, requests)
+    }
+
+    /// Takes a metrics snapshot.
+    pub fn metrics(&self) -> VerifyMetrics {
+        self.core.snapshot()
+    }
+
+    /// Stops accepting work, drains the queues and joins the workers.
+    pub fn shutdown(mut self) -> VerifyMetrics {
+        self.core.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.core.snapshot()
+    }
+}
+
+impl<C: Send + Sync + 'static> Drop for VerifyPool<C> {
+    fn drop(&mut self) {
+        self.core.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Borrowed-judge pool handle available inside [`verify_scoped`].
+pub struct ScopedVerifier<'a, C> {
+    core: &'a VerifyCore<C>,
+}
+
+impl<C> ScopedVerifier<'_, C> {
+    /// Submits one verdict job; blocks only when the target shard is at capacity.
+    pub fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, ServiceClosed> {
+        self.core.submit(request)
+    }
+
+    /// Submits a whole batch and waits for every verdict, preserving input order.
+    pub fn judge_all(&self, requests: Vec<VerifyRequest<C>>) -> Vec<VerdictOutcome> {
+        judge_all_on(self.core, requests)
+    }
+
+    /// Takes a metrics snapshot.
+    pub fn metrics(&self) -> VerifyMetrics {
+        self.core.snapshot()
+    }
+}
+
+fn judge_all_on<C>(core: &VerifyCore<C>, requests: Vec<VerifyRequest<C>>) -> Vec<VerdictOutcome> {
+    // Submit everything first (backpressure throttles us while workers drain),
+    // then await in input order.
+    let tickets: Vec<VerifyTicket> = requests
+        .into_iter()
+        .map(|request| core.submit(request).expect("verify pool open"))
+        .collect();
+    tickets.into_iter().map(VerifyTicket::wait).collect()
+}
+
+/// Runs a verify pool over a *borrowed* judge for the duration of `body`.
+///
+/// The pool is built on scoped threads, so `judge` only needs `Sync` — no `Arc`, no
+/// `'static`.  Workers drain outstanding jobs and exit when `body` returns (or
+/// panics).
+pub fn verify_scoped<C, J, F, R>(judge: &J, config: VerifyConfig, body: F) -> R
+where
+    C: Send + Sync,
+    J: ResponseJudge<C> + ?Sized,
+    F: FnOnce(&ScopedVerifier<'_, C>) -> R,
+{
+    let core = VerifyCore::new(config);
+    std::thread::scope(|scope| {
+        let guard = VerifyCloseGuard(&core);
+        for shard_idx in 0..core.config.workers {
+            let core_ref = &core;
+            scope.spawn(move || verify_worker_loop(core_ref, judge, shard_idx));
+        }
+        let verifier = ScopedVerifier { core: &core };
+        let result = body(&verifier);
+        drop(guard); // close + wake workers so the scope can join
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::verdict_key;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A case whose verdict is "does the fixed line contain the case text?", plus an
+    /// invocation counter so tests can prove cache hits skip the judge.
+    struct SubstringJudge {
+        calls: AtomicUsize,
+    }
+
+    impl ResponseJudge<String> for SubstringJudge {
+        fn verdict(&self, case: &String, response: &Response) -> bool {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            response.fixed_line.contains(case.as_str())
+        }
+    }
+
+    fn request(case: &str, fixed_line: &str) -> VerifyRequest<String> {
+        let response = Response {
+            bug_line_number: 1,
+            buggy_line: "buggy".into(),
+            fixed_line: fixed_line.into(),
+            cot: None,
+        };
+        let key = verdict_key(&[case.as_bytes()], &response, b"test-config");
+        VerifyRequest::new(Arc::new(case.to_string()), response, key)
+    }
+
+    #[test]
+    fn owned_pool_judges_and_shuts_down() {
+        let judge = Arc::new(SubstringJudge {
+            calls: AtomicUsize::new(0),
+        });
+        let pool = VerifyPool::start(
+            Arc::<SubstringJudge>::clone(&judge),
+            VerifyConfig::default().with_workers(2),
+        );
+        let requests: Vec<VerifyRequest<String>> = (0..16)
+            .map(|i| request("needle", &format!("fix {i} needle={}", i % 2 == 0)))
+            .collect();
+        let outcomes = pool.judge_all(requests);
+        assert_eq!(outcomes.len(), 16);
+        assert!(outcomes.iter().all(|o| o.verdict));
+        let metrics = pool.shutdown();
+        assert_eq!(metrics.completed, 16);
+        assert_eq!(metrics.cache_misses, 16);
+        assert_eq!(metrics.verdicts_true, 16);
+        assert_eq!(judge.calls.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn repeated_jobs_are_served_from_the_verdict_cache() {
+        let judge = Arc::new(SubstringJudge {
+            calls: AtomicUsize::new(0),
+        });
+        let pool = VerifyPool::start(
+            Arc::<SubstringJudge>::clone(&judge),
+            VerifyConfig::default().with_workers(2),
+        );
+        let first = pool
+            .submit(request("abc", "has abc inside"))
+            .unwrap()
+            .wait();
+        let second = pool
+            .submit(request("abc", "has abc inside"))
+            .unwrap()
+            .wait();
+        assert!(first.verdict && second.verdict);
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(
+            judge.calls.load(Ordering::SeqCst),
+            1,
+            "cache hit must not re-invoke the judge"
+        );
+        let metrics = pool.metrics();
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.cache_misses, 1);
+    }
+
+    #[test]
+    fn verdicts_are_identical_across_worker_counts_and_orders() {
+        let workload: Vec<VerifyRequest<String>> = (0..40)
+            .map(|i| request(&format!("case {}", i % 7), &format!("fix case {}", i % 5)))
+            .collect();
+        let mut reversed = workload.clone();
+        reversed.reverse();
+
+        let run = |requests: Vec<VerifyRequest<String>>, workers: usize| -> Vec<bool> {
+            let judge = SubstringJudge {
+                calls: AtomicUsize::new(0),
+            };
+            verify_scoped(
+                &judge,
+                VerifyConfig::default().with_workers(workers),
+                |verifier| {
+                    verifier
+                        .judge_all(requests)
+                        .into_iter()
+                        .map(|o| o.verdict)
+                        .collect()
+                },
+            )
+        };
+
+        let one = run(workload.clone(), 1);
+        let eight = run(workload.clone(), 8);
+        assert_eq!(one, eight, "worker count must not change verdicts");
+
+        let mut reversed_verdicts = run(reversed, 4);
+        reversed_verdicts.reverse();
+        assert_eq!(
+            one, reversed_verdicts,
+            "arrival order must not change verdicts"
+        );
+    }
+
+    #[test]
+    fn shard_placement_is_content_based() {
+        let core: VerifyCore<String> = VerifyCore::new(VerifyConfig::default().with_workers(4));
+        for i in 0..32 {
+            let key = request(&format!("case {i}"), "fix").key;
+            assert_eq!(core.shard_for(key), core.shard_for(key));
+        }
+    }
+
+    #[test]
+    fn scoped_pool_reports_metrics() {
+        let judge = SubstringJudge {
+            calls: AtomicUsize::new(0),
+        };
+        let metrics = verify_scoped(
+            &judge,
+            VerifyConfig::default().with_workers(1),
+            |verifier| {
+                let outcomes = verifier.judge_all(
+                    (0..10)
+                        .map(|i| request("x", &format!("{} x={}", i, i % 2 == 0)))
+                        .collect(),
+                );
+                assert!(outcomes.iter().all(|o| o.worker == 0));
+                verifier.metrics()
+            },
+        );
+        assert_eq!(metrics.workers, 1);
+        assert_eq!(metrics.completed, 10);
+        assert_eq!(metrics.verdicts_true + metrics.verdicts_false, 10);
+        assert!(metrics.mean_batch_size >= 1.0);
+        assert!(metrics.throughput_per_sec > 0.0);
+    }
+
+    #[test]
+    fn env_override_parses_only_positive_integers() {
+        // Written via a helper rather than set_var: tests run multi-threaded and
+        // the parsing logic is what matters.
+        let parse = |raw: &str| {
+            raw.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&workers| workers > 0)
+        };
+        assert_eq!(parse(" 4 "), Some(4));
+        assert_eq!(parse("1"), Some(1));
+        assert_eq!(parse("0"), None);
+        assert_eq!(parse("many"), None);
+    }
+}

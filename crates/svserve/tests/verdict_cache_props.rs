@@ -1,0 +1,170 @@
+//! Property-style tests (vendored `rand`) for the verdict cache: key uniqueness
+//! over random `(case, response, config)` triples, LRU eviction under random
+//! workloads, and counter consistency under concurrent submitters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+use svmodel::Response;
+use svserve::{verdict_key, LruCache, VerdictKey, VerifyConfig, VerifyPool, VerifyRequest};
+
+fn random_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+        .collect()
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    Response {
+        bug_line_number: rng.gen_range(0..64u32),
+        buggy_line: random_string(rng, 12),
+        fixed_line: random_string(rng, 12),
+        cot: if rng.gen_bool(0.3) {
+            Some(random_string(rng, 8))
+        } else {
+            None
+        },
+    }
+}
+
+/// One flattened `(case, response fields, config)` triple.
+type Triple = (String, String, u32, String, Option<String>, Vec<u8>);
+
+#[test]
+fn distinct_triples_never_alias_to_one_key() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
+    // Deliberately tiny alphabets and short strings so the generator produces many
+    // near-collisions (shared prefixes, shifted field boundaries).
+    let mut triples: BTreeSet<Triple> = BTreeSet::new();
+    while triples.len() < 4096 {
+        let response = random_response(&mut rng);
+        let config: Vec<u8> = (0..rng.gen_range(0..4usize))
+            .map(|_| rng.gen::<u8>())
+            .collect();
+        triples.insert((
+            random_string(&mut rng, 6),
+            response.buggy_line,
+            response.bug_line_number,
+            response.fixed_line,
+            response.cot,
+            config,
+        ));
+    }
+    let keys: HashSet<u128> = triples
+        .iter()
+        .map(|(case, buggy_line, line, fixed_line, cot, config)| {
+            let response = Response {
+                bug_line_number: *line,
+                buggy_line: buggy_line.clone(),
+                fixed_line: fixed_line.clone(),
+                cot: cot.clone(),
+            };
+            verdict_key(&[case.as_bytes()], &response, config).0
+        })
+        .collect();
+    assert_eq!(
+        keys.len(),
+        triples.len(),
+        "distinct (case, response, config) triples aliased to one verdict key"
+    );
+}
+
+#[test]
+fn lru_eviction_respects_capacity_under_random_workloads() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for round in 0..16u128 {
+        let capacity = rng.gen_range(1..=12usize);
+        let mut cache: LruCache<VerdictKey, bool> = LruCache::new(capacity);
+        // A model of perfect recency, replayed against the cache.
+        let mut live: Vec<(VerdictKey, bool)> = Vec::new();
+        for op in 0..400 {
+            let key = VerdictKey(u128::from(rng.gen_range(0..40u64)) | (round << 64));
+            if rng.gen_bool(0.6) {
+                let verdict = rng.gen_bool(0.5);
+                cache.insert(key, verdict);
+                live.retain(|(k, _)| *k != key);
+                live.push((key, verdict));
+                if live.len() > capacity {
+                    live.remove(0);
+                }
+            } else {
+                let cached = cache.get(key);
+                let expected = live.iter().position(|(k, _)| *k == key);
+                match expected {
+                    Some(idx) => {
+                        let entry = live.remove(idx);
+                        assert_eq!(cached, Some(entry.1), "op {op}: wrong cached verdict");
+                        live.push(entry);
+                    }
+                    None => assert_eq!(cached, None, "op {op}: phantom cache entry"),
+                }
+            }
+            assert!(
+                cache.len() <= capacity,
+                "op {op}: cache grew past its capacity {capacity}"
+            );
+            assert_eq!(cache.len(), live.len(), "op {op}: eviction order diverged");
+        }
+    }
+}
+
+#[test]
+fn hit_and_miss_counters_stay_consistent_under_concurrent_submitters() {
+    let judge = |case: &String, response: &Response| {
+        case.len().is_multiple_of(2) && !response.bug_line_number.is_multiple_of(2)
+    };
+    let pool: VerifyPool<String> = VerifyPool::start(
+        Arc::new(judge),
+        VerifyConfig::default()
+            .with_workers(4)
+            .with_cache_capacity(64),
+    );
+    const THREADS: u64 = 4;
+    const PER_THREAD: usize = 120;
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xD1CE ^ thread);
+                let tickets: Vec<_> = (0..PER_THREAD)
+                    .map(|_| {
+                        // A small id space, so threads collide on identical jobs and
+                        // exercise the hit path concurrently.
+                        let case = random_string(&mut rng, 4);
+                        let response = Response {
+                            bug_line_number: rng.gen_range(0..8u32),
+                            buggy_line: String::new(),
+                            fixed_line: random_string(&mut rng, 2),
+                            cot: None,
+                        };
+                        let key = verdict_key(&[case.as_bytes()], &response, b"prop");
+                        pool.submit(VerifyRequest::new(Arc::new(case), response, key))
+                            .expect("pool open")
+                    })
+                    .collect();
+                for ticket in tickets {
+                    ticket.wait();
+                }
+            });
+        }
+    });
+    let metrics = pool.shutdown();
+    let total = THREADS * PER_THREAD as u64;
+    assert_eq!(metrics.submitted, total);
+    assert_eq!(metrics.completed, total);
+    assert_eq!(
+        metrics.cache_hits + metrics.cache_misses,
+        metrics.completed,
+        "every completed job is exactly one hit or one miss"
+    );
+    assert_eq!(
+        metrics.verdicts_true + metrics.verdicts_false,
+        metrics.cache_misses,
+        "every miss computes exactly one verdict (no panics in this workload)"
+    );
+    assert_eq!(metrics.verdict_panics, 0);
+    assert!(metrics.cache_hits > 0, "duplicate-heavy workload must hit");
+    assert!(metrics.cache_entries <= 64, "cache exceeded its capacity");
+}

@@ -1,0 +1,124 @@
+//! Regression: a candidate whose verdict function panics must produce a failed
+//! outcome without stranding any waiter or poisoning the pool for later jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use svmodel::Response;
+use svserve::{verdict_key, verify_scoped, ResponseJudge, VerifyConfig, VerifyPool, VerifyRequest};
+
+const POISON: &str = "segfault-bait";
+
+struct TouchyJudge {
+    calls: AtomicUsize,
+}
+
+impl ResponseJudge<String> for TouchyJudge {
+    fn verdict(&self, _case: &String, response: &Response) -> bool {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if response.fixed_line == POISON {
+            panic!("judge choked on a malformed candidate");
+        }
+        response.bug_line_number.is_multiple_of(2)
+    }
+}
+
+fn request(tag: u32, fixed_line: &str) -> VerifyRequest<String> {
+    let response = Response {
+        bug_line_number: tag,
+        buggy_line: String::new(),
+        fixed_line: fixed_line.into(),
+        cot: None,
+    };
+    let key = verdict_key(&[b"case", &tag.to_le_bytes()], &response, b"panic-test");
+    VerifyRequest::new(Arc::new("case".to_string()), response, key)
+}
+
+#[test]
+fn a_panicking_verdict_fails_the_candidate_without_poisoning_the_pool() {
+    let judge = Arc::new(TouchyJudge {
+        calls: AtomicUsize::new(0),
+    });
+    let pool = VerifyPool::start(
+        Arc::<TouchyJudge>::clone(&judge),
+        VerifyConfig::default().with_workers(2),
+    );
+
+    // Interleave healthy candidates with a poisoned one on every shard's path.
+    let outcomes = pool.judge_all(
+        (0..12)
+            .map(|i| {
+                if i == 5 {
+                    request(i, POISON)
+                } else {
+                    request(i, "fine")
+                }
+            })
+            .collect(),
+    );
+    assert_eq!(outcomes.len(), 12, "every ticket must be fulfilled");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i == 5 {
+            assert!(!outcome.verdict, "a panicking verdict must count as failed");
+            assert!(!outcome.from_cache);
+        } else {
+            assert_eq!(
+                outcome.verdict,
+                i % 2 == 0,
+                "later jobs must still be judged"
+            );
+        }
+    }
+
+    // The panic is never cached: retrying the same candidate reaches the judge
+    // again (and panics again), while healthy duplicates come from the cache.
+    let retry = pool.submit(request(5, POISON)).unwrap().wait();
+    assert!(!retry.verdict);
+    assert!(
+        !retry.from_cache,
+        "failed-by-panic verdicts must not be cached"
+    );
+    let healthy_again = pool.submit(request(4, "fine")).unwrap().wait();
+    assert!(
+        healthy_again.from_cache,
+        "pool must keep serving after panics"
+    );
+
+    let metrics = pool.shutdown();
+    assert_eq!(metrics.verdict_panics, 2);
+    assert_eq!(metrics.completed, 14);
+    assert_eq!(metrics.cache_hits + metrics.cache_misses, metrics.completed);
+    assert_eq!(
+        metrics.verdicts_true + metrics.verdicts_false,
+        metrics.cache_misses - metrics.verdict_panics,
+        "panicked invocations tally no verdict"
+    );
+    assert_eq!(
+        judge.calls.load(Ordering::SeqCst),
+        14 - 1 /* one cache hit */
+    );
+}
+
+#[test]
+fn scoped_pool_absorbs_panics_too() {
+    let judge = TouchyJudge {
+        calls: AtomicUsize::new(0),
+    };
+    let metrics = verify_scoped(
+        &judge,
+        VerifyConfig::default().with_workers(1),
+        |verifier| {
+            let outcomes = verifier.judge_all(vec![
+                request(0, "fine"),
+                request(1, POISON),
+                request(2, "fine"),
+            ]);
+            assert_eq!(
+                outcomes.iter().map(|o| o.verdict).collect::<Vec<_>>(),
+                vec![true, false, true]
+            );
+            verifier.metrics()
+        },
+    );
+    assert_eq!(metrics.verdict_panics, 1);
+    assert_eq!(metrics.completed, 3);
+}

@@ -42,6 +42,20 @@ impl CheckConfig {
             ..Self::default()
         }
     }
+
+    /// Stable little-endian byte encoding of every field.
+    ///
+    /// Used as the configuration component of content-addressed verdict-cache keys
+    /// (`svserve::verdict_key`): two checks share a cached verdict only when every
+    /// parameter that could change the verdict is identical.
+    pub fn fingerprint(&self) -> [u8; 28] {
+        let mut bytes = [0u8; 28];
+        bytes[..8].copy_from_slice(&(self.depth as u64).to_le_bytes());
+        bytes[8..12].copy_from_slice(&self.max_exhaustive_bits.to_le_bytes());
+        bytes[12..20].copy_from_slice(&(self.random_cases as u64).to_le_bytes());
+        bytes[20..28].copy_from_slice(&self.seed.to_le_bytes());
+        bytes
+    }
 }
 
 /// How the verdict of a bounded check was reached.
@@ -327,5 +341,36 @@ endmodule
         assert!(pass.passed());
         assert!(!pass.failed());
         assert!(pass.failures().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_covers_every_field() {
+        let base = CheckConfig::default();
+        assert_eq!(base.fingerprint(), CheckConfig::default().fingerprint());
+        let variants = [
+            CheckConfig {
+                depth: base.depth + 1,
+                ..base.clone()
+            },
+            CheckConfig {
+                max_exhaustive_bits: base.max_exhaustive_bits + 1,
+                ..base.clone()
+            },
+            CheckConfig {
+                random_cases: base.random_cases + 1,
+                ..base.clone()
+            },
+            CheckConfig {
+                seed: base.seed + 1,
+                ..base.clone()
+            },
+        ];
+        for variant in variants {
+            assert_ne!(
+                base.fingerprint(),
+                variant.fingerprint(),
+                "every CheckConfig field must change the fingerprint"
+            );
+        }
     }
 }

@@ -9,10 +9,14 @@
 //! 2. **Determinism** — the same workload and seed produce byte-identical responses
 //!    with 1 worker and with 4 workers;
 //! 3. **Caching** — resubmitting an already-served case is answered from the
-//!    content-addressed cache without invoking the model again.
+//!    content-addressed cache without invoking the model again;
+//! 4. **Verification offload** — candidate verdicts run on a second sharded pool
+//!    (`svserve::verify`), pipelined with sampling inside `evaluate_model`, with a
+//!    content-addressed verdict cache that survives across evaluation runs.
 //!
 //! Run with `cargo run --release --example repair_service`.
 
+use assertsolver::{evaluate_model_with, EvalConfig, EvalVerifier};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use svmodel::{AssertSolverModel, CaseInput, RepairModel, Response};
@@ -149,5 +153,49 @@ fn main() {
     );
     let final_metrics = service.shutdown();
     assert_eq!(final_metrics.cache_hits, 1);
+
+    // 4: verification offload — verdicts run on their own pool, pipelined with
+    // sampling, deterministic at any worker count, and cached across runs.
+    let cases: Vec<_> = assertsolver::human_crafted_cases()
+        .into_iter()
+        .take(4)
+        .collect();
+    let single = EvalConfig {
+        workers: 1,
+        verify_workers: 1,
+        ..EvalConfig::quick(2)
+    };
+    let parallel = EvalConfig {
+        verify_workers: 4,
+        ..single.clone()
+    };
+    let model = AssertSolverModel::base(11);
+    let verifier = EvalVerifier::start(&parallel);
+    let cold = evaluate_model_with(&model, &cases, &parallel, &verifier);
+    let warm = evaluate_model_with(&model, &cases, &parallel, &verifier);
+    assert_eq!(
+        cold, warm,
+        "a pre-warmed verdict cache changed evaluation results"
+    );
+    let verify_metrics = verifier.shutdown();
+    assert!(verify_metrics.cache_hits > 0, "warm run must hit the cache");
+    let one_worker = assertsolver::evaluate_model(&model, &cases, &single);
+    assert_eq!(
+        one_worker, cold,
+        "verify worker count changed evaluation results"
+    );
+    println!(
+        "\nverification offload: {} verdict jobs over {} cases, warm rerun identical \
+         ({} cache hits); 1-worker and 4-worker evaluations identical\n",
+        verify_metrics.completed,
+        cases.len(),
+        verify_metrics.cache_hits,
+    );
+    // The verification stage's own snapshot.  (An operator running both pools over
+    // one workload would attach it to the repair snapshot with
+    // `ServiceMetrics::with_verify` for a combined view; the pools in this example
+    // served different workloads, so they are rendered separately.)
+    println!("{}", verify_metrics.render());
+
     println!("\nall service guarantees verified");
 }
