@@ -1,0 +1,105 @@
+//! Cold vs warm evaluation wall-clock with persistent cache snapshots.
+//!
+//! The cold pass evaluates a mixed corpus against an empty `cache_dir`, paying for
+//! every model sample and bounded-checker verdict and flushing both snapshots on
+//! the way out.  Each warm pass then rebuilds the pools from scratch — nothing
+//! shared in memory — and replays the same evaluation from the on-disk snapshots.
+//! The two evaluations are asserted byte-identical before any number is reported.
+//!
+//! Besides the human-readable table, the run emits one machine-readable line per
+//! mode — `BENCH_SUMMARY {...}` — so CI logs can be grepped into a trajectory:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"persist","mode":"cold","cases":10,...}
+//! BENCH_SUMMARY {"bench":"persist","mode":"warm","cases":10,...,"speedup_vs_cold":9.31}
+//! ```
+//!
+//! Run with `cargo bench --bench persist`.  (Warm speedup comes from skipping
+//! recomputation, not from parallelism, so it shows up even on the 1-core CI
+//! container — unlike the worker-scaling benches.)
+
+use criterion::black_box;
+use std::time::Instant;
+use svdata::SvaBugEntry;
+use svmodel::AssertSolverModel;
+
+const WARM_PASSES: usize = 3;
+
+fn corpus() -> Vec<SvaBugEntry> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(47));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(10);
+    entries
+}
+
+fn main() {
+    let dir =
+        std::env::temp_dir().join(format!("assertsolver-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let entries = corpus();
+    let model = AssertSolverModel::base(7);
+    let config = assertsolver::EvalConfig {
+        workers: 2,
+        verify_workers: 2,
+        cache_dir: Some(dir.display().to_string()),
+        ..assertsolver::EvalConfig::quick(29)
+    };
+
+    println!(
+        "persist: {} cases x {} samples, cold + {WARM_PASSES} warm passes (cache dir {})",
+        entries.len(),
+        config.samples,
+        dir.display()
+    );
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "mode", "wall (s)", "verdict hits", "speedup vs cold"
+    );
+
+    let cold_start = Instant::now();
+    let cold = assertsolver::evaluate_model(&model, &entries, &config);
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+    black_box(&cold);
+    println!("{:>6} {:>12.3} {:>14} {:>16}", "cold", cold_secs, 0, "1.00");
+    println!(
+        "BENCH_SUMMARY {{\"bench\":\"persist\",\"mode\":\"cold\",\"cases\":{},\"samples\":{},\"secs\":{:.6}}}",
+        entries.len(),
+        config.samples,
+        cold_secs
+    );
+
+    let mut best_warm = f64::INFINITY;
+    let mut warm_hits = 0u64;
+    for _ in 0..WARM_PASSES {
+        // Fresh pools each pass: the only state carried over is the snapshot files.
+        let warm_start = Instant::now();
+        let verifier = assertsolver::EvalVerifier::start(&config);
+        let warm = assertsolver::evaluate_model_with(&model, &entries, &config, &verifier);
+        let secs = warm_start.elapsed().as_secs_f64();
+        let metrics = verifier.shutdown();
+        assert_eq!(cold, warm, "warm evaluation must be byte-identical to cold");
+        assert!(
+            metrics.warm_hits > 0,
+            "warm pass must replay verdicts from the snapshot"
+        );
+        best_warm = best_warm.min(secs);
+        warm_hits = metrics.warm_hits;
+        black_box(&warm);
+    }
+    let speedup = cold_secs / best_warm;
+    println!(
+        "{:>6} {:>12.3} {:>14} {:>16.2}",
+        "warm", best_warm, warm_hits, speedup
+    );
+    println!(
+        "BENCH_SUMMARY {{\"bench\":\"persist\",\"mode\":\"warm\",\"cases\":{},\"samples\":{},\"secs\":{:.6},\"verdict_warm_hits\":{},\"speedup_vs_cold\":{:.2}}}",
+        entries.len(),
+        config.samples,
+        best_warm,
+        warm_hits,
+        speedup
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

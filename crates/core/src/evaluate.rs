@@ -12,9 +12,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
+use svserve::persist::fnv64;
 use svserve::{
-    serve_scoped, verdict_key, RepairRequest, ServiceConfig, VerdictKey, VerifyConfig,
-    VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
+    env_cache_dir, serve_scoped, verdict_key, PersistSpec, RepairRequest, ServiceConfig,
+    VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
 };
 use svverify::{CheckConfig, VerifyOracle};
 
@@ -35,6 +36,12 @@ pub struct EvalConfig {
     /// (0 = auto: the `ASSERTSOLVER_VERIFY_WORKERS` environment override, else the
     /// `svserve::VerifyConfig` default).  Results are identical at any worker count.
     pub verify_workers: usize,
+    /// Directory for persistent cache snapshots (`None` = the
+    /// `ASSERTSOLVER_CACHE_DIR` environment override, else no persistence).  When
+    /// resolved, both the response and the verdict cache spill to disk there and
+    /// preload at the next evaluation, so repeated runs skip resolved cases; a
+    /// warm run's `ModelEvaluation` is byte-identical to a cold run's.
+    pub cache_dir: Option<String>,
     /// Bounded-check configuration used to decide whether a repair solves the failure.
     pub check: CheckConfig,
 }
@@ -47,6 +54,7 @@ impl Default for EvalConfig {
             seed: 0xE7A1,
             workers: 0,
             verify_workers: 0,
+            cache_dir: None,
             check: CheckConfig {
                 depth: 12,
                 random_cases: 16,
@@ -71,6 +79,18 @@ impl EvalConfig {
         }
     }
 
+    /// The cache directory this protocol persists to, if any: the explicit
+    /// [`EvalConfig::cache_dir`] field, else the `ASSERTSOLVER_CACHE_DIR`
+    /// environment override (`svserve::CACHE_DIR_ENV`).
+    pub fn resolved_cache_dir(&self) -> Option<std::path::PathBuf> {
+        self.cache_dir
+            .as_deref()
+            .map(|raw| raw.trim())
+            .filter(|raw| !raw.is_empty())
+            .map(std::path::PathBuf::from)
+            .or_else(env_cache_dir)
+    }
+
     /// The repair-service configuration this protocol implies.
     pub fn service_config(&self) -> ServiceConfig {
         let workers = if self.workers == 0 {
@@ -86,18 +106,92 @@ impl EvalConfig {
             .with_seed(self.seed)
     }
 
-    /// The verify-pool configuration this protocol implies.
+    /// The repair-service configuration for sampling a specific model, including
+    /// response-cache persistence when a cache directory is resolved.
+    ///
+    /// `model_identity` should be [`RepairModel::identity`] — a string that
+    /// differs whenever the model's responses could differ (for trained models it
+    /// folds a content hash of the weights, so `base(3)` and `base(11)` never
+    /// share a snapshot despite sharing a display name).  The snapshot file is
+    /// per-identity *and* per-seed (`responses-<slug>-<hash>.json`, the hash
+    /// covering identity + evaluation seed), so distinct protocols coexist in
+    /// one cache directory instead of rejecting and overwriting each other's
+    /// files; the service additionally folds its seed into the snapshot
+    /// fingerprint (responses are a deterministic function of
+    /// `(case, samples, temperature, model, seed)`), so even a hand-pointed
+    /// stale snapshot is rejected at load instead of replaying wrong samples.
+    pub fn service_config_for(&self, model_identity: &str) -> ServiceConfig {
+        let config = self.service_config();
+        match self.resolved_cache_dir() {
+            Some(dir) => {
+                let mut keyed = model_identity.as_bytes().to_vec();
+                keyed.push(0);
+                keyed.extend_from_slice(&self.seed.to_le_bytes());
+                config.with_persist(PersistSpec::new(
+                    dir.join(format!(
+                        "responses-{}-{:08x}.json",
+                        file_slug(model_identity),
+                        fnv64(&keyed) as u32
+                    )),
+                    &[],
+                    model_identity,
+                ))
+            }
+            None => config,
+        }
+    }
+
+    /// The verify-pool configuration this protocol implies, including
+    /// verdict-cache persistence when a cache directory is resolved.
     ///
     /// `verify_workers == 0` defers to [`VerifyConfig::default`], which honours the
     /// `ASSERTSOLVER_VERIFY_WORKERS` environment override; an explicit setting wins
-    /// over both.
+    /// over both.  The verdict snapshot (`verdicts-<hash>.json`, the hash
+    /// covering [`CheckConfig::fingerprint`]) is fingerprinted by the same bytes
+    /// — verdicts are pure functions of `(case, response, CheckConfig)` and
+    /// independent of which model proposed the response, so one file is shared
+    /// across models (header model `"-"`), while evaluations with different
+    /// bounded-check parameters keep separate coexisting files instead of
+    /// rejecting and overwriting each other's.
     pub fn verify_config(&self) -> VerifyConfig {
         let base = VerifyConfig::default();
-        if self.verify_workers == 0 {
+        let base = if self.verify_workers == 0 {
             base
         } else {
             base.with_workers(self.verify_workers)
+        };
+        match self.resolved_cache_dir() {
+            Some(dir) => {
+                let fingerprint = self.check.fingerprint();
+                base.with_persist(PersistSpec::new(
+                    dir.join(format!("verdicts-{:08x}.json", fnv64(&fingerprint) as u32)),
+                    &fingerprint,
+                    "-",
+                ))
+            }
+            None => base,
         }
+    }
+}
+
+/// Reduces a model identity to a file-name-safe slug (truncated; uniqueness
+/// comes from the hash suffix in the file name, not the slug).
+fn file_slug(name: &str) -> String {
+    let slug: String = name
+        .chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if slug.is_empty() {
+        "model".to_string()
+    } else {
+        slug
     }
 }
 
@@ -242,6 +336,11 @@ pub fn apply_line_edit(source: &str, line_number: u32, replacement: &str) -> Opt
 /// verifier alive across several [`evaluate_model_with`] calls replays already-judged
 /// candidates from the cache — re-evaluating a corpus the pool has seen is pure
 /// cache hits, and the verdicts (being pure functions) are identical either way.
+///
+/// When the evaluation resolves a cache directory ([`EvalConfig::cache_dir`] or
+/// `ASSERTSOLVER_CACHE_DIR`), the verdict cache additionally persists across
+/// *processes*: it preloads from its `verdicts-<hash>.json` at start and flushes back on
+/// shutdown/drop (or an explicit [`EvalVerifier::flush`]).
 pub struct EvalVerifier {
     pool: VerifyPool<SvaBugEntry>,
     check_fingerprint: [u8; 28],
@@ -309,7 +408,16 @@ impl EvalVerifier {
         self.pool.metrics()
     }
 
-    /// Stops the verify workers and returns the final metrics.
+    /// Writes the verdict cache to its configured snapshot path, returning the
+    /// number of entries written (`Ok(0)` when no cache directory is resolved).
+    /// Shutdown and drop flush automatically; this is for long-lived verifiers
+    /// that want durability between evaluations.
+    pub fn flush(&self) -> std::io::Result<usize> {
+        self.pool.flush()
+    }
+
+    /// Stops the verify workers, flushes the verdict snapshot and returns the
+    /// final metrics.
     pub fn shutdown(self) -> VerifyMetrics {
         self.pool.shutdown()
     }
@@ -358,66 +466,70 @@ pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
             )
         })
         .collect();
-    let results = serve_scoped(model, config.service_config(), |service| {
-        let tickets: Vec<_> = requests
-            .into_iter()
-            .map(|request| {
-                service
-                    .submit(request)
-                    .expect("service open during evaluation")
-            })
-            .collect();
-        // Stage 2 of the pipeline: await each case's samples in input order and fan
-        // its distinct candidates out to the verify pool.  Identical responses within
-        // a case collapse to one verdict job with a multiplicity, which keeps the
-        // per-case correct count `c` independent of verify-pool scheduling.
-        let mut pending: Vec<(usize, Vec<(usize, VerifyTicket)>)> =
-            Vec::with_capacity(entries.len());
-        for (entry, ticket) in entries.iter().zip(tickets) {
-            let outcome = ticket.wait();
-            let case = Arc::new(entry.clone());
-            let mut multiplicity: BTreeMap<VerdictKey, usize> = BTreeMap::new();
-            let mut distinct: Vec<(VerdictKey, Response)> = Vec::new();
-            for response in outcome.responses.iter() {
-                match multiplicity.entry(verifier.key_for(entry, response)) {
-                    BTreeEntry::Occupied(mut occupied) => *occupied.get_mut() += 1,
-                    BTreeEntry::Vacant(vacant) => {
-                        distinct.push((*vacant.key(), response.clone()));
-                        vacant.insert(1);
-                    }
-                }
-            }
-            let submitted = distinct
+    let results = serve_scoped(
+        model,
+        config.service_config_for(&model.identity()),
+        |service| {
+            let tickets: Vec<_> = requests
                 .into_iter()
-                .map(|(key, response)| {
-                    (
-                        multiplicity[&key],
-                        verifier.submit_keyed(Arc::clone(&case), response, key),
-                    )
+                .map(|request| {
+                    service
+                        .submit(request)
+                        .expect("service open during evaluation")
                 })
                 .collect();
-            pending.push((outcome.responses.len(), submitted));
-        }
-        // Stage 3: collect verdicts (verify workers have been judging all along).
-        entries
-            .iter()
-            .zip(pending)
-            .map(|(entry, (n, submitted))| {
-                let c = submitted
-                    .into_iter()
-                    .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
-                    .sum();
-                CaseResult {
-                    module_name: entry.module_name.clone(),
-                    n,
-                    c,
-                    profile: entry.profile,
-                    code_lines: entry.code_lines,
-                    human_crafted: entry.human_crafted,
+            // Stage 2 of the pipeline: await each case's samples in input order and fan
+            // its distinct candidates out to the verify pool.  Identical responses within
+            // a case collapse to one verdict job with a multiplicity, which keeps the
+            // per-case correct count `c` independent of verify-pool scheduling.
+            let mut pending: Vec<(usize, Vec<(usize, VerifyTicket)>)> =
+                Vec::with_capacity(entries.len());
+            for (entry, ticket) in entries.iter().zip(tickets) {
+                let outcome = ticket.wait();
+                let case = Arc::new(entry.clone());
+                let mut multiplicity: BTreeMap<VerdictKey, usize> = BTreeMap::new();
+                let mut distinct: Vec<(VerdictKey, Response)> = Vec::new();
+                for response in outcome.responses.iter() {
+                    match multiplicity.entry(verifier.key_for(entry, response)) {
+                        BTreeEntry::Occupied(mut occupied) => *occupied.get_mut() += 1,
+                        BTreeEntry::Vacant(vacant) => {
+                            distinct.push((*vacant.key(), response.clone()));
+                            vacant.insert(1);
+                        }
+                    }
                 }
-            })
-            .collect::<Vec<_>>()
-    });
+                let submitted = distinct
+                    .into_iter()
+                    .map(|(key, response)| {
+                        (
+                            multiplicity[&key],
+                            verifier.submit_keyed(Arc::clone(&case), response, key),
+                        )
+                    })
+                    .collect();
+                pending.push((outcome.responses.len(), submitted));
+            }
+            // Stage 3: collect verdicts (verify workers have been judging all along).
+            entries
+                .iter()
+                .zip(pending)
+                .map(|(entry, (n, submitted))| {
+                    let c = submitted
+                        .into_iter()
+                        .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
+                        .sum();
+                    CaseResult {
+                        module_name: entry.module_name.clone(),
+                        n,
+                        c,
+                        profile: entry.profile,
+                        code_lines: entry.code_lines,
+                        human_crafted: entry.human_crafted,
+                    }
+                })
+                .collect::<Vec<_>>()
+        },
+    );
     ModelEvaluation {
         model: model.name().to_string(),
         results,
@@ -538,6 +650,201 @@ mod tests {
         );
         // The warm pass re-judges nothing: every verdict job it added was a hit.
         assert_eq!(warm_metrics.cache_misses, cold_metrics.cache_misses);
+    }
+
+    #[test]
+    fn warm_start_from_disk_is_byte_identical_to_cold_start() {
+        let dir = std::env::temp_dir().join(format!(
+            "assertsolver-warm-start-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entries: Vec<SvaBugEntry> = human_crafted_cases().into_iter().take(3).collect();
+        let model = svmodel::AssertSolverModel::base(3);
+        let config = EvalConfig {
+            workers: 2,
+            verify_workers: 2,
+            cache_dir: Some(dir.display().to_string()),
+            ..EvalConfig::quick(13)
+        };
+
+        // Cold run: no snapshots exist yet; pools flush them on the way out.
+        let cold = evaluate_model(&model, &entries, &config);
+        let verdict_snapshot = config
+            .verify_config()
+            .persist
+            .expect("verdict persistence configured")
+            .path;
+        assert!(
+            verdict_snapshot.exists(),
+            "verdict snapshot must be written"
+        );
+        let response_snapshot = config
+            .service_config_for(&model.identity())
+            .persist
+            .expect("response persistence configured")
+            .path;
+        assert!(
+            response_snapshot.exists(),
+            "response snapshot must be written"
+        );
+
+        // Warm run with entirely fresh pools: everything preloads from disk.
+        let verifier = EvalVerifier::start(&config);
+        let warm = evaluate_model_with(&model, &entries, &config, &verifier);
+        let metrics = verifier.metrics();
+        verifier.shutdown();
+        assert_eq!(cold, warm, "warm-start evaluation must be byte-identical");
+        assert!(
+            metrics.snapshot_loaded_entries > 0,
+            "verdict snapshot must preload"
+        );
+        assert!(
+            metrics.cache_hits > 0,
+            "warm run must hit the verdict cache"
+        );
+        assert!(
+            metrics.warm_hits > 0 && metrics.warm_hit_rate > 0.0,
+            "verdict hits must be attributed to the snapshot"
+        );
+        assert_eq!(
+            metrics.cache_misses, 0,
+            "a fully warm verdict cache re-judges nothing"
+        );
+
+        // A different CheckConfig resolves its own coexisting snapshot file, so
+        // it cold-starts without loading stale verdicts — and without touching
+        // the original protocol's snapshot.
+        let reconfigured = EvalConfig {
+            check: CheckConfig {
+                depth: config.check.depth + 1,
+                ..config.check.clone()
+            },
+            ..config.clone()
+        };
+        assert_ne!(
+            reconfigured.verify_config().persist.unwrap().path,
+            verdict_snapshot,
+            "a changed CheckConfig must key a different verdict file"
+        );
+        let stale_verifier = EvalVerifier::start(&reconfigured);
+        let stale_metrics = stale_verifier.metrics();
+        stale_verifier.shutdown();
+        assert_eq!(stale_metrics.snapshot_loaded_entries, 0);
+        assert!(
+            verdict_snapshot.exists(),
+            "the original protocol's snapshot must survive"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn differently_seeded_models_never_share_a_response_snapshot() {
+        // base(3) and base(11) share a display name but have different noisy
+        // policy weights; their identities (and so their snapshot files and
+        // headers) must differ, or a warm start would replay the wrong model's
+        // responses.
+        let a = svmodel::AssertSolverModel::base(3);
+        let b = svmodel::AssertSolverModel::base(11);
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.identity(), b.identity());
+        assert_eq!(
+            a.identity(),
+            svmodel::AssertSolverModel::base(3).identity(),
+            "identity must be stable for identical weights"
+        );
+        let config = EvalConfig {
+            cache_dir: Some("/tmp/x".into()),
+            ..EvalConfig::quick(1)
+        };
+        let spec_a = config.service_config_for(&a.identity()).persist.unwrap();
+        let spec_b = config.service_config_for(&b.identity()).persist.unwrap();
+        assert_ne!(spec_a.path, spec_b.path);
+        assert_ne!(spec_a.model, spec_b.model);
+    }
+
+    #[test]
+    fn cache_dir_resolution_prefers_the_explicit_field() {
+        let explicit = EvalConfig {
+            cache_dir: Some("/tmp/explicit".into()),
+            ..EvalConfig::quick(1)
+        };
+        assert_eq!(
+            explicit.resolved_cache_dir(),
+            Some(std::path::PathBuf::from("/tmp/explicit"))
+        );
+        // Blank strings resolve like None (falling through to the environment).
+        let blank = EvalConfig {
+            cache_dir: Some("   ".into()),
+            ..EvalConfig::quick(1)
+        };
+        assert_eq!(blank.resolved_cache_dir(), svserve::env_cache_dir());
+        // Persist specs land in the implied pool configs.
+        let spec = explicit.service_config_for("AssertSolver (base)").persist;
+        let spec = spec.expect("response persistence configured");
+        let path = spec.path.display().to_string();
+        assert!(
+            path.starts_with("/tmp/explicit/responses-assertsolver--base-"),
+            "unexpected snapshot path {path}"
+        );
+        assert!(path.ends_with(".json"));
+        assert_eq!(spec.model, "AssertSolver (base)");
+        // Distinct identities never share a snapshot path, even when they slug
+        // identically (the hash suffix disambiguates).
+        assert_ne!(
+            explicit
+                .service_config_for("Base model")
+                .persist
+                .unwrap()
+                .path,
+            explicit
+                .service_config_for("base_model")
+                .persist
+                .unwrap()
+                .path,
+        );
+        let verdict_spec = explicit
+            .verify_config()
+            .persist
+            .expect("verdict persistence");
+        let verdict_path = verdict_spec.path.display().to_string();
+        assert!(
+            verdict_path.starts_with("/tmp/explicit/verdicts-") && verdict_path.ends_with(".json"),
+            "unexpected verdict snapshot path {verdict_path}"
+        );
+        assert_eq!(
+            verdict_spec.fingerprint,
+            explicit.check.fingerprint().to_vec()
+        );
+        // Different bounded-check parameters key different, coexisting files;
+        // different seeds key different response files.
+        let deeper = EvalConfig {
+            check: CheckConfig {
+                depth: explicit.check.depth + 1,
+                ..explicit.check.clone()
+            },
+            ..explicit.clone()
+        };
+        assert_ne!(
+            deeper.verify_config().persist.unwrap().path,
+            verdict_spec.path
+        );
+        let reseeded = EvalConfig {
+            seed: explicit.seed + 1,
+            ..explicit.clone()
+        };
+        assert_ne!(
+            reseeded.service_config_for("m").persist.unwrap().path,
+            explicit.service_config_for("m").persist.unwrap().path,
+            "a changed seed must key a different response file"
+        );
+        // Without a field or environment, nothing persists.
+        let none = EvalConfig::quick(1);
+        if svserve::env_cache_dir().is_none() {
+            assert_eq!(none.service_config_for("m").persist, None);
+            assert_eq!(none.verify_config().persist, None);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! This crate ties the workspace together into the paper's end-to-end flow:
 //!
-//! 1. [`train`] runs the data-augmentation pipeline (`svdata`), the PT → SFT → DPO
+//! 1. [`train()`](fn@train) runs the data-augmentation pipeline (`svdata`), the PT → SFT → DPO
 //!    training recipe (`svmodel`) and builds the SVA-Eval benchmark
 //!    ([`benchmark::SvaEval`], machine + human cases);
 //! 2. [`evaluate_model`] samples any [`svmodel::RepairModel`] *n* times per case,

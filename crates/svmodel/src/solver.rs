@@ -42,6 +42,16 @@ pub trait RepairModel {
     /// Display name used in tables.
     fn name(&self) -> &str;
 
+    /// Stable identity for persistent-cache headers (`svserve::persist`): two
+    /// models that can produce different responses must return different
+    /// identities, or a warm start could replay one model's cached responses as
+    /// the other's.  Defaults to the display name, which suffices for stateless
+    /// or hand-tuned models; models with trained or seeded internal state must
+    /// fold a content fingerprint in (as [`AssertSolverModel`] does).
+    fn identity(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Generates `samples` candidate solutions for a case at the given temperature.
     fn solve(&self, case: &CaseInput, samples: usize, temperature: f64, seed: u64)
         -> Vec<Response>;
@@ -311,6 +321,23 @@ impl AssertSolverModel {
 impl RepairModel for AssertSolverModel {
     fn name(&self) -> &str {
         &self.display_name
+    }
+
+    /// Display name plus a content hash of the full serialized model, so two
+    /// same-stage models with different weights (e.g. `base(3)` vs `base(11)`,
+    /// or SFT runs with different hyperparameters) never share a cache identity.
+    fn identity(&self) -> String {
+        let serialized = serde_json::to_string(self).expect("model serialises");
+        // FNV-1a/64 over the serialized weights; stable across processes because
+        // every field renders deterministically (BTreeMaps, shortest-float).
+        // Local copy of the hash: svserve's shared helper lives downstream of
+        // this crate in the dependency graph.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in serialized.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+        format!("{} [{hash:016x}]", self.display_name)
     }
 
     fn solve(

@@ -102,6 +102,9 @@ pub fn verdict_key(case_fields: &[&[u8]], response: &Response, config: &[u8]) ->
 struct Entry<V> {
     value: V,
     stamp: u64,
+    /// Whether the entry was preloaded from a persisted snapshot (see
+    /// [`crate::persist`]) rather than computed in this process.
+    warm: bool,
 }
 
 /// A least-recently-used content-addressed cache.
@@ -110,6 +113,23 @@ struct Entry<V> {
 /// verify pool instantiates it as `LruCache<VerdictKey, bool>`.  Recency is tracked
 /// with a monotonically increasing stamp per access plus a stamp-ordered index,
 /// giving `O(log n)` lookup/insert/evict without unsafe code.
+///
+/// Entries inserted with [`LruCache::preload`] (snapshot warm-start) are tagged, so
+/// pools can report how much of their traffic a persisted snapshot absorbed:
+///
+/// ```
+/// use svserve::LruCache;
+///
+/// let mut cache: LruCache<u64, String> = LruCache::new(2);
+/// cache.preload(1, "from snapshot".to_string());
+/// cache.insert(2, "computed".to_string());
+/// assert_eq!(cache.get_tagged(1), Some(("from snapshot".to_string(), true)));
+/// assert_eq!(cache.get_tagged(2), Some(("computed".to_string(), false)));
+/// // Plain `get` ignores the tag, and re-inserting clears it.
+/// assert_eq!(cache.get(1).as_deref(), Some("from snapshot"));
+/// cache.insert(1, "recomputed".to_string());
+/// assert_eq!(cache.get_tagged(1), Some(("recomputed".to_string(), false)));
+/// ```
 pub struct LruCache<K = CaseKey, V = Arc<Vec<Response>>> {
     map: HashMap<K, Entry<V>>,
     by_stamp: BTreeMap<u64, K>,
@@ -141,16 +161,32 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
     /// Looks up a key, refreshing its recency on a hit.  Values are cloned out;
     /// pick a cheap-to-clone value type (`Arc<...>`, `bool`).
     pub fn get(&mut self, key: K) -> Option<V> {
+        self.get_tagged(key).map(|(value, _)| value)
+    }
+
+    /// Like [`LruCache::get`], but also reports whether the entry was preloaded
+    /// from a snapshot ([`LruCache::preload`]) rather than computed this process.
+    pub fn get_tagged(&mut self, key: K) -> Option<(V, bool)> {
         let entry = self.map.get_mut(&key)?;
         self.by_stamp.remove(&entry.stamp);
         entry.stamp = self.next_stamp;
         self.by_stamp.insert(self.next_stamp, key);
         self.next_stamp += 1;
-        Some(entry.value.clone())
+        Some((entry.value.clone(), entry.warm))
     }
 
     /// Inserts a value, evicting the least recently used entry when full.
     pub fn insert(&mut self, key: K, value: V) {
+        self.insert_entry(key, value, false);
+    }
+
+    /// Inserts a snapshot-restored value, tagging it as warm so later hits can be
+    /// attributed to the snapshot (see [`LruCache::get_tagged`]).
+    pub fn preload(&mut self, key: K, value: V) {
+        self.insert_entry(key, value, true);
+    }
+
+    fn insert_entry(&mut self, key: K, value: V, warm: bool) {
         if let Some(existing) = self.map.get(&key) {
             self.by_stamp.remove(&existing.stamp);
         } else if self.map.len() >= self.capacity {
@@ -164,10 +200,23 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
             Entry {
                 value,
                 stamp: self.next_stamp,
+                warm,
             },
         );
         self.by_stamp.insert(self.next_stamp, key);
         self.next_stamp += 1;
+    }
+
+    /// Clones every entry out, least-recently-used first.  Used by
+    /// [`crate::persist`] to build snapshots — which re-sort by key for
+    /// byte-stable files, so recency deliberately resets to insertion order on a
+    /// warm start (harmless: eviction order never affects results, only what a
+    /// small cache keeps).
+    pub fn export(&self) -> Vec<(K, V)> {
+        self.by_stamp
+            .values()
+            .map(|key| (*key, self.map[key].value.clone()))
+            .collect()
     }
 }
 
@@ -276,6 +325,46 @@ mod tests {
         assert!(cache.get(keys[0]).is_some());
         assert!(cache.get(keys[2]).is_some());
         assert!(cache.get(keys[3]).is_some());
+    }
+
+    #[test]
+    fn preloaded_entries_are_tagged_until_recomputed() {
+        let keys: Vec<CaseKey> = (0..3)
+            .map(|i| case_key(&case(&format!("s{i}"), "", ""), 1, 0.0))
+            .collect();
+        let mut cache = LruCache::new(8);
+        cache.preload(keys[0], Arc::new(vec![response(0)]));
+        cache.insert(keys[1], Arc::new(vec![response(1)]));
+        assert!(cache.get_tagged(keys[0]).unwrap().1);
+        assert!(!cache.get_tagged(keys[1]).unwrap().1);
+        assert!(cache.get_tagged(keys[2]).is_none());
+        // Recomputing over a warm entry clears the tag; exporting and preloading
+        // restores it.
+        cache.insert(keys[0], Arc::new(vec![response(9)]));
+        assert!(!cache.get_tagged(keys[0]).unwrap().1);
+        let exported = cache.export();
+        assert_eq!(exported.len(), 2);
+        let mut reloaded = LruCache::new(8);
+        for (key, value) in exported {
+            reloaded.preload(key, value);
+        }
+        assert!(reloaded.get_tagged(keys[0]).unwrap().1);
+        assert_eq!(reloaded.get(keys[0]).unwrap()[0].bug_line_number, 9);
+    }
+
+    #[test]
+    fn export_preserves_lru_order() {
+        let keys: Vec<CaseKey> = (0..3)
+            .map(|i| case_key(&case(&format!("s{i}"), "", ""), 1, 0.0))
+            .collect();
+        let mut cache = LruCache::new(8);
+        for (i, &key) in keys.iter().enumerate() {
+            cache.insert(key, Arc::new(vec![response(i as u32)]));
+        }
+        // Touch key 0 so it becomes most recent.
+        cache.get(keys[0]);
+        let order: Vec<CaseKey> = cache.export().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![keys[1], keys[2], keys[0]]);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   with a content-addressed verdict cache keyed by
 //!   `hash(case, response, checker config)`; sampling and verification pipeline
 //!   through the two pools concurrently in `assertsolver::evaluate_model`.
+//! * **Cache persistence & warm start** — both caches can spill to versioned
+//!   on-disk snapshots ([`persist`]) that are preloaded at pool start, so repeated
+//!   runs replay responses and verdicts from disk instead of recomputing them;
+//!   corrupt or mismatched snapshots degrade to a cold start, never an error.
 //!
 //! ## Quick example
 //!
@@ -41,8 +45,11 @@
 //! assert_eq!(outcomes[0].responses.len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod metrics;
+pub mod persist;
 pub mod queue;
 pub mod service;
 mod ticket;
@@ -50,6 +57,10 @@ pub mod verify;
 
 pub use cache::{case_key, verdict_key, CaseKey, LruCache, VerdictKey};
 pub use metrics::{ServiceMetrics, VerifyMetrics};
+pub use persist::{
+    env_cache_dir, PersistSpec, SnapshotHeader, SnapshotLoad, CACHE_DIR_ENV,
+    SNAPSHOT_FORMAT_VERSION,
+};
 pub use queue::ServiceClosed;
 pub use service::{
     serve_scoped, RepairOutcome, RepairRequest, RepairService, RepairTicket, ScopedService,

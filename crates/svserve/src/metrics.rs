@@ -1,7 +1,7 @@
 //! Lock-free pool instrumentation and the [`ServiceMetrics`] / [`VerifyMetrics`]
 //! snapshots.
 //!
-//! One [`MetricsRecorder`] instruments one worker pool.  The repair pool snapshots it
+//! One `MetricsRecorder` instruments one worker pool.  The repair pool snapshots it
 //! as [`ServiceMetrics`]; the verify pool snapshots the same counters (plus the
 //! verdict tallies) as [`VerifyMetrics`], and a combined view is available through
 //! [`ServiceMetrics::with_verify`].
@@ -24,6 +24,12 @@ pub(crate) struct MetricsRecorder {
     solve_panics: AtomicU64,
     verdicts_true: AtomicU64,
     verdicts_false: AtomicU64,
+    warm_hits: AtomicU64,
+    snapshot_loaded_entries: AtomicU64,
+    snapshot_saved_entries: AtomicU64,
+    snapshot_saves: AtomicU64,
+    snapshot_save_failures: AtomicU64,
+    snapshot_rejects: AtomicU64,
     peak_queue_depth: AtomicU64,
     queue_wait_ns: AtomicU64,
     cache_lookup_ns: AtomicU64,
@@ -42,6 +48,12 @@ impl MetricsRecorder {
             solve_panics: AtomicU64::new(0),
             verdicts_true: AtomicU64::new(0),
             verdicts_false: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            snapshot_loaded_entries: AtomicU64::new(0),
+            snapshot_saved_entries: AtomicU64::new(0),
+            snapshot_saves: AtomicU64::new(0),
+            snapshot_save_failures: AtomicU64::new(0),
+            snapshot_rejects: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             cache_lookup_ns: AtomicU64::new(0),
@@ -61,6 +73,36 @@ impl MetricsRecorder {
 
     pub(crate) fn record_solve_panic(&self) {
         self.solve_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cache hit served from a snapshot-preloaded entry.
+    pub(crate) fn record_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful snapshot preload of `entries` cache entries.
+    pub(crate) fn record_snapshot_load(&self, entries: usize) {
+        self.snapshot_loaded_entries
+            .fetch_add(entries as u64, Ordering::Relaxed);
+    }
+
+    /// Records a snapshot that existed but was rejected (corrupt or mismatched).
+    pub(crate) fn record_snapshot_reject(&self) {
+        self.snapshot_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful snapshot write of `entries` cache entries.
+    pub(crate) fn record_snapshot_save(&self, entries: usize) {
+        self.snapshot_saves.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_saved_entries
+            .store(entries as u64, Ordering::Relaxed);
+    }
+
+    /// Records a snapshot write that failed (I/O error); the automatic flush
+    /// paths swallow the error itself, so this counter is the only signal that
+    /// persistence is not actually persisting.
+    pub(crate) fn record_snapshot_save_failure(&self) {
+        self.snapshot_save_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_verdict(&self, verdict: bool) {
@@ -120,6 +162,17 @@ impl MetricsRecorder {
             } else {
                 cache_hits as f64 / (cache_hits + cache_misses) as f64
             },
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_hit_rate: if cache_hits + cache_misses == 0 {
+                0.0
+            } else {
+                self.warm_hits.load(Ordering::Relaxed) as f64 / (cache_hits + cache_misses) as f64
+            },
+            snapshot_loaded_entries: self.snapshot_loaded_entries.load(Ordering::Relaxed),
+            snapshot_saved_entries: self.snapshot_saved_entries.load(Ordering::Relaxed),
+            snapshot_saves: self.snapshot_saves.load(Ordering::Relaxed),
+            snapshot_save_failures: self.snapshot_save_failures.load(Ordering::Relaxed),
+            snapshot_rejects: self.snapshot_rejects.load(Ordering::Relaxed),
             panics: self.solve_panics.load(Ordering::Relaxed),
             mean_batch_size: if batches == 0 {
                 0.0
@@ -155,6 +208,13 @@ impl MetricsRecorder {
             cache_misses: stage.cache_misses,
             cache_entries,
             cache_hit_rate: stage.cache_hit_rate,
+            warm_hits: stage.warm_hits,
+            warm_hit_rate: stage.warm_hit_rate,
+            snapshot_loaded_entries: stage.snapshot_loaded_entries,
+            snapshot_saved_entries: stage.snapshot_saved_entries,
+            snapshot_saves: stage.snapshot_saves,
+            snapshot_save_failures: stage.snapshot_save_failures,
+            snapshot_rejects: stage.snapshot_rejects,
             solve_panics: stage.panics,
             mean_batch_size: stage.mean_batch_size,
             mean_queue_wait_us: stage.mean_queue_wait_us,
@@ -183,6 +243,13 @@ impl MetricsRecorder {
             cache_misses: stage.cache_misses,
             cache_entries,
             cache_hit_rate: stage.cache_hit_rate,
+            warm_hits: stage.warm_hits,
+            warm_hit_rate: stage.warm_hit_rate,
+            snapshot_loaded_entries: stage.snapshot_loaded_entries,
+            snapshot_saved_entries: stage.snapshot_saved_entries,
+            snapshot_saves: stage.snapshot_saves,
+            snapshot_save_failures: stage.snapshot_save_failures,
+            snapshot_rejects: stage.snapshot_rejects,
             verdict_panics: stage.panics,
             verdicts_true: self.verdicts_true.load(Ordering::Relaxed),
             verdicts_false: self.verdicts_false.load(Ordering::Relaxed),
@@ -205,6 +272,13 @@ struct Stage {
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    warm_hits: u64,
+    warm_hit_rate: f64,
+    snapshot_loaded_entries: u64,
+    snapshot_saved_entries: u64,
+    snapshot_saves: u64,
+    snapshot_save_failures: u64,
+    snapshot_rejects: u64,
     panics: u64,
     mean_batch_size: f64,
     mean_queue_wait_us: f64,
@@ -235,6 +309,26 @@ pub struct ServiceMetrics {
     pub cache_entries: usize,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing completed.
     pub cache_hit_rate: f64,
+    /// Cache hits served from entries preloaded out of a persisted snapshot
+    /// (the warm-start subset of `cache_hits`; see [`crate::persist`]).
+    pub warm_hits: u64,
+    /// `warm_hits / (cache_hits + cache_misses)`, 0 when nothing completed —
+    /// the fraction of traffic a disk snapshot absorbed.
+    pub warm_hit_rate: f64,
+    /// Entries preloaded from a snapshot at pool start (0 when none configured
+    /// or the snapshot was missing/rejected).
+    pub snapshot_loaded_entries: u64,
+    /// Entries written by the most recent snapshot flush.
+    pub snapshot_saved_entries: u64,
+    /// Successful snapshot flushes over the pool's lifetime.
+    pub snapshot_saves: u64,
+    /// Snapshot flushes that failed with an I/O error.  The automatic flush
+    /// paths (shutdown, drop, scoped exit) swallow the error itself, so a
+    /// nonzero value here is the signal that persistence is not persisting.
+    pub snapshot_save_failures: u64,
+    /// Snapshots that existed on disk but were rejected as corrupt or mismatched
+    /// (version, kind, fingerprint or model); each one degraded to a cold start.
+    pub snapshot_rejects: u64,
     /// Model invocations that panicked; the service absorbed the panic and served
     /// an empty response set instead of stranding the ticket.
     pub solve_panics: u64,
@@ -276,6 +370,26 @@ pub struct VerifyMetrics {
     pub cache_entries: usize,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing completed.
     pub cache_hit_rate: f64,
+    /// Cache hits served from verdicts preloaded out of a persisted snapshot
+    /// (the warm-start subset of `cache_hits`; see [`crate::persist`]).
+    pub warm_hits: u64,
+    /// `warm_hits / (cache_hits + cache_misses)`, 0 when nothing completed —
+    /// the fraction of traffic a disk snapshot absorbed.
+    pub warm_hit_rate: f64,
+    /// Verdicts preloaded from a snapshot at pool start (0 when none configured
+    /// or the snapshot was missing/rejected).
+    pub snapshot_loaded_entries: u64,
+    /// Verdicts written by the most recent snapshot flush.
+    pub snapshot_saved_entries: u64,
+    /// Successful snapshot flushes over the pool's lifetime.
+    pub snapshot_saves: u64,
+    /// Snapshot flushes that failed with an I/O error.  The automatic flush
+    /// paths (shutdown, drop, scoped exit) swallow the error itself, so a
+    /// nonzero value here is the signal that persistence is not persisting.
+    pub snapshot_save_failures: u64,
+    /// Snapshots that existed on disk but were rejected as corrupt or mismatched
+    /// (version, kind, fingerprint or model); each one degraded to a cold start.
+    pub snapshot_rejects: u64,
     /// Judge invocations that panicked; the pool absorbed the panic and served a
     /// failed verdict instead of stranding the ticket (never cached).
     pub verdict_panics: u64,
@@ -308,6 +422,7 @@ impl VerifyMetrics {
              \x20 throughput        {:>10.1} verdicts/s\n\
              \x20 queue depth       {:>10} (peak {})\n\
              \x20 cache             {:>10} entries, {} hits / {} misses ({:.1}% hit rate)\n\
+             \x20 warm start        {:>10} snapshot hits ({:.1}% of traffic), {} preloaded, {} saved, {} rejects, {} save failures\n\
              \x20 verdicts          {:>10} accepted, {} rejected, {} panics\n\
              \x20 mean batch size   {:>10.2}\n\
              \x20 queue wait        {:>10.1} µs mean\n\
@@ -324,6 +439,12 @@ impl VerifyMetrics {
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate * 100.0,
+            self.warm_hits,
+            self.warm_hit_rate * 100.0,
+            self.snapshot_loaded_entries,
+            self.snapshot_saved_entries,
+            self.snapshot_rejects,
+            self.snapshot_save_failures,
             self.verdicts_true,
             self.verdicts_false,
             self.verdict_panics,
@@ -353,6 +474,7 @@ impl ServiceMetrics {
              \x20 throughput        {:>10.1} cases/s\n\
              \x20 queue depth       {:>10} (peak {})\n\
              \x20 cache             {:>10} entries, {} hits / {} misses ({:.1}% hit rate)\n\
+             \x20 warm start        {:>10} snapshot hits ({:.1}% of traffic), {} preloaded, {} saved, {} rejects, {} save failures\n\
              \x20 solve panics      {:>10}\n\
              \x20 mean batch size   {:>10.2}\n\
              \x20 queue wait        {:>10.1} µs mean\n\
@@ -369,6 +491,12 @@ impl ServiceMetrics {
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate * 100.0,
+            self.warm_hits,
+            self.warm_hit_rate * 100.0,
+            self.snapshot_loaded_entries,
+            self.snapshot_saved_entries,
+            self.snapshot_rejects,
+            self.snapshot_save_failures,
             self.solve_panics,
             self.mean_batch_size,
             self.mean_queue_wait_us,
@@ -440,6 +568,36 @@ mod tests {
         assert_eq!(snap.verdict_panics, 0);
         assert!((snap.mean_verdict_us - 50.0).abs() < 1e-9);
         assert!(snap.render().contains("verdicts/s"));
+    }
+
+    #[test]
+    fn snapshot_counters_feed_the_warm_start_view() {
+        let recorder = MetricsRecorder::new();
+        recorder.record_snapshot_load(12);
+        recorder.record_snapshot_reject();
+        // Three completed jobs: two hits (one warm), one miss.
+        recorder.record_job(Duration::from_micros(1), Duration::from_micros(1), None);
+        recorder.record_warm_hit();
+        recorder.record_job(Duration::from_micros(1), Duration::from_micros(1), None);
+        recorder.record_job(
+            Duration::from_micros(1),
+            Duration::from_micros(1),
+            Some(Duration::from_micros(5)),
+        );
+        recorder.record_snapshot_save(9);
+        let snap = recorder.snapshot(1, 0, 9);
+        assert_eq!(snap.snapshot_loaded_entries, 12);
+        assert_eq!(snap.snapshot_saved_entries, 9);
+        assert_eq!(snap.snapshot_saves, 1);
+        assert_eq!(snap.snapshot_rejects, 1);
+        assert_eq!(snap.warm_hits, 1);
+        assert!((snap.warm_hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!(snap.render().contains("warm start"));
+        // The verify view derives from the same counters.
+        let verify = recorder.snapshot_verify(1, 0, 9);
+        assert_eq!(verify.warm_hits, 1);
+        assert_eq!(verify.snapshot_loaded_entries, 12);
+        assert!(verify.render().contains("warm start"));
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! Versioned on-disk snapshots for the response and verdict caches.
+//!
+//! Both pool caches are pure content-addressed maps — responses are a deterministic
+//! function of `(case, samples, temperature, model, seed)` and verdicts of
+//! `(case, response, CheckConfig)` — so their contents can be spilled to disk and
+//! reloaded by a later process without changing any result.  This module is the
+//! "cache persistence & warmup" layer: repeated benchmark runs against the same
+//! [`CACHE_DIR_ENV`] directory skip already-resolved cases entirely.
+//!
+//! ## Snapshot format
+//!
+//! A snapshot is a single JSON document (vendored `serde_json`) with two parts:
+//!
+//! * a [`SnapshotHeader`] carrying the format version, the cache kind
+//!   ([`RESPONSE_KIND`] or [`VERDICT_KIND`]), a hex fingerprint of the
+//!   configuration the cached values depend on (service seed for responses,
+//!   `svverify::CheckConfig::fingerprint()` for verdicts), and the model identity;
+//! * the entries, each pairing a hex-encoded 128-bit content key with its cached
+//!   value, sorted by key so `snapshot → load → snapshot` is byte-stable.
+//!
+//! ## Invalidation rules
+//!
+//! Loading **never** fails the service: every problem degrades to a cold start.
+//! A snapshot is rejected (and counted in the pool's `snapshot_rejects` metric)
+//! when any of the following mismatch the expectations of the loading pool:
+//!
+//! | check | guards against |
+//! |---|---|
+//! | file parses as JSON | corruption, truncated writes |
+//! | `format_version` | old processes reading a future layout |
+//! | `kind` | pointing a verdict pool at a response snapshot |
+//! | `fingerprint` | stale seeds / changed bounded-check parameters |
+//! | `model` | responses sampled by a different model |
+//! | every key decodes as 128-bit hex | hand-edited or garbled entries |
+//!
+//! ## Atomicity
+//!
+//! [`write_atomic`] writes to a process-unique temporary file in the target
+//! directory and renames it into place, so readers only ever observe either the
+//! previous snapshot or the complete new one — never a torn write.  A crashed
+//! writer leaves at worst a stale `.tmp` file behind, which later writers ignore.
+
+use crate::cache::{CaseKey, VerdictKey};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use svmodel::Response;
+
+/// Version stamp written into every snapshot; bump on any layout change so older
+/// binaries invalidate newer snapshots (and vice versa) instead of misreading them.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Snapshot kind tag for response-cache files (repair pool).
+pub const RESPONSE_KIND: &str = "response-cache";
+
+/// Snapshot kind tag for verdict-cache files (verify pool).
+pub const VERDICT_KIND: &str = "verdict-cache";
+
+/// Environment variable naming the cache directory `assertsolver::EvalConfig`
+/// persists to; when set, `evaluate_model` runs warm across process invocations.
+pub const CACHE_DIR_ENV: &str = "ASSERTSOLVER_CACHE_DIR";
+
+/// Reads the cache-directory override from the environment, if set and non-empty.
+pub fn env_cache_dir() -> Option<PathBuf> {
+    std::env::var(CACHE_DIR_ENV)
+        .ok()
+        .map(|raw| raw.trim().to_string())
+        .filter(|raw| !raw.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Where and under what identity a pool persists its cache.
+///
+/// The fingerprint and model are folded into the [`SnapshotHeader`]; a pool loading
+/// a snapshot whose header disagrees with its own spec falls back to a cold start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistSpec {
+    /// Snapshot file path (parent directories are created on save).
+    pub path: PathBuf,
+    /// Raw bytes of the configuration the cached values depend on (service seed
+    /// for responses, `CheckConfig::fingerprint()` for verdicts).
+    pub fingerprint: Vec<u8>,
+    /// Identity of the model the cached values were computed with; verdict
+    /// snapshots, being model-agnostic, conventionally use `"-"`.
+    pub model: String,
+}
+
+impl PersistSpec {
+    /// Convenience constructor.
+    pub fn new(path: impl Into<PathBuf>, fingerprint: &[u8], model: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            fingerprint: fingerprint.to_vec(),
+            model: model.into(),
+        }
+    }
+}
+
+/// The identity block at the top of every snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Layout version; see [`SNAPSHOT_FORMAT_VERSION`].
+    pub format_version: u32,
+    /// Cache kind: [`RESPONSE_KIND`] or [`VERDICT_KIND`].
+    pub kind: String,
+    /// Lower-hex encoding of the configuration fingerprint bytes.
+    pub fingerprint: String,
+    /// Model identity the cached values were computed with.
+    pub model: String,
+}
+
+impl SnapshotHeader {
+    /// The header a pool with the given spec expects (and writes).
+    pub fn expected(kind: &str, spec: &PersistSpec) -> Self {
+        Self {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            kind: kind.to_string(),
+            fingerprint: hex(&spec.fingerprint),
+            model: spec.model.clone(),
+        }
+    }
+
+    /// Returns the first reason this header does not match `expected`, if any.
+    pub fn mismatch(&self, expected: &Self) -> Option<String> {
+        if self.format_version != expected.format_version {
+            return Some(format!(
+                "format version {} (expected {})",
+                self.format_version, expected.format_version
+            ));
+        }
+        if self.kind != expected.kind {
+            return Some(format!(
+                "kind {:?} (expected {:?})",
+                self.kind, expected.kind
+            ));
+        }
+        if self.fingerprint != expected.fingerprint {
+            return Some("configuration fingerprint mismatch".to_string());
+        }
+        if self.model != expected.model {
+            return Some(format!(
+                "model {:?} (expected {:?})",
+                self.model, expected.model
+            ));
+        }
+        None
+    }
+}
+
+/// FNV-1a/64 of arbitrary bytes.
+///
+/// The shared short-hash helper for snapshot-adjacent naming and identity (e.g.
+/// collision-proof snapshot file names, protocol-keyed reference files) so call
+/// sites don't each hand-roll the constants.  Not a cache key — the caches use
+/// the 128-bit variant in [`crate::cache`].
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Lower-hex encoding of arbitrary bytes (used for header fingerprints).
+pub fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Encodes a 128-bit content key as fixed-width lower hex.
+pub fn encode_key(raw: u128) -> String {
+    format!("{raw:032x}")
+}
+
+/// Decodes a key written by [`encode_key`]; `None` on any malformed input.
+///
+/// Only the canonical form is accepted — exactly 32 lower-hex digits — so
+/// non-canonical spellings `from_str_radix` would tolerate (a leading `+`,
+/// uppercase digits) are rejected, keeping load → save byte-stable.
+pub fn decode_key(text: &str) -> Option<u128> {
+    if text.len() != 32
+        || !text
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u128::from_str_radix(text, 16).ok()
+}
+
+/// One persisted response-cache entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEntry {
+    /// Hex-encoded [`CaseKey`].
+    pub key: String,
+    /// The cached response set, in sampling order.
+    pub responses: Vec<Response>,
+}
+
+/// On-disk form of a repair pool's response cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseSnapshot {
+    /// Identity block; checked before any entry is loaded.
+    pub header: SnapshotHeader,
+    /// Entries sorted by key.
+    pub entries: Vec<ResponseEntry>,
+}
+
+/// One persisted verdict-cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictEntry {
+    /// Hex-encoded [`VerdictKey`].
+    pub key: String,
+    /// The cached verdict.
+    pub verdict: bool,
+}
+
+/// On-disk form of a verify pool's verdict cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictSnapshot {
+    /// Identity block; checked before any entry is loaded.
+    pub header: SnapshotHeader,
+    /// Entries sorted by key.
+    pub entries: Vec<VerdictEntry>,
+}
+
+/// Outcome of attempting to load a snapshot.
+///
+/// `Missing` and `Rejected` both mean "cold start" — the distinction only matters
+/// for metrics (`snapshot_rejects`) and diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotLoad<T> {
+    /// The snapshot matched and its entries were decoded.
+    Loaded(T),
+    /// No snapshot file exists yet (the normal first-run case).
+    Missing,
+    /// A file exists but is corrupt, truncated, or carries a mismatched header;
+    /// the string says why.  The pool starts cold.
+    Rejected(String),
+}
+
+fn read_snapshot<T: Deserialize>(path: &Path) -> SnapshotLoad<T> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return SnapshotLoad::Missing,
+        Err(err) => return SnapshotLoad::Rejected(format!("unreadable snapshot: {err}")),
+    };
+    match serde_json::from_str(&text) {
+        Ok(snapshot) => SnapshotLoad::Loaded(snapshot),
+        Err(err) => SnapshotLoad::Rejected(format!("unparseable snapshot: {err}")),
+    }
+}
+
+/// Loads a response snapshot, validating the header against `spec`.
+///
+/// Every failure mode — missing file, corrupt JSON, version/kind/fingerprint/model
+/// mismatch, malformed key — degrades to a cold start; nothing panics or errors.
+pub fn load_response_snapshot(
+    spec: &PersistSpec,
+) -> SnapshotLoad<Vec<(CaseKey, Arc<Vec<Response>>)>> {
+    let snapshot: ResponseSnapshot = match read_snapshot(&spec.path) {
+        SnapshotLoad::Loaded(snapshot) => snapshot,
+        SnapshotLoad::Missing => return SnapshotLoad::Missing,
+        SnapshotLoad::Rejected(reason) => return SnapshotLoad::Rejected(reason),
+    };
+    if let Some(reason) = snapshot
+        .header
+        .mismatch(&SnapshotHeader::expected(RESPONSE_KIND, spec))
+    {
+        return SnapshotLoad::Rejected(reason);
+    }
+    let mut entries = Vec::with_capacity(snapshot.entries.len());
+    for entry in snapshot.entries {
+        let Some(raw) = decode_key(&entry.key) else {
+            return SnapshotLoad::Rejected(format!("malformed key {:?}", entry.key));
+        };
+        entries.push((CaseKey(raw), Arc::new(entry.responses)));
+    }
+    SnapshotLoad::Loaded(entries)
+}
+
+/// Loads a verdict snapshot, validating the header against `spec`.
+///
+/// Same degradation contract as [`load_response_snapshot`].
+pub fn load_verdict_snapshot(spec: &PersistSpec) -> SnapshotLoad<Vec<(VerdictKey, bool)>> {
+    let snapshot: VerdictSnapshot = match read_snapshot(&spec.path) {
+        SnapshotLoad::Loaded(snapshot) => snapshot,
+        SnapshotLoad::Missing => return SnapshotLoad::Missing,
+        SnapshotLoad::Rejected(reason) => return SnapshotLoad::Rejected(reason),
+    };
+    if let Some(reason) = snapshot
+        .header
+        .mismatch(&SnapshotHeader::expected(VERDICT_KIND, spec))
+    {
+        return SnapshotLoad::Rejected(reason);
+    }
+    let mut entries = Vec::with_capacity(snapshot.entries.len());
+    for entry in snapshot.entries {
+        let Some(raw) = decode_key(&entry.key) else {
+            return SnapshotLoad::Rejected(format!("malformed key {:?}", entry.key));
+        };
+        entries.push((VerdictKey(raw), entry.verdict));
+    }
+    SnapshotLoad::Loaded(entries)
+}
+
+/// Saves a response snapshot atomically; returns the number of entries written.
+///
+/// Entries are sorted by key before writing, so saving, loading and saving again
+/// produces byte-identical files regardless of cache insertion order or worker
+/// count.
+pub fn save_response_snapshot(
+    spec: &PersistSpec,
+    mut entries: Vec<(CaseKey, Arc<Vec<Response>>)>,
+) -> io::Result<usize> {
+    entries.sort_by_key(|(key, _)| *key);
+    let snapshot = ResponseSnapshot {
+        header: SnapshotHeader::expected(RESPONSE_KIND, spec),
+        entries: entries
+            .into_iter()
+            .map(|(key, responses)| ResponseEntry {
+                key: encode_key(key.0),
+                responses: (*responses).clone(),
+            })
+            .collect(),
+    };
+    let count = snapshot.entries.len();
+    let json = serde_json::to_string(&snapshot)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+    write_atomic(&spec.path, &json)?;
+    Ok(count)
+}
+
+/// Saves a verdict snapshot atomically; returns the number of entries written.
+///
+/// Same byte-stability contract as [`save_response_snapshot`].
+///
+/// ```
+/// use svserve::persist::{
+///     load_verdict_snapshot, save_verdict_snapshot, PersistSpec, SnapshotLoad,
+/// };
+/// use svserve::VerdictKey;
+///
+/// let dir = std::env::temp_dir().join(format!("svserve-doc-{}", std::process::id()));
+/// let spec = PersistSpec::new(dir.join("verdicts.json"), b"check-config", "-");
+/// save_verdict_snapshot(&spec, vec![(VerdictKey(7), true), (VerdictKey(3), false)]).unwrap();
+/// assert_eq!(
+///     load_verdict_snapshot(&spec),
+///     SnapshotLoad::Loaded(vec![(VerdictKey(3), false), (VerdictKey(7), true)]),
+/// );
+/// // A spec with a different fingerprint rejects the file instead of loading it.
+/// let stale = PersistSpec::new(spec.path.clone(), b"other-config", "-");
+/// assert!(matches!(load_verdict_snapshot(&stale), SnapshotLoad::Rejected(_)));
+/// std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub fn save_verdict_snapshot(
+    spec: &PersistSpec,
+    mut entries: Vec<(VerdictKey, bool)>,
+) -> io::Result<usize> {
+    entries.sort_by_key(|(key, _)| *key);
+    let snapshot = VerdictSnapshot {
+        header: SnapshotHeader::expected(VERDICT_KIND, spec),
+        entries: entries
+            .into_iter()
+            .map(|(key, verdict)| VerdictEntry {
+                key: encode_key(key.0),
+                verdict,
+            })
+            .collect(),
+    };
+    let count = snapshot.entries.len();
+    let json = serde_json::to_string(&snapshot)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+    write_atomic(&spec.path, &json)?;
+    Ok(count)
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same directory, then
+/// rename.  Creates parent directories as needed.  Readers never observe a torn
+/// write because the rename either fully replaces the old file or leaves it alone.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(parent) = parent {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "snapshot path has no file name",
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    // The temp name is unique per write (pid + global counter) so concurrent
+    // writers — including two pools in one process flushing a shared snapshot —
+    // cannot clobber each other's half-written file; the final rename still races
+    // benignly (last complete snapshot wins).
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}.{seq}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(err) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_spec(tag: &str) -> PersistSpec {
+        let dir =
+            std::env::temp_dir().join(format!("svserve-persist-unit-{}-{tag}", std::process::id()));
+        PersistSpec::new(dir.join("snap.json"), b"fp", "model-a")
+    }
+
+    fn cleanup(spec: &PersistSpec) {
+        if let Some(dir) = spec.path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    fn response(line: u32) -> Response {
+        Response {
+            bug_line_number: line,
+            buggy_line: format!("buggy {line}"),
+            fixed_line: format!("fixed {line}"),
+            cot: if line.is_multiple_of(2) {
+                Some(format!("because {line}"))
+            } else {
+                None
+            },
+        }
+    }
+
+    #[test]
+    fn key_codec_round_trips_and_rejects_garbage() {
+        for raw in [0u128, 1, u128::MAX, 0xdead_beef] {
+            assert_eq!(decode_key(&encode_key(raw)), Some(raw));
+        }
+        assert_eq!(decode_key(""), None);
+        assert_eq!(decode_key("zz"), None);
+        assert_eq!(decode_key(&"f".repeat(33)), None);
+        // Non-canonical but parseable widths are rejected too (fixed 32 chars).
+        assert_eq!(decode_key("ff"), None);
+        // Only canonical lower-hex digits: no sign, no uppercase, no whitespace.
+        assert_eq!(decode_key("+0000000000000000000000000000001"), None);
+        assert_eq!(decode_key(&"F".repeat(32)), None);
+        assert_eq!(decode_key(" 000000000000000000000000000000f"), None);
+    }
+
+    #[test]
+    fn response_snapshot_round_trips_with_recency_independent_bytes() {
+        let spec = temp_spec("resp-roundtrip");
+        let entries = vec![
+            (CaseKey(9), Arc::new(vec![response(1), response(2)])),
+            (CaseKey(2), Arc::new(vec![])),
+        ];
+        save_response_snapshot(&spec, entries.clone()).unwrap();
+        let first_bytes = std::fs::read(&spec.path).unwrap();
+        let SnapshotLoad::Loaded(loaded) = load_response_snapshot(&spec) else {
+            panic!("snapshot must load");
+        };
+        // Loaded sorted by key.
+        assert_eq!(loaded[0].0, CaseKey(2));
+        assert_eq!(loaded[1].0, CaseKey(9));
+        assert_eq!(*loaded[1].1, vec![response(1), response(2)]);
+        // Saving what was loaded reproduces the file byte for byte.
+        save_response_snapshot(&spec, loaded).unwrap();
+        assert_eq!(std::fs::read(&spec.path).unwrap(), first_bytes);
+        cleanup(&spec);
+    }
+
+    #[test]
+    fn missing_corrupt_and_mismatched_snapshots_degrade_to_cold_start() {
+        let spec = temp_spec("degrade");
+        assert_eq!(load_verdict_snapshot(&spec), SnapshotLoad::Missing);
+
+        // Corrupt bytes.
+        std::fs::create_dir_all(spec.path.parent().unwrap()).unwrap();
+        std::fs::write(&spec.path, "{ not json at all").unwrap();
+        assert!(matches!(
+            load_verdict_snapshot(&spec),
+            SnapshotLoad::Rejected(_)
+        ));
+
+        // Truncated valid JSON.
+        save_verdict_snapshot(&spec, vec![(VerdictKey(1), true)]).unwrap();
+        let full = std::fs::read_to_string(&spec.path).unwrap();
+        std::fs::write(&spec.path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            load_verdict_snapshot(&spec),
+            SnapshotLoad::Rejected(_)
+        ));
+
+        // Version mismatch.
+        let bumped = full.replace(
+            &format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}"),
+            &format!("\"format_version\":{}", SNAPSHOT_FORMAT_VERSION + 1),
+        );
+        assert_ne!(bumped, full, "version field must be present to rewrite");
+        std::fs::write(&spec.path, &bumped).unwrap();
+        let SnapshotLoad::Rejected(reason) = load_verdict_snapshot(&spec) else {
+            panic!("future format version must be rejected");
+        };
+        assert!(
+            reason.contains("format version"),
+            "unexpected reason {reason}"
+        );
+
+        // Fingerprint and model mismatches.
+        std::fs::write(&spec.path, &full).unwrap();
+        let other_fp = PersistSpec {
+            fingerprint: b"other".to_vec(),
+            ..spec.clone()
+        };
+        assert!(matches!(
+            load_verdict_snapshot(&other_fp),
+            SnapshotLoad::Rejected(_)
+        ));
+        let other_model = PersistSpec {
+            model: "model-b".into(),
+            ..spec.clone()
+        };
+        assert!(matches!(
+            load_verdict_snapshot(&other_model),
+            SnapshotLoad::Rejected(_)
+        ));
+
+        // Kind confusion: a verdict file is not a response snapshot.
+        std::fs::write(&spec.path, &full).unwrap();
+        assert!(matches!(
+            load_response_snapshot(&spec),
+            SnapshotLoad::Rejected(_)
+        ));
+
+        // And the matching spec still loads the intact file.
+        assert_eq!(
+            load_verdict_snapshot(&spec),
+            SnapshotLoad::Loaded(vec![(VerdictKey(1), true)])
+        );
+        cleanup(&spec);
+    }
+
+    #[test]
+    fn write_atomic_replaces_previous_contents() {
+        let spec = temp_spec("atomic");
+        write_atomic(&spec.path, "first").unwrap();
+        write_atomic(&spec.path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&spec.path).unwrap(), "second");
+        // No temp litter left behind.
+        let residue: Vec<_> = std::fs::read_dir(spec.path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(residue.is_empty(), "temp files must be renamed away");
+        cleanup(&spec);
+    }
+}

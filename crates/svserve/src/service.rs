@@ -3,7 +3,7 @@
 //! This is the *sampling* half of the two-pool serving architecture; its verdict
 //! twin, built from the same recipe, lives in [`crate::verify`].
 //!
-//! Two frontends share one engine ([`ServiceCore`] + [`worker_loop`]):
+//! Two frontends share one engine (`ServiceCore` + `worker_loop`):
 //!
 //! * [`RepairService`] owns its model (`Arc<M>`) and keeps a persistent pool until
 //!   [`RepairService::shutdown`] or drop — the long-running daemon shape;
@@ -21,6 +21,7 @@
 
 use crate::cache::{case_key, CaseKey, LruCache};
 use crate::metrics::{MetricsRecorder, ServiceMetrics};
+use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard};
 use crate::ticket::TicketState;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,6 +42,11 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Service seed mixed into every per-case sampler seed.
     pub seed: u64,
+    /// On-disk snapshot of the response cache: preloaded at start, written by
+    /// [`RepairService::flush`] / shutdown / the end of [`serve_scoped`].  `None`
+    /// keeps the cache purely in-memory.  See [`crate::persist`] for the format
+    /// and invalidation rules.
+    pub persist: Option<PersistSpec>,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +57,7 @@ impl Default for ServiceConfig {
             max_batch: 8,
             cache_capacity: 1024,
             seed: 0x0005_E127_AB1E,
+            persist: None,
         }
     }
 }
@@ -65,6 +72,12 @@ impl ServiceConfig {
     /// Returns the config with the service seed replaced.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with response-cache persistence enabled.
+    pub fn with_persist(mut self, persist: PersistSpec) -> Self {
+        self.persist = Some(persist);
         self
     }
 
@@ -170,7 +183,7 @@ impl ServiceCore {
     fn new(config: ServiceConfig) -> Self {
         let config = config.normalized();
         let per_shard_cache = config.cache_capacity.div_ceil(config.workers);
-        Self {
+        let core = Self {
             shards: (0..config.workers)
                 .map(|_| Shard::new(config.shard_capacity))
                 .collect(),
@@ -180,6 +193,82 @@ impl ServiceCore {
             metrics: MetricsRecorder::new(),
             closed: AtomicBool::new(false),
             config,
+        };
+        core.preload_snapshot();
+        core
+    }
+
+    /// The persistence spec with the service seed folded into the fingerprint.
+    ///
+    /// Cached responses depend on the sampler seed (derived from the service seed
+    /// plus the content hash), but [`CaseKey`] does not cover it — so the seed must
+    /// be part of the snapshot identity or a warm start under a different seed
+    /// would silently replay wrong responses.  Folding it here makes the invariant
+    /// unbreakable instead of a caller convention.
+    fn persist_spec(&self) -> Option<PersistSpec> {
+        self.config.persist.as_ref().map(|spec| {
+            let mut fingerprint = spec.fingerprint.clone();
+            fingerprint.extend_from_slice(&self.config.seed.to_le_bytes());
+            PersistSpec {
+                fingerprint,
+                ..spec.clone()
+            }
+        })
+    }
+
+    /// Warm start: preloads the persisted response snapshot, if one is configured
+    /// and valid.  A missing file is the normal first run; a corrupt or mismatched
+    /// one is counted in the metrics and the service starts cold — never an error.
+    fn preload_snapshot(&self) {
+        let Some(spec) = self.persist_spec() else {
+            return;
+        };
+        match persist::load_response_snapshot(&spec) {
+            SnapshotLoad::Loaded(entries) => {
+                let count = entries.len();
+                for (key, responses) in entries {
+                    self.caches[self.shard_for(key)]
+                        .lock()
+                        .expect("cache lock")
+                        .preload(key, responses);
+                }
+                self.metrics.record_snapshot_load(count);
+            }
+            SnapshotLoad::Missing => {}
+            SnapshotLoad::Rejected(_) => self.metrics.record_snapshot_reject(),
+        }
+    }
+
+    /// Spills every cached response set to the configured snapshot path
+    /// (atomically); `Ok(0)` when persistence is not configured.
+    ///
+    /// An **empty** cache is never written: a service that loaded nothing (e.g. a
+    /// reconfigured run whose preload was rejected) and computed nothing must not
+    /// replace a previously valuable snapshot with an empty file.
+    fn flush(&self) -> std::io::Result<usize> {
+        let Some(spec) = self.persist_spec() else {
+            return Ok(0);
+        };
+        let mut entries = Vec::new();
+        for cache in &self.caches {
+            entries.extend(cache.lock().expect("cache lock").export());
+        }
+        if entries.is_empty() {
+            {
+                return Ok(0);
+            }
+        }
+        match persist::save_response_snapshot(&spec, entries) {
+            Ok(count) => {
+                self.metrics.record_snapshot_save(count);
+                Ok(count)
+            }
+            Err(err) => {
+                // The automatic flush paths (shutdown/drop/scoped exit) discard
+                // this error; the counter is the surviving signal.
+                self.metrics.record_snapshot_save_failure();
+                Err(err)
+            }
         }
     }
 
@@ -262,10 +351,15 @@ fn worker_loop<M: RepairModel + ?Sized>(core: &ServiceCore, model: &M, shard_idx
             let cached = core.caches[shard_idx]
                 .lock()
                 .expect("cache lock")
-                .get(job.key);
+                .get_tagged(job.key);
             let cache_lookup = service_start.elapsed();
             let (responses, solve_time) = match cached {
-                Some(responses) => (responses, None),
+                Some((responses, warm)) => {
+                    if warm {
+                        core.metrics.record_warm_hit();
+                    }
+                    (responses, None)
+                }
                 None => {
                     let solve_start = Instant::now();
                     // A panicking model must not take the worker down: an unwinding
@@ -354,12 +448,21 @@ impl<M: RepairModel + Send + Sync + 'static> RepairService<M> {
         self.core.snapshot()
     }
 
-    /// Stops accepting work, drains the queues and joins the workers.
+    /// Writes the current response cache to the configured snapshot path
+    /// (atomically), returning the number of entries written; `Ok(0)` when
+    /// persistence is not configured.  Also runs automatically on shutdown/drop.
+    pub fn flush(&self) -> std::io::Result<usize> {
+        self.core.flush()
+    }
+
+    /// Stops accepting work, drains the queues, joins the workers and flushes the
+    /// response-cache snapshot.
     pub fn shutdown(mut self) -> ServiceMetrics {
         self.core.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        let _ = self.core.flush();
         self.core.snapshot()
     }
 }
@@ -367,8 +470,14 @@ impl<M: RepairModel + Send + Sync + 'static> RepairService<M> {
 impl<M: RepairModel + Send + Sync + 'static> Drop for RepairService<M> {
     fn drop(&mut self) {
         self.core.close();
+        let had_workers = !self.handles.is_empty();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        // `shutdown` already flushed (and emptied `handles`); only flush here when
+        // the service is dropped without an explicit shutdown.
+        if had_workers {
+            let _ = self.core.flush();
         }
     }
 }
@@ -409,14 +518,16 @@ fn solve_all_on(core: &ServiceCore, requests: Vec<RepairRequest>) -> Vec<RepairO
 ///
 /// The pool is built on scoped threads, so `model` only needs `Sync` — no `Arc`, no
 /// `'static`.  Workers drain outstanding jobs and exit when `body` returns (or
-/// panics).
+/// panics).  When [`ServiceConfig::persist`] is set, the snapshot is preloaded
+/// before the workers start and flushed after they have all joined (so the flush
+/// sees every response the pool computed); a panicking `body` skips the flush.
 pub fn serve_scoped<M, F, R>(model: &M, config: ServiceConfig, body: F) -> R
 where
     M: RepairModel + Sync + ?Sized,
     F: FnOnce(&ScopedService<'_>) -> R,
 {
     let core = ServiceCore::new(config);
-    std::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         let guard = CloseGuard(&core);
         for shard_idx in 0..core.config.workers {
             let core_ref = &core;
@@ -426,7 +537,9 @@ where
         let result = body(&service);
         drop(guard); // close + wake workers so the scope can join
         result
-    })
+    });
+    let _ = core.flush();
+    result
 }
 
 #[cfg(test)]

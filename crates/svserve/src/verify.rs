@@ -9,7 +9,7 @@
 //! backpressure, micro-batched dequeue, panic absorption, content-hash-derived shard
 //! placement).
 //!
-//! Two frontends share one engine ([`VerifyCore`] + [`verify_worker_loop`]):
+//! Two frontends share one engine (`VerifyCore` + `verify_worker_loop`):
 //!
 //! * [`VerifyPool`] owns its judge (`Arc<dyn ResponseJudge>`) and keeps a persistent
 //!   pool until [`VerifyPool::shutdown`] or drop — reusable across evaluation runs,
@@ -35,6 +35,7 @@
 
 use crate::cache::{LruCache, VerdictKey};
 use crate::metrics::{MetricsRecorder, VerifyMetrics};
+use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard};
 use crate::ticket::TicketState;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +70,11 @@ pub struct VerifyConfig {
     pub max_batch: usize,
     /// Total verdict-cache entries across all shards.
     pub cache_capacity: usize,
+    /// On-disk snapshot of the verdict cache: preloaded at start, written by
+    /// [`VerifyPool::flush`] / shutdown / the end of [`verify_scoped`].  `None`
+    /// keeps the cache purely in-memory.  See [`crate::persist`] for the format
+    /// and invalidation rules.
+    pub persist: Option<PersistSpec>,
 }
 
 impl Default for VerifyConfig {
@@ -81,6 +87,7 @@ impl Default for VerifyConfig {
             shard_capacity: 128,
             max_batch: 16,
             cache_capacity: 4096,
+            persist: None,
         }
     }
 }
@@ -95,6 +102,12 @@ impl VerifyConfig {
     /// Returns the config with the total cache capacity replaced.
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Returns the config with verdict-cache persistence enabled.
+    pub fn with_persist(mut self, persist: PersistSpec) -> Self {
+        self.persist = Some(persist);
         self
     }
 
@@ -205,7 +218,7 @@ impl<C> VerifyCore<C> {
     fn new(config: VerifyConfig) -> Self {
         let config = config.normalized();
         let per_shard_cache = config.cache_capacity.div_ceil(config.workers);
-        Self {
+        let core = Self {
             shards: (0..config.workers)
                 .map(|_| Shard::new(config.shard_capacity))
                 .collect(),
@@ -215,6 +228,64 @@ impl<C> VerifyCore<C> {
             metrics: MetricsRecorder::new(),
             closed: AtomicBool::new(false),
             config,
+        };
+        core.preload_snapshot();
+        core
+    }
+
+    /// Warm start: preloads the persisted verdict snapshot, if one is configured
+    /// and valid.  A missing file is the normal first run; a corrupt or mismatched
+    /// one is counted in the metrics and the pool starts cold — never an error.
+    fn preload_snapshot(&self) {
+        let Some(spec) = &self.config.persist else {
+            return;
+        };
+        match persist::load_verdict_snapshot(spec) {
+            SnapshotLoad::Loaded(entries) => {
+                let count = entries.len();
+                for (key, verdict) in entries {
+                    self.caches[self.shard_for(key)]
+                        .lock()
+                        .expect("verdict cache lock")
+                        .preload(key, verdict);
+                }
+                self.metrics.record_snapshot_load(count);
+            }
+            SnapshotLoad::Missing => {}
+            SnapshotLoad::Rejected(_) => self.metrics.record_snapshot_reject(),
+        }
+    }
+
+    /// Spills every cached verdict to the configured snapshot path (atomically);
+    /// `Ok(0)` when persistence is not configured.
+    ///
+    /// An **empty** cache is never written: a pool that loaded nothing (e.g. a
+    /// reconfigured run whose preload was rejected) and judged nothing must not
+    /// replace a previously valuable snapshot with an empty file.
+    fn flush(&self) -> std::io::Result<usize> {
+        let Some(spec) = &self.config.persist else {
+            return Ok(0);
+        };
+        let mut entries = Vec::new();
+        for cache in &self.caches {
+            entries.extend(cache.lock().expect("verdict cache lock").export());
+        }
+        if entries.is_empty() {
+            {
+                return Ok(0);
+            }
+        }
+        match persist::save_verdict_snapshot(spec, entries) {
+            Ok(count) => {
+                self.metrics.record_snapshot_save(count);
+                Ok(count)
+            }
+            Err(err) => {
+                // The automatic flush paths (shutdown/drop/scoped exit) discard
+                // this error; the counter is the surviving signal.
+                self.metrics.record_snapshot_save_failure();
+                Err(err)
+            }
         }
     }
 
@@ -292,10 +363,15 @@ fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
             let cached = core.caches[shard_idx]
                 .lock()
                 .expect("verdict cache lock")
-                .get(job.request.key);
+                .get_tagged(job.request.key);
             let cache_lookup = service_start.elapsed();
             let (verdict, verdict_time) = match cached {
-                Some(verdict) => (verdict, None),
+                Some((verdict, warm)) => {
+                    if warm {
+                        core.metrics.record_warm_hit();
+                    }
+                    (verdict, None)
+                }
                 None => {
                     let verdict_start = Instant::now();
                     // A panicking judge must not take the worker down: an unwinding
@@ -380,12 +456,21 @@ impl<C: Send + Sync + 'static> VerifyPool<C> {
         self.core.snapshot()
     }
 
-    /// Stops accepting work, drains the queues and joins the workers.
+    /// Writes the current verdict cache to the configured snapshot path
+    /// (atomically), returning the number of entries written; `Ok(0)` when
+    /// persistence is not configured.  Also runs automatically on shutdown/drop.
+    pub fn flush(&self) -> std::io::Result<usize> {
+        self.core.flush()
+    }
+
+    /// Stops accepting work, drains the queues, joins the workers and flushes the
+    /// verdict-cache snapshot.
     pub fn shutdown(mut self) -> VerifyMetrics {
         self.core.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        let _ = self.core.flush();
         self.core.snapshot()
     }
 }
@@ -393,8 +478,14 @@ impl<C: Send + Sync + 'static> VerifyPool<C> {
 impl<C: Send + Sync + 'static> Drop for VerifyPool<C> {
     fn drop(&mut self) {
         self.core.close();
+        let had_workers = !self.handles.is_empty();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        // `shutdown` already flushed (and emptied `handles`); only flush here when
+        // the pool is dropped without an explicit shutdown.
+        if had_workers {
+            let _ = self.core.flush();
         }
     }
 }
@@ -435,7 +526,9 @@ fn judge_all_on<C>(core: &VerifyCore<C>, requests: Vec<VerifyRequest<C>>) -> Vec
 ///
 /// The pool is built on scoped threads, so `judge` only needs `Sync` — no `Arc`, no
 /// `'static`.  Workers drain outstanding jobs and exit when `body` returns (or
-/// panics).
+/// panics).  When [`VerifyConfig::persist`] is set, the snapshot is preloaded
+/// before the workers start and flushed after they have all joined (so the flush
+/// sees every verdict the pool computed); a panicking `body` skips the flush.
 pub fn verify_scoped<C, J, F, R>(judge: &J, config: VerifyConfig, body: F) -> R
 where
     C: Send + Sync,
@@ -443,7 +536,7 @@ where
     F: FnOnce(&ScopedVerifier<'_, C>) -> R,
 {
     let core = VerifyCore::new(config);
-    std::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         let guard = VerifyCloseGuard(&core);
         for shard_idx in 0..core.config.workers {
             let core_ref = &core;
@@ -453,7 +546,9 @@ where
         let result = body(&verifier);
         drop(guard); // close + wake workers so the scope can join
         result
-    })
+    });
+    let _ = core.flush();
+    result
 }
 
 #[cfg(test)]

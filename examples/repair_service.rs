@@ -12,7 +12,10 @@
 //!    content-addressed cache without invoking the model again;
 //! 4. **Verification offload** — candidate verdicts run on a second sharded pool
 //!    (`svserve::verify`), pipelined with sampling inside `evaluate_model`, with a
-//!    content-addressed verdict cache that survives across evaluation runs.
+//!    content-addressed verdict cache that survives across evaluation runs;
+//! 5. **Cache persistence** — both caches spill to versioned on-disk snapshots and
+//!    preload at pool start, so a rebuilt service warm-starts from a previous one's
+//!    work (see also `examples/warm_start.rs` for the cross-process variant).
 //!
 //! Run with `cargo run --release --example repair_service`.
 
@@ -196,6 +199,57 @@ fn main() {
     // `ServiceMetrics::with_verify` for a combined view; the pools in this example
     // served different workloads, so they are rendered separately.)
     println!("{}", verify_metrics.render());
+
+    // 5: cache persistence — a rebuilt service preloads its predecessor's snapshot
+    // and serves the whole workload without touching the model.
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("repair-service-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    let persist = svserve::PersistSpec::new(
+        snapshot_dir.join("responses.json"),
+        &seed.to_le_bytes(),
+        "AssertSolver (base)",
+    );
+    let persistent_config = ServiceConfig::default()
+        .with_workers(2)
+        .with_seed(seed)
+        .with_persist(persist);
+    let first_model = Arc::new(Counting {
+        inner: AssertSolverModel::base(11),
+        calls: AtomicUsize::new(0),
+    });
+    let first = RepairService::start(Arc::clone(&first_model), persistent_config.clone());
+    let first_responses: Vec<_> = first
+        .solve_all(workload.clone())
+        .into_iter()
+        .map(|o| o.responses)
+        .collect();
+    first.shutdown(); // flushes the snapshot
+    let second_model = Arc::new(Counting {
+        inner: AssertSolverModel::base(11),
+        calls: AtomicUsize::new(0),
+    });
+    let second = RepairService::start(Arc::clone(&second_model), persistent_config);
+    let second_responses: Vec<_> = second
+        .solve_all(workload)
+        .into_iter()
+        .map(|o| o.responses)
+        .collect();
+    let warm_metrics = second.shutdown();
+    assert_eq!(first_responses, second_responses);
+    assert_eq!(
+        second_model.calls.load(Ordering::SeqCst),
+        0,
+        "snapshot warm start must not re-invoke the model"
+    );
+    println!(
+        "\ncache persistence: rebuilt service preloaded {} entries and served {} requests \
+         with zero model calls ({:.1}% warm hit rate)",
+        warm_metrics.snapshot_loaded_entries,
+        warm_metrics.completed,
+        warm_metrics.warm_hit_rate * 100.0,
+    );
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
 
     println!("\nall service guarantees verified");
 }

@@ -12,10 +12,12 @@
 //! * [`svmodel`] — the trainable surrogate model and the baseline surrogates;
 //! * [`svserve`] — the serving layer: a concurrent, sharded repair service that wraps
 //!   any [`svmodel::RepairModel`] behind a submit/await API with bounded queues and
-//!   backpressure, micro-batching, a content-addressed LRU response cache and
-//!   [`svserve::ServiceMetrics`] snapshots.  Sampler seeds derive from case content,
-//!   so results are byte-identical at any worker count
-//!   (`examples/repair_service.rs` demonstrates all three guarantees).
+//!   backpressure, micro-batching, content-addressed LRU caches with persistent
+//!   on-disk snapshots ([`svserve::persist`]) and [`svserve::ServiceMetrics`]
+//!   snapshots.  Sampler seeds derive from case content, so results are
+//!   byte-identical at any worker count and across cold/warm starts
+//!   (`examples/repair_service.rs` and `examples/warm_start.rs` demonstrate the
+//!   guarantees live).
 //!
 //! `assertsolver::evaluate_model` runs its pass@k sampling loop through `svserve`,
 //! so every table and figure of the reproduction exercises the serving layer.
