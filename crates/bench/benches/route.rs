@@ -1,0 +1,184 @@
+//! Single-model serving vs a 3-rung escalation ladder, cold vs warm.
+//!
+//! Four measured modes over one mixed corpus:
+//!
+//! * `single-cold` / `single-warm` — the strongest rung alone through
+//!   `evaluate_model`, against an empty and then a populated cache directory;
+//! * `ladder-cold` / `ladder-warm` — the full cheapest-first escalation ladder
+//!   through `evaluate_ladder` (per-model + A/B + escalation in one pass),
+//!   against its own cache directory.
+//!
+//! Warm passes rebuild every pool from scratch — the only carried-over state is
+//! the per-identity snapshot files — and each mode's warm evaluation is
+//! asserted byte-identical to its cold one before any number is reported.  One
+//! machine-readable `BENCH_SUMMARY {...}` line per mode feeds CI trajectories:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"route","mode":"ladder-cold","cases":8,...}
+//! BENCH_SUMMARY {"bench":"route","mode":"ladder-warm",...,"speedup_vs_cold":7.9}
+//! ```
+//!
+//! Run with `cargo bench --bench route`.  (Warm speedup comes from skipping
+//! recomputation, not parallelism, so it shows up on the 1-core container.)
+
+use criterion::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use svdata::SvaBugEntry;
+use svmodel::{BaselineKind, BaselineModel, RepairModel};
+
+fn corpus() -> Vec<SvaBugEntry> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(47));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(8);
+    entries
+}
+
+fn config(dir: &std::path::Path) -> assertsolver::EvalConfig {
+    assertsolver::EvalConfig {
+        workers: 2,
+        verify_workers: 2,
+        samples: 4,
+        cache_dir: Some(dir.display().to_string()),
+        ..assertsolver::EvalConfig::quick(31)
+    }
+}
+
+fn summary(mode: &str, cases: usize, secs: f64, solved: usize, extra: &str) {
+    println!(
+        "BENCH_SUMMARY {{\"bench\":\"route\",\"mode\":\"{mode}\",\"cases\":{cases},\"samples\":4,\
+         \"secs\":{secs:.6},\"solved\":{solved}{extra}}}"
+    );
+}
+
+fn main() {
+    let base =
+        std::env::temp_dir().join(format!("assertsolver-bench-route-{}", std::process::id()));
+    let single_dir = base.join("single");
+    let ladder_dir = base.join("ladder");
+    let _ = std::fs::remove_dir_all(&base);
+    let entries = corpus();
+    println!(
+        "route: {} cases x 4 samples, single (strongest rung) vs 3-rung ladder, cold + warm",
+        entries.len()
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>16}",
+        "mode", "wall (s)", "solved", "speedup vs cold"
+    );
+
+    // --- Single model: the strongest rung alone. ---
+    let strongest = BaselineModel::new(BaselineKind::IterativeReasoner);
+    let single_config = config(&single_dir);
+    let start = Instant::now();
+    let single_cold = assertsolver::evaluate_model(&strongest, &entries, &single_config);
+    let single_cold_secs = start.elapsed().as_secs_f64();
+    println!(
+        "{:>12} {:>12.3} {:>7}/{:<2} {:>16}",
+        "single-cold",
+        single_cold_secs,
+        single_cold.solved_cases(),
+        entries.len(),
+        "1.00"
+    );
+    summary(
+        "single-cold",
+        entries.len(),
+        single_cold_secs,
+        single_cold.solved_cases(),
+        "",
+    );
+
+    let start = Instant::now();
+    let single_warm = assertsolver::evaluate_model(&strongest, &entries, &single_config);
+    let single_warm_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        single_cold, single_warm,
+        "warm single run must be byte-identical"
+    );
+    let single_speedup = single_cold_secs / single_warm_secs;
+    println!(
+        "{:>12} {:>12.3} {:>7}/{:<2} {:>16.2}",
+        "single-warm",
+        single_warm_secs,
+        single_warm.solved_cases(),
+        entries.len(),
+        single_speedup
+    );
+    summary(
+        "single-warm",
+        entries.len(),
+        single_warm_secs,
+        single_warm.solved_cases(),
+        &format!(",\"speedup_vs_cold\":{single_speedup:.2}"),
+    );
+    black_box(&single_warm);
+
+    // --- 3-rung escalation ladder. ---
+    let models: Vec<Arc<dyn RepairModel + Send + Sync>> = [
+        BaselineKind::RandomGuess,
+        BaselineKind::ConeAnalyst,
+        BaselineKind::IterativeReasoner,
+    ]
+    .into_iter()
+    .map(|kind| Arc::new(BaselineModel::new(kind)) as Arc<dyn RepairModel + Send + Sync>)
+    .collect();
+    let ladder_config = config(&ladder_dir);
+    let start = Instant::now();
+    let ladder_cold = assertsolver::evaluate_ladder(&models, &entries, &ladder_config);
+    let ladder_cold_secs = start.elapsed().as_secs_f64();
+    let cold_solved = ladder_cold.evaluation.escalate.solved_cases();
+    println!(
+        "{:>12} {:>12.3} {:>7}/{:<2} {:>16}",
+        "ladder-cold",
+        ladder_cold_secs,
+        cold_solved,
+        entries.len(),
+        "1.00"
+    );
+    summary(
+        "ladder-cold",
+        entries.len(),
+        ladder_cold_secs,
+        cold_solved,
+        &format!(
+            ",\"resubmits\":{}",
+            ladder_cold.metrics.escalation.verdict_resubmits
+        ),
+    );
+
+    let start = Instant::now();
+    let ladder_warm = assertsolver::evaluate_ladder(&models, &entries, &ladder_config);
+    let ladder_warm_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        ladder_cold.evaluation, ladder_warm.evaluation,
+        "warm ladder run must be byte-identical"
+    );
+    let warm_hits: u64 = ladder_warm
+        .metrics
+        .backends
+        .iter()
+        .map(|b| b.service.warm_hits)
+        .sum();
+    assert!(warm_hits > 0, "warm ladder must replay backend snapshots");
+    let ladder_speedup = ladder_cold_secs / ladder_warm_secs;
+    println!(
+        "{:>12} {:>12.3} {:>7}/{:<2} {:>16.2}",
+        "ladder-warm",
+        ladder_warm_secs,
+        ladder_warm.evaluation.escalate.solved_cases(),
+        entries.len(),
+        ladder_speedup
+    );
+    summary(
+        "ladder-warm",
+        entries.len(),
+        ladder_warm_secs,
+        ladder_warm.evaluation.escalate.solved_cases(),
+        &format!(",\"backend_warm_hits\":{warm_hits},\"speedup_vs_cold\":{ladder_speedup:.2}"),
+    );
+    black_box(&ladder_warm);
+
+    let _ = std::fs::remove_dir_all(&base);
+}

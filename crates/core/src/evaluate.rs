@@ -8,14 +8,16 @@
 use crate::passk::PassK;
 use serde::{Deserialize, Serialize};
 use std::collections::btree_map::Entry as BTreeEntry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
 use svserve::persist::fnv64;
 use svserve::{
-    env_cache_dir, serve_scoped, verdict_key, PersistSpec, RepairRequest, ServiceConfig,
-    VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
+    env_cache_dir, serve_scoped, verdict_key, BackendSpec, CaseKey, EscalationJudge, JudgeReport,
+    ModelRouter, PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
+    ServiceConfig, VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest,
+    VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
 };
 use svverify::{CheckConfig, VerifyOracle};
 
@@ -127,15 +129,18 @@ impl EvalConfig {
                 let mut keyed = model_identity.as_bytes().to_vec();
                 keyed.push(0);
                 keyed.extend_from_slice(&self.seed.to_le_bytes());
-                config.with_persist(PersistSpec::new(
-                    dir.join(format!(
-                        "responses-{}-{:08x}.json",
-                        file_slug(model_identity),
-                        fnv64(&keyed) as u32
-                    )),
-                    &[],
-                    model_identity,
-                ))
+                config.with_persist(
+                    PersistSpec::new(
+                        dir.join(format!(
+                            "responses-{}-{:08x}.json",
+                            file_slug(model_identity),
+                            fnv64(&keyed) as u32
+                        )),
+                        &[],
+                        model_identity,
+                    )
+                    .with_compaction(DEFAULT_COMPACT_AFTER_RUNS),
+                )
             }
             None => config,
         }
@@ -163,11 +168,14 @@ impl EvalConfig {
         match self.resolved_cache_dir() {
             Some(dir) => {
                 let fingerprint = self.check.fingerprint();
-                base.with_persist(PersistSpec::new(
-                    dir.join(format!("verdicts-{:08x}.json", fnv64(&fingerprint) as u32)),
-                    &fingerprint,
-                    "-",
-                ))
+                base.with_persist(
+                    PersistSpec::new(
+                        dir.join(format!("verdicts-{:08x}.json", fnv64(&fingerprint) as u32)),
+                        &fingerprint,
+                        "-",
+                    )
+                    .with_compaction(DEFAULT_COMPACT_AFTER_RUNS),
+                )
             }
             None => base,
         }
@@ -272,6 +280,12 @@ impl ModelEvaluation {
             buckets[c] += 1;
         }
         buckets
+    }
+
+    /// Number of cases with at least one correct sample (`c > 0`) — the
+    /// "solved" count ladder comparisons and the escalation example report.
+    pub fn solved_cases(&self) -> usize {
+        self.results.iter().filter(|r| r.c > 0).count()
     }
 
     fn counts(&self, filter: impl Fn(&CaseResult) -> bool) -> Vec<(usize, usize)> {
@@ -479,60 +493,338 @@ pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
                 })
                 .collect();
             // Stage 2 of the pipeline: await each case's samples in input order and fan
-            // its distinct candidates out to the verify pool.  Identical responses within
-            // a case collapse to one verdict job with a multiplicity, which keeps the
-            // per-case correct count `c` independent of verify-pool scheduling.
+            // its distinct candidates out to the verify pool.
             let mut pending: Vec<(usize, Vec<(usize, VerifyTicket)>)> =
                 Vec::with_capacity(entries.len());
             for (entry, ticket) in entries.iter().zip(tickets) {
                 let outcome = ticket.wait();
                 let case = Arc::new(entry.clone());
-                let mut multiplicity: BTreeMap<VerdictKey, usize> = BTreeMap::new();
-                let mut distinct: Vec<(VerdictKey, Response)> = Vec::new();
-                for response in outcome.responses.iter() {
-                    match multiplicity.entry(verifier.key_for(entry, response)) {
-                        BTreeEntry::Occupied(mut occupied) => *occupied.get_mut() += 1,
-                        BTreeEntry::Vacant(vacant) => {
-                            distinct.push((*vacant.key(), response.clone()));
-                            vacant.insert(1);
-                        }
-                    }
-                }
-                let submitted = distinct
-                    .into_iter()
-                    .map(|(key, response)| {
-                        (
-                            multiplicity[&key],
-                            verifier.submit_keyed(Arc::clone(&case), response, key),
-                        )
-                    })
-                    .collect();
+                let submitted = fan_out_candidates(verifier, &case, &outcome.responses);
                 pending.push((outcome.responses.len(), submitted));
             }
             // Stage 3: collect verdicts (verify workers have been judging all along).
             entries
                 .iter()
                 .zip(pending)
-                .map(|(entry, (n, submitted))| {
-                    let c = submitted
-                        .into_iter()
-                        .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
-                        .sum();
-                    CaseResult {
-                        module_name: entry.module_name.clone(),
-                        n,
-                        c,
-                        profile: entry.profile,
-                        code_lines: entry.code_lines,
-                        human_crafted: entry.human_crafted,
-                    }
-                })
+                .map(|(entry, (n, submitted))| case_result(entry, n, submitted))
                 .collect::<Vec<_>>()
         },
     );
     ModelEvaluation {
         model: model.name().to_string(),
         results,
+    }
+}
+
+/// Dedups one case's candidates and submits the distinct ones for judgement.
+///
+/// Identical responses within a case collapse to one verdict job with a
+/// multiplicity, which keeps the per-case correct count `c` independent of
+/// verify-pool scheduling; the returned pairs are `(multiplicity, ticket)`.
+fn fan_out_candidates(
+    verifier: &EvalVerifier,
+    case: &Arc<SvaBugEntry>,
+    responses: &[Response],
+) -> Vec<(usize, VerifyTicket)> {
+    let mut multiplicity: BTreeMap<VerdictKey, usize> = BTreeMap::new();
+    let mut distinct: Vec<(VerdictKey, Response)> = Vec::new();
+    for response in responses {
+        match multiplicity.entry(verifier.key_for(case, response)) {
+            BTreeEntry::Occupied(mut occupied) => *occupied.get_mut() += 1,
+            BTreeEntry::Vacant(vacant) => {
+                distinct.push((*vacant.key(), response.clone()));
+                vacant.insert(1);
+            }
+        }
+    }
+    distinct
+        .into_iter()
+        .map(|(key, response)| {
+            (
+                multiplicity[&key],
+                verifier.submit_keyed(Arc::clone(case), response, key),
+            )
+        })
+        .collect()
+}
+
+/// Awaits one case's verdicts and folds them into a [`CaseResult`].
+fn case_result(entry: &SvaBugEntry, n: usize, submitted: Vec<(usize, VerifyTicket)>) -> CaseResult {
+    let c = submitted
+        .into_iter()
+        .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
+        .sum();
+    CaseResult {
+        module_name: entry.module_name.clone(),
+        n,
+        c,
+        profile: entry.profile,
+        code_lines: entry.code_lines,
+        human_crafted: entry.human_crafted,
+    }
+}
+
+/// One case's escalation record: which rungs ran, what each one's judge said.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EscalationTrail {
+    /// Module the case came from.
+    pub module_name: String,
+    /// One judged attempt per rung tried, in ladder (cheapest-first) order.
+    pub attempts: Vec<RouteAttempt>,
+}
+
+/// The pure evaluation data of one ladder run: per-model and per-policy
+/// [`ModelEvaluation`]s plus the per-case escalation trails.
+///
+/// Everything here is a deterministic function of `(models, corpus, config)` —
+/// byte-identical at any worker count and with warm or cold caches — which is
+/// what the route-determinism suite asserts on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderEvaluation {
+    /// One evaluation per model, in registration order (served via
+    /// [`RoutePolicy::Pinned`]).
+    pub per_model: Vec<ModelEvaluation>,
+    /// The deterministic [`RoutePolicy::AbSplit`] evaluation: each case is
+    /// answered by its content-hash arm.
+    pub ab_split: ModelEvaluation,
+    /// The [`RoutePolicy::Escalate`] evaluation: each case is answered by the
+    /// first (cheapest) rung whose candidates pass verification; `c` is that
+    /// terminal rung's correct count.
+    pub escalate: ModelEvaluation,
+    /// Per-case escalation trails, aligned with the corpus order.
+    pub trails: Vec<EscalationTrail>,
+}
+
+/// Everything [`evaluate_ladder`] produces: the pure evaluation data plus the
+/// router/verify metrics snapshot (per-backend throughput and cache hit rates,
+/// escalation depth histogram, verdict-triggered re-submits).
+pub struct LadderReport {
+    /// The deterministic evaluation data.
+    pub evaluation: LadderEvaluation,
+    /// The observability snapshot (not part of the determinism contract).
+    pub metrics: RouteMetrics,
+    /// Backend indices in escalation (cheapest-first) order.
+    pub ladder: Vec<usize>,
+}
+
+/// The escalation judge `evaluate_ladder` plugs into the router: maps a routed
+/// request back to its corpus entry, fans the distinct candidates out to the
+/// shared [`EvalVerifier`] (the existing verify pool), and folds the verdicts
+/// into a [`JudgeReport`].  Pure in `(request, responses)` because verdicts
+/// are pure — so escalation stays deterministic at any concurrency.
+///
+/// Corpus entries with byte-identical case content necessarily share one map
+/// slot (the router can only see request content), so on such twins the
+/// *routing* decision is judged against one golden fix; the reported
+/// per-case `c` stays truthful regardless, because `evaluate_ladder`
+/// re-judges each terminal response set positionally against its own entry.
+struct LadderJudge {
+    verifier: Arc<EvalVerifier>,
+    cases: HashMap<CaseKey, Arc<SvaBugEntry>>,
+}
+
+impl EscalationJudge for LadderJudge {
+    fn judge(&self, request: &RepairRequest, responses: &[Response]) -> JudgeReport {
+        let Some(case) = self.cases.get(&request.key()) else {
+            // A request the evaluation never registered: nothing to judge
+            // against, so every rung is rejected (and the ladder runs out).
+            return JudgeReport {
+                distinct: 0,
+                correct: 0,
+            };
+        };
+        let submitted = fan_out_candidates(&self.verifier, case, responses);
+        let distinct = submitted.len();
+        let correct = submitted
+            .into_iter()
+            .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
+            .sum();
+        JudgeReport { distinct, correct }
+    }
+}
+
+/// Routes every case under one policy and judges the answers into results.
+fn route_and_judge(
+    router: &ModelRouter,
+    policy: RoutePolicy,
+    requests: &[RepairRequest],
+    cases: &[Arc<SvaBugEntry>],
+    entries: &[SvaBugEntry],
+    verifier: &EvalVerifier,
+) -> Vec<CaseResult> {
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            router
+                .submit(request.clone(), policy)
+                .expect("router open during evaluation")
+        })
+        .collect();
+    let mut pending = Vec::with_capacity(entries.len());
+    for (case, ticket) in cases.iter().zip(tickets) {
+        let outcome = ticket.wait();
+        let submitted = fan_out_candidates(verifier, case, &outcome.responses);
+        pending.push((outcome.responses.len(), submitted));
+    }
+    entries
+        .iter()
+        .zip(pending)
+        .map(|(entry, (n, submitted))| case_result(entry, n, submitted))
+        .collect()
+}
+
+/// Evaluates a ladder of models over a corpus in one pass: per-model (pinned),
+/// A/B-split and escalation [`ModelEvaluation`]s, plus per-case attempt trails
+/// and the full per-route metrics.
+///
+/// All models are served concurrently by one [`ModelRouter`] — each backend
+/// keeps its own sharded pool and response cache (persisted under its own model
+/// identity when [`EvalConfig::cache_dir`] resolves) — and all verification
+/// flows through one shared [`EvalVerifier`], so the pinned pass warms exactly
+/// the caches the A/B and escalation passes replay.  The escalation policy
+/// walks backends cheapest-first ([`RepairModel::cost`]) and re-submits on
+/// failed verdicts; its `ModelEvaluation` therefore dominates the cheapest
+/// rung's own evaluation case-for-case, which is the serving-side payoff the
+/// routing layer exists for.
+///
+/// Determinism: [`LadderReport::evaluation`] is byte-identical at any
+/// [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] setting and with
+/// warm or cold caches (in-memory or on-disk), for every policy.
+///
+/// # Panics
+///
+/// Panics if `models` is empty.
+pub fn evaluate_ladder(
+    models: &[Arc<dyn RepairModel + Send + Sync>],
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+) -> LadderReport {
+    assert!(!models.is_empty(), "ladder needs at least one model");
+    let verifier = Arc::new(EvalVerifier::start(config));
+    let requests: Vec<RepairRequest> = entries
+        .iter()
+        .map(|entry| {
+            RepairRequest::new(
+                CaseInput::from_entry(entry),
+                config.samples,
+                config.temperature,
+            )
+        })
+        .collect();
+    let cases: Vec<Arc<SvaBugEntry>> = entries
+        .iter()
+        .map(|entry| Arc::new(entry.clone()))
+        .collect();
+    let judge = Arc::new(LadderJudge {
+        verifier: Arc::clone(&verifier),
+        cases: requests
+            .iter()
+            .zip(&cases)
+            .map(|(request, case)| (request.key(), Arc::clone(case)))
+            .collect(),
+    });
+    let backends: Vec<BackendSpec> = models
+        .iter()
+        .map(|model| {
+            BackendSpec::new(
+                Arc::clone(model),
+                config.service_config_for(&model.identity()),
+            )
+        })
+        .collect();
+    let router = ModelRouter::start(backends, judge, RouterConfig::default());
+    let ladder = router.ladder().to_vec();
+
+    // Phase 1 — pinned: one full evaluation per model.  This also warms every
+    // backend's response cache and the shared verdict cache, so the later
+    // passes replay instead of recomputing.
+    let per_model: Vec<ModelEvaluation> = models
+        .iter()
+        .enumerate()
+        .map(|(idx, model)| ModelEvaluation {
+            model: model.name().to_string(),
+            results: route_and_judge(
+                &router,
+                RoutePolicy::Pinned(idx),
+                &requests,
+                &cases,
+                entries,
+                &verifier,
+            ),
+        })
+        .collect();
+
+    // Phase 2 — A/B split: the content hash of each case picks its arm.
+    let ab_split = ModelEvaluation {
+        model: format!("A/B split ({} arms)", models.len()),
+        results: route_and_judge(
+            &router,
+            RoutePolicy::AbSplit,
+            &requests,
+            &cases,
+            entries,
+            &verifier,
+        ),
+    };
+
+    // Phase 3 — escalation: cheapest rung first, re-submitting on failed
+    // verdicts; the judge inside the router computes each rung's correct count,
+    // so the terminal attempt *is* the case result.
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            router
+                .submit(request.clone(), RoutePolicy::Escalate)
+                .expect("router open during evaluation")
+        })
+        .collect();
+    // The terminal rung's responses are re-judged *positionally* against each
+    // entry's own golden fix (pure verdict-cache hits on a duplicate-free
+    // corpus, where this equals the terminal attempt's correct count).  This
+    // keeps `c` truthful even when two corpus entries share identical case
+    // content but different golden fixes — the router's judge, which can only
+    // see request content, necessarily judges such twins against one of them.
+    let mut pending = Vec::with_capacity(entries.len());
+    for (case, ticket) in cases.iter().zip(tickets) {
+        let outcome = ticket.wait();
+        let submitted = fan_out_candidates(&verifier, case, &outcome.responses);
+        pending.push((outcome, submitted));
+    }
+    let mut escalate_results = Vec::with_capacity(entries.len());
+    let mut trails = Vec::with_capacity(entries.len());
+    for (entry, (outcome, submitted)) in entries.iter().zip(pending) {
+        escalate_results.push(case_result(entry, outcome.responses.len(), submitted));
+        trails.push(EscalationTrail {
+            module_name: entry.module_name.clone(),
+            attempts: outcome.attempts,
+        });
+    }
+    let escalate = ModelEvaluation {
+        model: format!("Escalate ({} rungs)", models.len()),
+        results: escalate_results,
+    };
+
+    let route_metrics = router.shutdown();
+    // The router (and its judge) are gone, so the verifier Arc is ours again;
+    // shutting it down flushes the verdict snapshot exactly once and returns
+    // the final verify view, save counters included.
+    let verify_metrics = match Arc::try_unwrap(verifier) {
+        Ok(verifier) => verifier.shutdown(),
+        Err(verifier) => {
+            let _ = verifier.flush();
+            verifier.metrics()
+        }
+    };
+    let metrics = route_metrics.with_verify(verify_metrics);
+    LadderReport {
+        evaluation: LadderEvaluation {
+            per_model,
+            ab_split,
+            escalate,
+            trails,
+        },
+        metrics,
+        ladder,
     }
 }
 

@@ -105,6 +105,14 @@ struct Entry<V> {
     /// Whether the entry was preloaded from a persisted snapshot (see
     /// [`crate::persist`]) rather than computed in this process.
     warm: bool,
+    /// Snapshot generation the entry was last useful in: the generation recorded
+    /// in the snapshot it was preloaded from (0 for entries computed in-process,
+    /// whose age is "now" by definition).  Used by age-based snapshot compaction.
+    generation: u64,
+    /// Whether the entry was used (hit or computed) in this process.  A warm
+    /// entry that is never touched keeps its old generation at flush time, which
+    /// is what lets compaction age it out.
+    touched: bool,
 }
 
 /// A least-recently-used content-addressed cache.
@@ -170,6 +178,7 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
         let entry = self.map.get_mut(&key)?;
         self.by_stamp.remove(&entry.stamp);
         entry.stamp = self.next_stamp;
+        entry.touched = true;
         self.by_stamp.insert(self.next_stamp, key);
         self.next_stamp += 1;
         Some((entry.value.clone(), entry.warm))
@@ -177,16 +186,23 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
 
     /// Inserts a value, evicting the least recently used entry when full.
     pub fn insert(&mut self, key: K, value: V) {
-        self.insert_entry(key, value, false);
+        self.insert_entry(key, value, false, 0);
     }
 
     /// Inserts a snapshot-restored value, tagging it as warm so later hits can be
     /// attributed to the snapshot (see [`LruCache::get_tagged`]).
     pub fn preload(&mut self, key: K, value: V) {
-        self.insert_entry(key, value, true);
+        self.insert_entry(key, value, true, 0);
     }
 
-    fn insert_entry(&mut self, key: K, value: V, warm: bool) {
+    /// Like [`LruCache::preload`], but also records the snapshot generation the
+    /// entry was last useful in, so age-based compaction ([`crate::persist`]) can
+    /// drop entries that go unused for several runs.
+    pub fn preload_aged(&mut self, key: K, value: V, generation: u64) {
+        self.insert_entry(key, value, true, generation);
+    }
+
+    fn insert_entry(&mut self, key: K, value: V, warm: bool, generation: u64) {
         if let Some(existing) = self.map.get(&key) {
             self.by_stamp.remove(&existing.stamp);
         } else if self.map.len() >= self.capacity {
@@ -201,6 +217,9 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
                 value,
                 stamp: self.next_stamp,
                 warm,
+                generation,
+                // Computed entries were, by construction, useful this run.
+                touched: !warm,
             },
         );
         self.by_stamp.insert(self.next_stamp, key);
@@ -216,6 +235,21 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
         self.by_stamp
             .values()
             .map(|key| (*key, self.map[key].value.clone()))
+            .collect()
+    }
+
+    /// Like [`LruCache::export`], but each entry carries its age:
+    /// `(key, value, last_useful_generation, touched_this_process)`.  Pools use
+    /// this at flush time to re-stamp touched entries with the new snapshot
+    /// generation and to compact entries that have gone unused for too many
+    /// runs (see `PersistSpec::compact_after`).
+    pub fn export_aged(&self) -> Vec<(K, V, u64, bool)> {
+        self.by_stamp
+            .values()
+            .map(|key| {
+                let entry = &self.map[key];
+                (*key, entry.value.clone(), entry.generation, entry.touched)
+            })
             .collect()
     }
 }
@@ -365,6 +399,35 @@ mod tests {
         cache.get(keys[0]);
         let order: Vec<CaseKey> = cache.export().into_iter().map(|(k, _)| k).collect();
         assert_eq!(order, vec![keys[1], keys[2], keys[0]]);
+    }
+
+    #[test]
+    fn aged_export_distinguishes_touched_from_idle_entries() {
+        let keys: Vec<CaseKey> = (0..3)
+            .map(|i| case_key(&case(&format!("s{i}"), "", ""), 1, 0.0))
+            .collect();
+        let mut cache = LruCache::new(8);
+        cache.preload_aged(keys[0], Arc::new(vec![response(0)]), 4);
+        cache.preload_aged(keys[1], Arc::new(vec![response(1)]), 4);
+        cache.insert(keys[2], Arc::new(vec![response(2)]));
+        // Hit only the first preloaded entry.
+        assert!(cache.get(keys[0]).is_some());
+        let aged: std::collections::HashMap<CaseKey, (u64, bool)> = cache
+            .export_aged()
+            .into_iter()
+            .map(|(key, _, gen, touched)| (key, (gen, touched)))
+            .collect();
+        assert_eq!(aged[&keys[0]], (4, true), "hit warm entry is touched");
+        assert_eq!(aged[&keys[1]], (4, false), "idle warm entry is untouched");
+        assert_eq!(aged[&keys[2]], (0, true), "computed entry is touched");
+        // Recomputing over an idle warm entry marks it touched.
+        cache.insert(keys[1], Arc::new(vec![response(9)]));
+        let (_, _, _, touched) = cache
+            .export_aged()
+            .into_iter()
+            .find(|(key, ..)| *key == keys[1])
+            .unwrap();
+        assert!(touched);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   on-disk snapshots ([`persist`]) that are preloaded at pool start, so repeated
 //!   runs replay responses and verdicts from disk instead of recomputing them;
 //!   corrupt or mismatched snapshots degrade to a cold start, never an error.
+//!   Snapshots carry a generation counter, and entries that go unused for
+//!   [`PersistSpec::compact_after`] runs are compacted away at flush.
+//! * **Multi-model routing** — a [`route::ModelRouter`] serves N named backends
+//!   (e.g. base/SFT/DPO checkpoints plus baseline surrogates), each with its own
+//!   pool and cache, behind one submit/await surface; a [`RoutePolicy`] places
+//!   each request (pinned, deterministic A/B split, or cheapest-first escalation
+//!   with verification-failure re-submits and a full attempt trail).
 //!
 //! ## Quick example
 //!
@@ -51,17 +58,22 @@ pub mod cache;
 pub mod metrics;
 pub mod persist;
 pub mod queue;
+pub mod route;
 pub mod service;
 mod ticket;
 pub mod verify;
 
 pub use cache::{case_key, verdict_key, CaseKey, LruCache, VerdictKey};
-pub use metrics::{ServiceMetrics, VerifyMetrics};
+pub use metrics::{indent_block, render_block, ServiceMetrics, VerifyMetrics};
 pub use persist::{
     env_cache_dir, PersistSpec, SnapshotHeader, SnapshotLoad, CACHE_DIR_ENV,
-    SNAPSHOT_FORMAT_VERSION,
+    DEFAULT_COMPACT_AFTER_RUNS, SNAPSHOT_FORMAT_VERSION,
 };
 pub use queue::ServiceClosed;
+pub use route::{
+    ab_arm, BackendMetrics, BackendSpec, EscalationJudge, EscalationMetrics, JudgeReport,
+    ModelRouter, RouteAttempt, RouteMetrics, RouteOutcome, RoutePolicy, RouteTicket, RouterConfig,
+};
 pub use service::{
     serve_scoped, RepairOutcome, RepairRequest, RepairService, RepairTicket, ScopedService,
     ServiceConfig,

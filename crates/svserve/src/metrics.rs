@@ -30,6 +30,7 @@ pub(crate) struct MetricsRecorder {
     snapshot_saves: AtomicU64,
     snapshot_save_failures: AtomicU64,
     snapshot_rejects: AtomicU64,
+    snapshot_compacted_entries: AtomicU64,
     peak_queue_depth: AtomicU64,
     queue_wait_ns: AtomicU64,
     cache_lookup_ns: AtomicU64,
@@ -54,6 +55,7 @@ impl MetricsRecorder {
             snapshot_saves: AtomicU64::new(0),
             snapshot_save_failures: AtomicU64::new(0),
             snapshot_rejects: AtomicU64::new(0),
+            snapshot_compacted_entries: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             cache_lookup_ns: AtomicU64::new(0),
@@ -103,6 +105,14 @@ impl MetricsRecorder {
     /// persistence is not actually persisting.
     pub(crate) fn record_snapshot_save_failure(&self) {
         self.snapshot_save_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `entries` snapshot entries dropped by age-based compaction at
+    /// flush time (entries not warm-hit for more than
+    /// `PersistSpec::compact_after` runs).
+    pub(crate) fn record_snapshot_compaction(&self, entries: usize) {
+        self.snapshot_compacted_entries
+            .fetch_add(entries as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_verdict(&self, verdict: bool) {
@@ -173,6 +183,7 @@ impl MetricsRecorder {
             snapshot_saves: self.snapshot_saves.load(Ordering::Relaxed),
             snapshot_save_failures: self.snapshot_save_failures.load(Ordering::Relaxed),
             snapshot_rejects: self.snapshot_rejects.load(Ordering::Relaxed),
+            snapshot_compacted_entries: self.snapshot_compacted_entries.load(Ordering::Relaxed),
             panics: self.solve_panics.load(Ordering::Relaxed),
             mean_batch_size: if batches == 0 {
                 0.0
@@ -215,6 +226,7 @@ impl MetricsRecorder {
             snapshot_saves: stage.snapshot_saves,
             snapshot_save_failures: stage.snapshot_save_failures,
             snapshot_rejects: stage.snapshot_rejects,
+            snapshot_compacted_entries: stage.snapshot_compacted_entries,
             solve_panics: stage.panics,
             mean_batch_size: stage.mean_batch_size,
             mean_queue_wait_us: stage.mean_queue_wait_us,
@@ -250,6 +262,7 @@ impl MetricsRecorder {
             snapshot_saves: stage.snapshot_saves,
             snapshot_save_failures: stage.snapshot_save_failures,
             snapshot_rejects: stage.snapshot_rejects,
+            snapshot_compacted_entries: stage.snapshot_compacted_entries,
             verdict_panics: stage.panics,
             verdicts_true: self.verdicts_true.load(Ordering::Relaxed),
             verdicts_false: self.verdicts_false.load(Ordering::Relaxed),
@@ -279,6 +292,7 @@ struct Stage {
     snapshot_saves: u64,
     snapshot_save_failures: u64,
     snapshot_rejects: u64,
+    snapshot_compacted_entries: u64,
     panics: u64,
     mean_batch_size: f64,
     mean_queue_wait_us: f64,
@@ -329,6 +343,10 @@ pub struct ServiceMetrics {
     /// Snapshots that existed on disk but were rejected as corrupt or mismatched
     /// (version, kind, fingerprint or model); each one degraded to a cold start.
     pub snapshot_rejects: u64,
+    /// Snapshot entries dropped by age-based compaction at flush time (entries
+    /// not warm-hit for more than `PersistSpec::compact_after` runs); cumulative
+    /// over the pool's lifetime.
+    pub snapshot_compacted_entries: u64,
     /// Model invocations that panicked; the service absorbed the panic and served
     /// an empty response set instead of stranding the ticket.
     pub solve_panics: u64,
@@ -390,6 +408,10 @@ pub struct VerifyMetrics {
     /// Snapshots that existed on disk but were rejected as corrupt or mismatched
     /// (version, kind, fingerprint or model); each one degraded to a cold start.
     pub snapshot_rejects: u64,
+    /// Snapshot entries dropped by age-based compaction at flush time (entries
+    /// not warm-hit for more than `PersistSpec::compact_after` runs); cumulative
+    /// over the pool's lifetime.
+    pub snapshot_compacted_entries: u64,
     /// Judge invocations that panicked; the pool absorbed the panic and served a
     /// failed verdict instead of stranding the ticket (never cached).
     pub verdict_panics: u64,
@@ -411,49 +433,101 @@ pub struct VerifyMetrics {
     pub throughput_per_sec: f64,
 }
 
+/// Formats one labelled, aligned metrics block: a title line followed by
+/// `  name  value` rows with the names left-padded to a shared column.
+///
+/// Every `render()` in this crate — `ServiceMetrics`, `VerifyMetrics`, and the
+/// per-route views in [`crate::route`] — is built from this helper, so nested
+/// views compose out of the same formatting instead of each duplicating it.
+pub fn render_block(title: &str, rows: &[(&str, String)]) -> String {
+    let mut out = String::from(title);
+    for (name, value) in rows {
+        out.push('\n');
+        out.push_str(&format!("\x20 {name:<17} {value}"));
+    }
+    out
+}
+
+/// Indents every line of an already rendered block by `spaces`, so a child
+/// block (e.g. one backend of a router) nests visually under its parent.
+pub fn indent_block(block: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    block
+        .lines()
+        .map(|line| format!("{pad}{line}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 impl VerifyMetrics {
+    /// The aligned rows behind [`VerifyMetrics::render`], exposed so composite
+    /// views (e.g. a router's per-backend listing) can re-title or nest them.
+    pub fn rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("workers", format!("{:>10}", self.workers)),
+            ("submitted", format!("{:>10}", self.submitted)),
+            ("completed", format!("{:>10}", self.completed)),
+            (
+                "throughput",
+                format!("{:>10.1} verdicts/s", self.throughput_per_sec),
+            ),
+            (
+                "queue depth",
+                format!("{:>10} (peak {})", self.queue_depth, self.peak_queue_depth),
+            ),
+            (
+                "cache",
+                format!(
+                    "{:>10} entries, {} hits / {} misses ({:.1}% hit rate)",
+                    self.cache_entries,
+                    self.cache_hits,
+                    self.cache_misses,
+                    self.cache_hit_rate * 100.0
+                ),
+            ),
+            (
+                "warm start",
+                format!(
+                    "{:>10} snapshot hits ({:.1}% of traffic), {} preloaded, {} saved, {} rejects, {} save failures, {} compacted",
+                    self.warm_hits,
+                    self.warm_hit_rate * 100.0,
+                    self.snapshot_loaded_entries,
+                    self.snapshot_saved_entries,
+                    self.snapshot_rejects,
+                    self.snapshot_save_failures,
+                    self.snapshot_compacted_entries
+                ),
+            ),
+            (
+                "verdicts",
+                format!(
+                    "{:>10} accepted, {} rejected, {} panics",
+                    self.verdicts_true, self.verdicts_false, self.verdict_panics
+                ),
+            ),
+            (
+                "mean batch size",
+                format!("{:>10.2}", self.mean_batch_size),
+            ),
+            (
+                "queue wait",
+                format!("{:>10.1} \u{b5}s mean", self.mean_queue_wait_us),
+            ),
+            (
+                "cache lookup",
+                format!("{:>10.1} \u{b5}s mean", self.mean_cache_lookup_us),
+            ),
+            (
+                "verdict",
+                format!("{:>10.1} \u{b5}s mean", self.mean_verdict_us),
+            ),
+            ("uptime", format!("{:>10.3} s", self.uptime_secs)),
+        ]
+    }
+
     /// Renders the snapshot as an aligned text block for logs and examples.
     pub fn render(&self) -> String {
-        format!(
-            "verify metrics\n\
-             \x20 workers           {:>10}\n\
-             \x20 submitted         {:>10}\n\
-             \x20 completed         {:>10}\n\
-             \x20 throughput        {:>10.1} verdicts/s\n\
-             \x20 queue depth       {:>10} (peak {})\n\
-             \x20 cache             {:>10} entries, {} hits / {} misses ({:.1}% hit rate)\n\
-             \x20 warm start        {:>10} snapshot hits ({:.1}% of traffic), {} preloaded, {} saved, {} rejects, {} save failures\n\
-             \x20 verdicts          {:>10} accepted, {} rejected, {} panics\n\
-             \x20 mean batch size   {:>10.2}\n\
-             \x20 queue wait        {:>10.1} µs mean\n\
-             \x20 cache lookup      {:>10.1} µs mean\n\
-             \x20 verdict           {:>10.1} µs mean\n\
-             \x20 uptime            {:>10.3} s",
-            self.workers,
-            self.submitted,
-            self.completed,
-            self.throughput_per_sec,
-            self.queue_depth,
-            self.peak_queue_depth,
-            self.cache_entries,
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_hit_rate * 100.0,
-            self.warm_hits,
-            self.warm_hit_rate * 100.0,
-            self.snapshot_loaded_entries,
-            self.snapshot_saved_entries,
-            self.snapshot_rejects,
-            self.snapshot_save_failures,
-            self.verdicts_true,
-            self.verdicts_false,
-            self.verdict_panics,
-            self.mean_batch_size,
-            self.mean_queue_wait_us,
-            self.mean_cache_lookup_us,
-            self.mean_verdict_us,
-            self.uptime_secs,
-        )
+        render_block("verify metrics", &self.rows())
     }
 }
 
@@ -463,47 +537,72 @@ impl ServiceMetrics {
         self.verify = Some(verify);
         self
     }
+
+    /// The aligned rows behind [`ServiceMetrics::render`], exposed so composite
+    /// views (e.g. a router's per-backend listing) can re-title or nest them.
+    /// The attached verify stage, if any, is not part of the rows; `render`
+    /// appends it as its own block.
+    pub fn rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("workers", format!("{:>10}", self.workers)),
+            ("submitted", format!("{:>10}", self.submitted)),
+            ("completed", format!("{:>10}", self.completed)),
+            (
+                "throughput",
+                format!("{:>10.1} cases/s", self.throughput_per_sec),
+            ),
+            (
+                "queue depth",
+                format!("{:>10} (peak {})", self.queue_depth, self.peak_queue_depth),
+            ),
+            (
+                "cache",
+                format!(
+                    "{:>10} entries, {} hits / {} misses ({:.1}% hit rate)",
+                    self.cache_entries,
+                    self.cache_hits,
+                    self.cache_misses,
+                    self.cache_hit_rate * 100.0
+                ),
+            ),
+            (
+                "warm start",
+                format!(
+                    "{:>10} snapshot hits ({:.1}% of traffic), {} preloaded, {} saved, {} rejects, {} save failures, {} compacted",
+                    self.warm_hits,
+                    self.warm_hit_rate * 100.0,
+                    self.snapshot_loaded_entries,
+                    self.snapshot_saved_entries,
+                    self.snapshot_rejects,
+                    self.snapshot_save_failures,
+                    self.snapshot_compacted_entries
+                ),
+            ),
+            ("solve panics", format!("{:>10}", self.solve_panics)),
+            (
+                "mean batch size",
+                format!("{:>10.2}", self.mean_batch_size),
+            ),
+            (
+                "queue wait",
+                format!("{:>10.1} \u{b5}s mean", self.mean_queue_wait_us),
+            ),
+            (
+                "cache lookup",
+                format!("{:>10.1} \u{b5}s mean", self.mean_cache_lookup_us),
+            ),
+            (
+                "model solve",
+                format!("{:>10.1} \u{b5}s mean", self.mean_solve_us),
+            ),
+            ("uptime", format!("{:>10.3} s", self.uptime_secs)),
+        ]
+    }
+
     /// Renders the snapshot as an aligned text block for logs and examples; a
-    /// combined snapshot appends the verification stage.
+    /// combined snapshot appends the verification stage as its own block.
     pub fn render(&self) -> String {
-        let base = format!(
-            "service metrics\n\
-             \x20 workers           {:>10}\n\
-             \x20 submitted         {:>10}\n\
-             \x20 completed         {:>10}\n\
-             \x20 throughput        {:>10.1} cases/s\n\
-             \x20 queue depth       {:>10} (peak {})\n\
-             \x20 cache             {:>10} entries, {} hits / {} misses ({:.1}% hit rate)\n\
-             \x20 warm start        {:>10} snapshot hits ({:.1}% of traffic), {} preloaded, {} saved, {} rejects, {} save failures\n\
-             \x20 solve panics      {:>10}\n\
-             \x20 mean batch size   {:>10.2}\n\
-             \x20 queue wait        {:>10.1} µs mean\n\
-             \x20 cache lookup      {:>10.1} µs mean\n\
-             \x20 model solve       {:>10.1} µs mean\n\
-             \x20 uptime            {:>10.3} s",
-            self.workers,
-            self.submitted,
-            self.completed,
-            self.throughput_per_sec,
-            self.queue_depth,
-            self.peak_queue_depth,
-            self.cache_entries,
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_hit_rate * 100.0,
-            self.warm_hits,
-            self.warm_hit_rate * 100.0,
-            self.snapshot_loaded_entries,
-            self.snapshot_saved_entries,
-            self.snapshot_rejects,
-            self.snapshot_save_failures,
-            self.solve_panics,
-            self.mean_batch_size,
-            self.mean_queue_wait_us,
-            self.mean_cache_lookup_us,
-            self.mean_solve_us,
-            self.uptime_secs,
-        );
+        let base = render_block("service metrics", &self.rows());
         match &self.verify {
             Some(verify) => format!("{base}\n{}", verify.render()),
             None => base,
@@ -585,11 +684,13 @@ mod tests {
             Some(Duration::from_micros(5)),
         );
         recorder.record_snapshot_save(9);
+        recorder.record_snapshot_compaction(3);
         let snap = recorder.snapshot(1, 0, 9);
         assert_eq!(snap.snapshot_loaded_entries, 12);
         assert_eq!(snap.snapshot_saved_entries, 9);
         assert_eq!(snap.snapshot_saves, 1);
         assert_eq!(snap.snapshot_rejects, 1);
+        assert_eq!(snap.snapshot_compacted_entries, 3);
         assert_eq!(snap.warm_hits, 1);
         assert!((snap.warm_hit_rate - 1.0 / 3.0).abs() < 1e-12);
         assert!(snap.render().contains("warm start"));
@@ -598,6 +699,23 @@ mod tests {
         assert_eq!(verify.warm_hits, 1);
         assert_eq!(verify.snapshot_loaded_entries, 12);
         assert!(verify.render().contains("warm start"));
+    }
+
+    #[test]
+    fn render_blocks_compose_and_nest() {
+        let rows = vec![("alpha", "1".to_string()), ("beta", "2".to_string())];
+        let block = render_block("title", &rows);
+        assert!(block.starts_with("title\n"));
+        assert!(block.contains("alpha"));
+        // Each row lands on its own line, names padded to a shared column.
+        assert_eq!(block.lines().count(), 3);
+        let nested = indent_block(&block, 4);
+        assert!(nested.lines().all(|line| line.starts_with("    ")));
+        assert_eq!(nested.lines().count(), 3);
+        // The real snapshots render through the same helper.
+        let recorder = MetricsRecorder::new();
+        let snap = recorder.snapshot(1, 0, 0);
+        assert_eq!(snap.render(), render_block("service metrics", &snap.rows()));
     }
 
     #[test]

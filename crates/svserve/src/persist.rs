@@ -49,7 +49,15 @@ use svmodel::Response;
 
 /// Version stamp written into every snapshot; bump on any layout change so older
 /// binaries invalidate newer snapshots (and vice versa) instead of misreading them.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the header generation counter and per-entry `gen` stamps that
+/// drive age-based compaction.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// Default [`PersistSpec::compact_after`] used by `assertsolver::EvalConfig`:
+/// a snapshot entry survives this many consecutive runs without a warm hit
+/// before a flush drops it.  Generous on purpose — compaction is a disk-hygiene
+/// mechanism, not an eviction policy (the in-memory LRU handles pressure).
+pub const DEFAULT_COMPACT_AFTER_RUNS: u64 = 16;
 
 /// Snapshot kind tag for response-cache files (repair pool).
 pub const RESPONSE_KIND: &str = "response-cache";
@@ -84,16 +92,30 @@ pub struct PersistSpec {
     /// Identity of the model the cached values were computed with; verdict
     /// snapshots, being model-agnostic, conventionally use `"-"`.
     pub model: String,
+    /// Age-based compaction window, in runs (snapshot generations).  At flush
+    /// time a pool drops every entry that has not been warm-hit (or recomputed)
+    /// for more than this many generations, counting the dropped entries in the
+    /// `snapshot_compacted_entries` metric.  `0` disables compaction (the
+    /// default): every loaded entry is carried forward forever.
+    pub compact_after: u64,
 }
 
 impl PersistSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (compaction disabled).
     pub fn new(path: impl Into<PathBuf>, fingerprint: &[u8], model: impl Into<String>) -> Self {
         Self {
             path: path.into(),
             fingerprint: fingerprint.to_vec(),
             model: model.into(),
+            compact_after: 0,
         }
+    }
+
+    /// Returns the spec with age-based compaction enabled: entries not
+    /// warm-hit for more than `runs` snapshot generations are dropped at flush.
+    pub fn with_compaction(mut self, runs: u64) -> Self {
+        self.compact_after = runs;
+        self
     }
 }
 
@@ -108,20 +130,33 @@ pub struct SnapshotHeader {
     pub fingerprint: String,
     /// Model identity the cached values were computed with.
     pub model: String,
+    /// Monotonic run counter: each flush writes `loaded generation + 1`.
+    /// Entries carry the generation they were last useful in, and age-based
+    /// compaction drops entries more than [`PersistSpec::compact_after`] runs
+    /// behind.  Informational for identity purposes — [`SnapshotHeader::mismatch`]
+    /// deliberately ignores it, since two valid snapshots of one cache differ
+    /// only by generation.
+    pub generation: u64,
 }
 
 impl SnapshotHeader {
     /// The header a pool with the given spec expects (and writes).
+    ///
+    /// `generation` starts at 0 here; writers override it with the actual run
+    /// counter, and readers ignore it when matching.
     pub fn expected(kind: &str, spec: &PersistSpec) -> Self {
         Self {
             format_version: SNAPSHOT_FORMAT_VERSION,
             kind: kind.to_string(),
             fingerprint: hex(&spec.fingerprint),
             model: spec.model.clone(),
+            generation: 0,
         }
     }
 
     /// Returns the first reason this header does not match `expected`, if any.
+    /// The [`SnapshotHeader::generation`] counter is not an identity field and
+    /// is never compared.
     pub fn mismatch(&self, expected: &Self) -> Option<String> {
         if self.format_version != expected.format_version {
             return Some(format!(
@@ -198,6 +233,9 @@ pub fn decode_key(text: &str) -> Option<u128> {
 pub struct ResponseEntry {
     /// Hex-encoded [`CaseKey`].
     pub key: String,
+    /// Snapshot generation this entry was last useful in (warm-hit or computed);
+    /// see [`SnapshotHeader::generation`].
+    pub gen: u64,
     /// The cached response set, in sampling order.
     pub responses: Vec<Response>,
 }
@@ -216,6 +254,9 @@ pub struct ResponseSnapshot {
 pub struct VerdictEntry {
     /// Hex-encoded [`VerdictKey`].
     pub key: String,
+    /// Snapshot generation this entry was last useful in (warm-hit or computed);
+    /// see [`SnapshotHeader::generation`].
+    pub gen: u64,
     /// The cached verdict.
     pub verdict: bool,
 }
@@ -256,13 +297,31 @@ fn read_snapshot<T: Deserialize>(path: &Path) -> SnapshotLoad<T> {
     }
 }
 
+/// A successfully loaded response snapshot: the run counter plus the aged
+/// entries (`(key, responses, last_useful_generation)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseLoad {
+    /// The snapshot's [`SnapshotHeader::generation`].
+    pub generation: u64,
+    /// Entries with the generation each was last useful in.
+    pub entries: Vec<(CaseKey, Arc<Vec<Response>>, u64)>,
+}
+
+/// A successfully loaded verdict snapshot: the run counter plus the aged
+/// entries (`(key, verdict, last_useful_generation)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictLoad {
+    /// The snapshot's [`SnapshotHeader::generation`].
+    pub generation: u64,
+    /// Entries with the generation each was last useful in.
+    pub entries: Vec<(VerdictKey, bool, u64)>,
+}
+
 /// Loads a response snapshot, validating the header against `spec`.
 ///
 /// Every failure mode — missing file, corrupt JSON, version/kind/fingerprint/model
 /// mismatch, malformed key — degrades to a cold start; nothing panics or errors.
-pub fn load_response_snapshot(
-    spec: &PersistSpec,
-) -> SnapshotLoad<Vec<(CaseKey, Arc<Vec<Response>>)>> {
+pub fn load_response_snapshot(spec: &PersistSpec) -> SnapshotLoad<ResponseLoad> {
     let snapshot: ResponseSnapshot = match read_snapshot(&spec.path) {
         SnapshotLoad::Loaded(snapshot) => snapshot,
         SnapshotLoad::Missing => return SnapshotLoad::Missing,
@@ -279,15 +338,18 @@ pub fn load_response_snapshot(
         let Some(raw) = decode_key(&entry.key) else {
             return SnapshotLoad::Rejected(format!("malformed key {:?}", entry.key));
         };
-        entries.push((CaseKey(raw), Arc::new(entry.responses)));
+        entries.push((CaseKey(raw), Arc::new(entry.responses), entry.gen));
     }
-    SnapshotLoad::Loaded(entries)
+    SnapshotLoad::Loaded(ResponseLoad {
+        generation: snapshot.header.generation,
+        entries,
+    })
 }
 
 /// Loads a verdict snapshot, validating the header against `spec`.
 ///
 /// Same degradation contract as [`load_response_snapshot`].
-pub fn load_verdict_snapshot(spec: &PersistSpec) -> SnapshotLoad<Vec<(VerdictKey, bool)>> {
+pub fn load_verdict_snapshot(spec: &PersistSpec) -> SnapshotLoad<VerdictLoad> {
     let snapshot: VerdictSnapshot = match read_snapshot(&spec.path) {
         SnapshotLoad::Loaded(snapshot) => snapshot,
         SnapshotLoad::Missing => return SnapshotLoad::Missing,
@@ -304,27 +366,52 @@ pub fn load_verdict_snapshot(spec: &PersistSpec) -> SnapshotLoad<Vec<(VerdictKey
         let Some(raw) = decode_key(&entry.key) else {
             return SnapshotLoad::Rejected(format!("malformed key {:?}", entry.key));
         };
-        entries.push((VerdictKey(raw), entry.verdict));
+        entries.push((VerdictKey(raw), entry.verdict, entry.gen));
     }
-    SnapshotLoad::Loaded(entries)
+    SnapshotLoad::Loaded(VerdictLoad {
+        generation: snapshot.header.generation,
+        entries,
+    })
 }
 
 /// Saves a response snapshot atomically; returns the number of entries written.
 ///
-/// Entries are sorted by key before writing, so saving, loading and saving again
-/// produces byte-identical files regardless of cache insertion order or worker
-/// count.
+/// Convenience wrapper over [`save_response_snapshot_aged`] that stamps the file
+/// as generation 1 with every entry current — the shape of a freshly computed
+/// cache with no history.
 pub fn save_response_snapshot(
     spec: &PersistSpec,
-    mut entries: Vec<(CaseKey, Arc<Vec<Response>>)>,
+    entries: Vec<(CaseKey, Arc<Vec<Response>>)>,
 ) -> io::Result<usize> {
-    entries.sort_by_key(|(key, _)| *key);
+    let aged = entries
+        .into_iter()
+        .map(|(key, responses)| (key, responses, 1))
+        .collect();
+    save_response_snapshot_aged(spec, 1, aged)
+}
+
+/// Saves a response snapshot atomically under an explicit run counter, with
+/// per-entry `last useful` generations; returns the number of entries written.
+///
+/// Entries are sorted by key before writing, so saving, loading and saving again
+/// (at the same generation) produces byte-identical files regardless of cache
+/// insertion order or worker count.
+pub fn save_response_snapshot_aged(
+    spec: &PersistSpec,
+    generation: u64,
+    mut entries: Vec<(CaseKey, Arc<Vec<Response>>, u64)>,
+) -> io::Result<usize> {
+    entries.sort_by_key(|(key, ..)| *key);
     let snapshot = ResponseSnapshot {
-        header: SnapshotHeader::expected(RESPONSE_KIND, spec),
+        header: SnapshotHeader {
+            generation,
+            ..SnapshotHeader::expected(RESPONSE_KIND, spec)
+        },
         entries: entries
             .into_iter()
-            .map(|(key, responses)| ResponseEntry {
+            .map(|(key, responses, gen)| ResponseEntry {
                 key: encode_key(key.0),
+                gen,
                 responses: (*responses).clone(),
             })
             .collect(),
@@ -338,11 +425,12 @@ pub fn save_response_snapshot(
 
 /// Saves a verdict snapshot atomically; returns the number of entries written.
 ///
-/// Same byte-stability contract as [`save_response_snapshot`].
+/// Convenience wrapper over [`save_verdict_snapshot_aged`] that stamps the file
+/// as generation 1 with every entry current.
 ///
 /// ```
 /// use svserve::persist::{
-///     load_verdict_snapshot, save_verdict_snapshot, PersistSpec, SnapshotLoad,
+///     load_verdict_snapshot, save_verdict_snapshot, PersistSpec, SnapshotLoad, VerdictLoad,
 /// };
 /// use svserve::VerdictKey;
 ///
@@ -351,7 +439,10 @@ pub fn save_response_snapshot(
 /// save_verdict_snapshot(&spec, vec![(VerdictKey(7), true), (VerdictKey(3), false)]).unwrap();
 /// assert_eq!(
 ///     load_verdict_snapshot(&spec),
-///     SnapshotLoad::Loaded(vec![(VerdictKey(3), false), (VerdictKey(7), true)]),
+///     SnapshotLoad::Loaded(VerdictLoad {
+///         generation: 1,
+///         entries: vec![(VerdictKey(3), false, 1), (VerdictKey(7), true, 1)],
+///     }),
 /// );
 /// // A spec with a different fingerprint rejects the file instead of loading it.
 /// let stale = PersistSpec::new(spec.path.clone(), b"other-config", "-");
@@ -360,15 +451,35 @@ pub fn save_response_snapshot(
 /// ```
 pub fn save_verdict_snapshot(
     spec: &PersistSpec,
-    mut entries: Vec<(VerdictKey, bool)>,
+    entries: Vec<(VerdictKey, bool)>,
 ) -> io::Result<usize> {
-    entries.sort_by_key(|(key, _)| *key);
+    let aged = entries
+        .into_iter()
+        .map(|(key, verdict)| (key, verdict, 1))
+        .collect();
+    save_verdict_snapshot_aged(spec, 1, aged)
+}
+
+/// Saves a verdict snapshot atomically under an explicit run counter, with
+/// per-entry `last useful` generations; returns the number of entries written.
+///
+/// Same byte-stability contract as [`save_response_snapshot_aged`].
+pub fn save_verdict_snapshot_aged(
+    spec: &PersistSpec,
+    generation: u64,
+    mut entries: Vec<(VerdictKey, bool, u64)>,
+) -> io::Result<usize> {
+    entries.sort_by_key(|(key, ..)| *key);
     let snapshot = VerdictSnapshot {
-        header: SnapshotHeader::expected(VERDICT_KIND, spec),
+        header: SnapshotHeader {
+            generation,
+            ..SnapshotHeader::expected(VERDICT_KIND, spec)
+        },
         entries: entries
             .into_iter()
-            .map(|(key, verdict)| VerdictEntry {
+            .map(|(key, verdict, gen)| VerdictEntry {
                 key: encode_key(key.0),
+                gen,
                 verdict,
             })
             .collect(),
@@ -378,6 +489,38 @@ pub fn save_verdict_snapshot(
         .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
     write_atomic(&spec.path, &json)?;
     Ok(count)
+}
+
+/// Applies the aging + compaction step pools run at flush time.
+///
+/// `entries` is the aged cache export (`(key, value, last_useful_gen, touched)`);
+/// `next_generation` is the counter the new snapshot will be written under.
+/// Touched entries (warm-hit or computed this run) are re-stamped to
+/// `next_generation`; untouched entries keep their old stamp (clamped to the
+/// loaded generation, so a hand-edited future stamp cannot pin an entry
+/// forever).  With `compact_after > 0`, entries more than that many generations
+/// behind are dropped.  Returns the surviving entries plus the dropped count.
+pub fn age_entries<K, V>(
+    entries: Vec<(K, V, u64, bool)>,
+    loaded_generation: u64,
+    next_generation: u64,
+    compact_after: u64,
+) -> (Vec<(K, V, u64)>, usize) {
+    let mut kept = Vec::with_capacity(entries.len());
+    let mut compacted = 0usize;
+    for (key, value, gen, touched) in entries {
+        let gen = if touched {
+            next_generation
+        } else {
+            gen.min(loaded_generation)
+        };
+        if compact_after > 0 && next_generation.saturating_sub(gen) > compact_after {
+            compacted += 1;
+        } else {
+            kept.push((key, value, gen));
+        }
+    }
+    (kept, compacted)
 }
 
 /// Writes `contents` to `path` atomically: temp file in the same directory, then
@@ -472,14 +615,42 @@ mod tests {
         let SnapshotLoad::Loaded(loaded) = load_response_snapshot(&spec) else {
             panic!("snapshot must load");
         };
-        // Loaded sorted by key.
-        assert_eq!(loaded[0].0, CaseKey(2));
-        assert_eq!(loaded[1].0, CaseKey(9));
-        assert_eq!(*loaded[1].1, vec![response(1), response(2)]);
-        // Saving what was loaded reproduces the file byte for byte.
-        save_response_snapshot(&spec, loaded).unwrap();
+        assert_eq!(loaded.generation, 1);
+        // Loaded sorted by key, every entry stamped with the file generation.
+        assert_eq!(loaded.entries[0].0, CaseKey(2));
+        assert_eq!(loaded.entries[1].0, CaseKey(9));
+        assert_eq!(*loaded.entries[1].1, vec![response(1), response(2)]);
+        assert!(loaded.entries.iter().all(|(.., gen)| *gen == 1));
+        // Saving what was loaded at the same generation reproduces the file
+        // byte for byte.
+        save_response_snapshot_aged(&spec, loaded.generation, loaded.entries).unwrap();
         assert_eq!(std::fs::read(&spec.path).unwrap(), first_bytes);
         cleanup(&spec);
+    }
+
+    #[test]
+    fn age_entries_restamps_touched_and_drops_stale() {
+        // Generation 5 snapshot flushing as generation 6, K = 3.
+        let entries = vec![
+            ("touched-old", 'a', 1, true),   // re-stamped to 6
+            ("idle-fresh", 'b', 5, false),   // kept at 5 (6-5 = 1 <= 3)
+            ("idle-edge", 'c', 3, false),    // kept at 3 (6-3 = 3 <= 3)
+            ("idle-stale", 'd', 2, false),   // dropped (6-2 = 4 > 3)
+            ("idle-future", 'e', 99, false), // clamped to 5, kept
+        ];
+        let (kept, compacted) = age_entries(entries.clone(), 5, 6, 3);
+        assert_eq!(compacted, 1);
+        let kept: std::collections::HashMap<&str, u64> =
+            kept.into_iter().map(|(k, _, gen)| (k, gen)).collect();
+        assert_eq!(kept["touched-old"], 6);
+        assert_eq!(kept["idle-fresh"], 5);
+        assert_eq!(kept["idle-edge"], 3);
+        assert_eq!(kept["idle-future"], 5);
+        assert!(!kept.contains_key("idle-stale"));
+        // compact_after = 0 disables compaction entirely.
+        let (kept, compacted) = age_entries(entries, 5, 6, 0);
+        assert_eq!(compacted, 0);
+        assert_eq!(kept.len(), 5);
     }
 
     #[test]
@@ -548,7 +719,10 @@ mod tests {
         // And the matching spec still loads the intact file.
         assert_eq!(
             load_verdict_snapshot(&spec),
-            SnapshotLoad::Loaded(vec![(VerdictKey(1), true)])
+            SnapshotLoad::Loaded(VerdictLoad {
+                generation: 1,
+                entries: vec![(VerdictKey(1), true, 1)],
+            })
         );
         cleanup(&spec);
     }

@@ -24,7 +24,7 @@ use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard};
 use crate::ticket::TicketState;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use svmodel::{CaseInput, RepairModel, Response};
@@ -170,9 +170,12 @@ pub(crate) struct ServiceCore {
     caches: Vec<Mutex<LruCache>>,
     metrics: MetricsRecorder,
     closed: AtomicBool,
+    /// Generation of the snapshot this core preloaded (0 when cold); the next
+    /// flush writes generation + 1 and ages entries against it.
+    snapshot_generation: AtomicU64,
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -180,7 +183,7 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 impl ServiceCore {
-    fn new(config: ServiceConfig) -> Self {
+    pub(crate) fn new(config: ServiceConfig) -> Self {
         let config = config.normalized();
         let per_shard_cache = config.cache_capacity.div_ceil(config.workers);
         let core = Self {
@@ -192,10 +195,17 @@ impl ServiceCore {
                 .collect(),
             metrics: MetricsRecorder::new(),
             closed: AtomicBool::new(false),
+            snapshot_generation: AtomicU64::new(0),
             config,
         };
         core.preload_snapshot();
         core
+    }
+
+    /// The normalized config the core runs under (route frontends need the
+    /// worker count to spawn threads).
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.config
     }
 
     /// The persistence spec with the service seed folded into the fingerprint.
@@ -224,13 +234,15 @@ impl ServiceCore {
             return;
         };
         match persist::load_response_snapshot(&spec) {
-            SnapshotLoad::Loaded(entries) => {
-                let count = entries.len();
-                for (key, responses) in entries {
+            SnapshotLoad::Loaded(loaded) => {
+                let count = loaded.entries.len();
+                self.snapshot_generation
+                    .store(loaded.generation, Ordering::Relaxed);
+                for (key, responses, gen) in loaded.entries {
                     self.caches[self.shard_for(key)]
                         .lock()
                         .expect("cache lock")
-                        .preload(key, responses);
+                        .preload_aged(key, responses, gen);
                 }
                 self.metrics.record_snapshot_load(count);
             }
@@ -245,22 +257,40 @@ impl ServiceCore {
     /// An **empty** cache is never written: a service that loaded nothing (e.g. a
     /// reconfigured run whose preload was rejected) and computed nothing must not
     /// replace a previously valuable snapshot with an empty file.
-    fn flush(&self) -> std::io::Result<usize> {
+    pub(crate) fn flush(&self) -> std::io::Result<usize> {
         let Some(spec) = self.persist_spec() else {
             return Ok(0);
         };
         let mut entries = Vec::new();
         for cache in &self.caches {
-            entries.extend(cache.lock().expect("cache lock").export());
+            entries.extend(cache.lock().expect("cache lock").export_aged());
         }
         if entries.is_empty() {
-            {
-                return Ok(0);
-            }
+            return Ok(0);
         }
-        match persist::save_response_snapshot(&spec, entries) {
+        // Age the entries against the preloaded generation: touched entries are
+        // re-stamped current, idle ones keep their old stamp and fall off once
+        // they are `compact_after` runs behind (0 = keep forever).  A snapshot
+        // emptied *by compaction* is still written (the empty file records the
+        // drop and advances the generation); only a cache with nothing in it —
+        // e.g. an idle pool whose preload was rejected — skips the write, so
+        // it cannot clobber a valuable snapshot (the early return above).
+        let loaded_generation = self.snapshot_generation.load(Ordering::Relaxed);
+        let next_generation = loaded_generation + 1;
+        let (entries, compacted) = persist::age_entries(
+            entries,
+            loaded_generation,
+            next_generation,
+            spec.compact_after,
+        );
+        match persist::save_response_snapshot_aged(&spec, next_generation, entries) {
             Ok(count) => {
                 self.metrics.record_snapshot_save(count);
+                // Counted only once the write landed: a failed save has not
+                // actually dropped anything from disk.
+                if compacted > 0 {
+                    self.metrics.record_snapshot_compaction(compacted);
+                }
                 Ok(count)
             }
             Err(err) => {
@@ -282,7 +312,7 @@ impl ServiceCore {
         (key.fold64() % self.shards.len() as u64) as usize
     }
 
-    fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+    pub(crate) fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
         if self.closed.load(Ordering::Acquire) {
             return Err(ServiceClosed);
         }
@@ -312,7 +342,7 @@ impl ServiceCore {
             .sum()
     }
 
-    fn snapshot(&self) -> ServiceMetrics {
+    pub(crate) fn snapshot(&self) -> ServiceMetrics {
         self.metrics.snapshot(
             self.config.workers,
             self.queue_depth(),
@@ -320,7 +350,7 @@ impl ServiceCore {
         )
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.closed.store(true, Ordering::Release);
         for shard in &self.shards {
             shard.notify_all();
@@ -337,7 +367,11 @@ impl Drop for CloseGuard<'_> {
     }
 }
 
-fn worker_loop<M: RepairModel + ?Sized>(core: &ServiceCore, model: &M, shard_idx: usize) {
+pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
+    core: &ServiceCore,
+    model: &M,
+    shard_idx: usize,
+) {
     loop {
         let batch = core.shards[shard_idx].drain_batch(core.config.max_batch, &core.closed);
         if batch.is_empty() {

@@ -38,7 +38,7 @@ use crate::metrics::{MetricsRecorder, VerifyMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard};
 use crate::ticket::TicketState;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -212,6 +212,9 @@ pub(crate) struct VerifyCore<C> {
     caches: Vec<Mutex<LruCache<VerdictKey, bool>>>,
     metrics: MetricsRecorder,
     closed: AtomicBool,
+    /// Generation of the snapshot this core preloaded (0 when cold); the next
+    /// flush writes generation + 1 and ages entries against it.
+    snapshot_generation: AtomicU64,
 }
 
 impl<C> VerifyCore<C> {
@@ -227,6 +230,7 @@ impl<C> VerifyCore<C> {
                 .collect(),
             metrics: MetricsRecorder::new(),
             closed: AtomicBool::new(false),
+            snapshot_generation: AtomicU64::new(0),
             config,
         };
         core.preload_snapshot();
@@ -241,13 +245,15 @@ impl<C> VerifyCore<C> {
             return;
         };
         match persist::load_verdict_snapshot(spec) {
-            SnapshotLoad::Loaded(entries) => {
-                let count = entries.len();
-                for (key, verdict) in entries {
+            SnapshotLoad::Loaded(loaded) => {
+                let count = loaded.entries.len();
+                self.snapshot_generation
+                    .store(loaded.generation, Ordering::Relaxed);
+                for (key, verdict, gen) in loaded.entries {
                     self.caches[self.shard_for(key)]
                         .lock()
                         .expect("verdict cache lock")
-                        .preload(key, verdict);
+                        .preload_aged(key, verdict, gen);
                 }
                 self.metrics.record_snapshot_load(count);
             }
@@ -268,16 +274,34 @@ impl<C> VerifyCore<C> {
         };
         let mut entries = Vec::new();
         for cache in &self.caches {
-            entries.extend(cache.lock().expect("verdict cache lock").export());
+            entries.extend(cache.lock().expect("verdict cache lock").export_aged());
         }
         if entries.is_empty() {
-            {
-                return Ok(0);
-            }
+            return Ok(0);
         }
-        match persist::save_verdict_snapshot(spec, entries) {
+        // Age the entries against the preloaded generation: touched entries are
+        // re-stamped current, idle ones keep their old stamp and fall off once
+        // they are `compact_after` runs behind (0 = keep forever).  A snapshot
+        // emptied *by compaction* is still written (the empty file records the
+        // drop and advances the generation); only a cache with nothing in it —
+        // e.g. an idle pool whose preload was rejected — skips the write, so
+        // it cannot clobber a valuable snapshot (the early return above).
+        let loaded_generation = self.snapshot_generation.load(Ordering::Relaxed);
+        let next_generation = loaded_generation + 1;
+        let (entries, compacted) = persist::age_entries(
+            entries,
+            loaded_generation,
+            next_generation,
+            spec.compact_after,
+        );
+        match persist::save_verdict_snapshot_aged(spec, next_generation, entries) {
             Ok(count) => {
                 self.metrics.record_snapshot_save(count);
+                // Counted only once the write landed: a failed save has not
+                // actually dropped anything from disk.
+                if compacted > 0 {
+                    self.metrics.record_snapshot_compaction(compacted);
+                }
                 Ok(count)
             }
             Err(err) => {

@@ -366,28 +366,101 @@ fn verify_pool_rejects_stale_snapshots_and_truncated_files() {
 }
 
 #[test]
+fn stale_snapshot_entries_are_compacted_after_k_idle_runs() {
+    let dir = temp_dir("compaction");
+    let _ = std::fs::remove_dir_all(&dir);
+    // K = 1: an entry survives one idle run and is dropped by the flush of the
+    // second consecutive run that never touches it.
+    let spec = PersistSpec::new(dir.join("responses.json"), b"seed", "counting").with_compaction(1);
+    let config = ServiceConfig::default()
+        .with_workers(2)
+        .with_persist(spec.clone());
+
+    // Run 1 (cold → generation 1): computes and persists all 8 entries.
+    let service = RepairService::start(Arc::new(CountingModel::new()), config.clone());
+    service.solve_all((0..8).map(request).collect());
+    service.shutdown();
+
+    // Run 2 (generation 2): touches only 0..4.  The idle half is 1 generation
+    // behind — within the window, so it must survive this flush.
+    let service = RepairService::start(Arc::new(CountingModel::new()), config.clone());
+    service.solve_all((0..4).map(request).collect());
+    let metrics = service.shutdown();
+    assert_eq!(metrics.snapshot_loaded_entries, 8);
+    assert_eq!(metrics.snapshot_compacted_entries, 0);
+    assert_eq!(metrics.snapshot_saved_entries, 8);
+
+    // Run 3 (generation 3): touches only 0..4 again.  The idle half is now 2
+    // generations behind (> K = 1) and must be compacted away.
+    let service = RepairService::start(Arc::new(CountingModel::new()), config.clone());
+    service.solve_all((0..4).map(request).collect());
+    let metrics = service.shutdown();
+    assert_eq!(metrics.snapshot_compacted_entries, 4);
+    assert_eq!(metrics.snapshot_saved_entries, 4);
+
+    // Run 4: the full workload again — the compacted half really is gone from
+    // the file (those 4 cases reach the model), the touched half is still warm.
+    let model = Arc::new(CountingModel::new());
+    let service = RepairService::start(Arc::clone(&model), config);
+    service.solve_all((0..8).map(request).collect());
+    let metrics = service.metrics();
+    assert_eq!(metrics.snapshot_loaded_entries, 4);
+    assert_eq!(metrics.warm_hits, 4);
+    assert_eq!(
+        model.calls.load(Ordering::SeqCst),
+        4,
+        "compacted entries must be recomputed, surviving ones replayed"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn snapshot_files_are_byte_stable_across_save_load_save() {
     let dir = temp_dir("byte-stable");
     let _ = std::fs::remove_dir_all(&dir);
     let spec = PersistSpec::new(dir.join("responses.json"), b"seed", "counting");
     let config = ServiceConfig::default().with_persist(spec.clone());
 
-    // Cold run at 4 workers writes the snapshot.
+    // Cold run at 4 workers writes the generation-1 snapshot.
     RepairService::start(
         Arc::new(CountingModel::new()),
         config.clone().with_workers(4),
     )
     .solve_all((0..10).map(request).collect());
-    let first = std::fs::read(&spec.path).unwrap();
+    let cold_4 = std::fs::read(&spec.path).unwrap();
 
-    // Warm run at 1 worker (different sharding, different insertion order)
-    // rewrites it: the bytes must not change.
-    RepairService::start(Arc::new(CountingModel::new()), config.with_workers(1))
-        .solve_all((0..10).map(request).collect());
-    let second = std::fs::read(&spec.path).unwrap();
+    // A cold run at 1 worker (different sharding, different insertion order)
+    // writes byte-identical generation-1 bytes.
+    std::fs::remove_file(&spec.path).unwrap();
+    RepairService::start(
+        Arc::new(CountingModel::new()),
+        config.clone().with_workers(1),
+    )
+    .solve_all((0..10).map(request).collect());
+    let cold_1 = std::fs::read(&spec.path).unwrap();
     assert_eq!(
-        first, second,
-        "snapshot bytes must be independent of worker count and insertion order"
+        cold_4, cold_1,
+        "cold snapshot bytes must be independent of worker count and insertion order"
+    );
+
+    // Warm runs advance the generation counter (1 → 2), but are themselves
+    // byte-stable at any worker count: re-warm from the same generation-1 file
+    // with different pool shapes and compare.
+    RepairService::start(
+        Arc::new(CountingModel::new()),
+        config.clone().with_workers(1),
+    )
+    .solve_all((0..10).map(request).collect());
+    let warm_1 = std::fs::read(&spec.path).unwrap();
+    assert_ne!(warm_1, cold_1, "a warm flush advances the generation");
+    std::fs::write(&spec.path, &cold_1).unwrap();
+    RepairService::start(Arc::new(CountingModel::new()), config.with_workers(4))
+        .solve_all((0..10).map(request).collect());
+    let warm_4 = std::fs::read(&spec.path).unwrap();
+    assert_eq!(
+        warm_1, warm_4,
+        "warm snapshot bytes must be independent of worker count too"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
