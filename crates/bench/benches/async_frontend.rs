@@ -1,0 +1,198 @@
+//! Async session frontend vs the blocking submit/await surface.
+//!
+//! A fixed workload of distinct repair sessions (submit → sampled → verify →
+//! done) runs four ways: once through the blocking frontend (submit everything,
+//! then `wait()` each ticket in order — the one-caller-thread shape), and three
+//! times through the `svserve::SessionEngine` at 1, 2 and 4 driver threads.
+//! Besides wall-clock, the async modes report the peak concurrent in-flight
+//! session count — the number that used to require one OS thread per session.
+//!
+//! The run emits one machine-readable line per mode — `BENCH_SUMMARY {...}` —
+//! so CI logs can be grepped into a trajectory:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"async_frontend","mode":"blocking","sessions":2000,...}
+//! BENCH_SUMMARY {"bench":"async_frontend","mode":"async_4","sessions":2000,...,"peak_in_flight":2000}
+//! ```
+//!
+//! Run with `cargo bench --bench async_frontend`.  (The container is 1-core, so
+//! wall-clock parity is expected; the payoff measured here is concurrency per
+//! thread, not speedup.)
+
+use criterion::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use svmodel::{CaseInput, RepairModel, Response};
+use svserve::{
+    verdict_key, RepairRequest, RepairService, ServiceConfig, SessionConfig, SessionEngine,
+    VerifyConfig, VerifyPool, VerifyRequest,
+};
+
+const SESSIONS: usize = 2000;
+
+/// Cheap deterministic model: the bench measures the serving path, not solving.
+struct EchoModel;
+
+impl RepairModel for EchoModel {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn solve(
+        &self,
+        case: &CaseInput,
+        samples: usize,
+        _temperature: f64,
+        seed: u64,
+    ) -> Vec<Response> {
+        (0..samples)
+            .map(|i| Response {
+                bug_line_number: 1 + i as u32,
+                buggy_line: case.buggy_source.clone(),
+                fixed_line: format!("fix {} seed {seed}", case.spec),
+                cot: None,
+            })
+            .collect()
+    }
+}
+
+fn request(tag: usize) -> RepairRequest {
+    RepairRequest::new(
+        CaseInput {
+            spec: format!("spec {tag}"),
+            buggy_source: format!("module m{tag}(); assign y = {tag}; endmodule"),
+            logs: format!("assertion a{tag} failed"),
+        },
+        1,
+        0.2,
+    )
+}
+
+fn pools() -> (RepairService<EchoModel>, VerifyPool<String>) {
+    let service = RepairService::start(
+        Arc::new(EchoModel),
+        ServiceConfig {
+            workers: 2,
+            shard_capacity: 256,
+            cache_capacity: 2 * SESSIONS,
+            ..ServiceConfig::default()
+        },
+    );
+    let verifier: VerifyPool<String> = VerifyPool::start(
+        Arc::new(|case: &String, response: &Response| response.fixed_line.contains(case.as_str())),
+        VerifyConfig {
+            workers: 2,
+            cache_capacity: 2 * SESSIONS,
+            ..VerifyConfig::default()
+        },
+    );
+    (service, verifier)
+}
+
+fn verify_one(tag: usize, response: Response) -> VerifyRequest<String> {
+    let case = format!("spec {tag}");
+    let key = verdict_key(&[case.as_bytes()], &response, b"async-frontend-bench");
+    VerifyRequest::new(Arc::new(case), response, key)
+}
+
+/// The pre-async shape: submit everything, then block on each ticket in order.
+fn run_blocking() -> f64 {
+    let (service, verifier) = pools();
+    let start = Instant::now();
+    let tickets: Vec<_> = (0..SESSIONS)
+        .map(|tag| service.submit(request(tag)).expect("pool open"))
+        .collect();
+    let verdicts: Vec<_> = tickets
+        .into_iter()
+        .enumerate()
+        .map(|(tag, ticket)| {
+            let outcome = ticket.wait();
+            verifier
+                .submit(verify_one(tag, outcome.responses[0].clone()))
+                .expect("verify pool open")
+        })
+        .collect();
+    let solved = verdicts
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|v| v.verdict)
+        .count();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(solved, SESSIONS);
+    black_box(solved);
+    service.shutdown();
+    verifier.shutdown();
+    secs
+}
+
+/// The async shape: every session is a waker-scheduled state machine.
+fn run_async(drivers: usize) -> (f64, u64) {
+    let (service, verifier) = pools();
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(drivers));
+    let start = Instant::now();
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|tag| {
+            let service = &service;
+            let verifier = &verifier;
+            async move {
+                let outcome = service
+                    .submit_async(request(tag))
+                    .expect("pool open")
+                    .await
+                    .expect("pool open")
+                    .await;
+                let verdict = verifier
+                    .submit_async(verify_one(tag, outcome.responses[0].clone()))
+                    .expect("verify pool open")
+                    .await
+                    .expect("verify pool open")
+                    .await;
+                verdict.verdict
+            }
+        })
+        .collect();
+    let outcomes = engine.run_all(sessions);
+    let secs = start.elapsed().as_secs_f64();
+    let solved = outcomes
+        .into_iter()
+        .filter(|o| o.completed() == Some(true))
+        .count();
+    assert_eq!(solved, SESSIONS);
+    black_box(solved);
+    let peak = engine.metrics().peak_in_flight_sessions;
+    service.shutdown();
+    verifier.shutdown();
+    (secs, peak)
+}
+
+fn main() {
+    println!("async_frontend: {SESSIONS} sessions (submit -> sample -> verify -> done)");
+    println!(
+        "{:>10} {:>9} {:>12} {:>16}",
+        "mode", "drivers", "wall (s)", "peak in-flight"
+    );
+
+    let blocking_secs = run_blocking();
+    println!(
+        "{:>10} {:>9} {:>12.3} {:>16}",
+        "blocking", "-", blocking_secs, "1/thread"
+    );
+    println!(
+        "BENCH_SUMMARY {{\"bench\":\"async_frontend\",\"mode\":\"blocking\",\"sessions\":{SESSIONS},\"secs\":{blocking_secs:.6}}}"
+    );
+
+    for drivers in [1usize, 2, 4] {
+        let (secs, peak) = run_async(drivers);
+        println!(
+            "{:>10} {:>9} {:>12.3} {:>16}",
+            format!("async_{drivers}"),
+            drivers,
+            secs,
+            peak
+        );
+        println!(
+            "BENCH_SUMMARY {{\"bench\":\"async_frontend\",\"mode\":\"async_{drivers}\",\"sessions\":{SESSIONS},\"secs\":{secs:.6},\"peak_in_flight\":{peak},\"secs_vs_blocking\":{:.2}}}",
+            secs / blocking_secs
+        );
+    }
+}

@@ -16,8 +16,8 @@ use svserve::persist::fnv64;
 use svserve::{
     env_cache_dir, serve_scoped, verdict_key, BackendSpec, CaseKey, EscalationJudge, JudgeReport,
     ModelRouter, PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
-    ServiceConfig, VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest,
-    VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
+    ServiceConfig, SessionConfig, SessionEngine, SessionPhase, VerdictKey, VerifyConfig,
+    VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
 };
 use svverify::{CheckConfig, VerifyOracle};
 
@@ -38,6 +38,11 @@ pub struct EvalConfig {
     /// (0 = auto: the `ASSERTSOLVER_VERIFY_WORKERS` environment override, else the
     /// `svserve::VerifyConfig` default).  Results are identical at any worker count.
     pub verify_workers: usize,
+    /// Driver threads for the async session engine that multiplexes the
+    /// per-case repair sessions (0 = auto: the `ASSERTSOLVER_DRIVERS`
+    /// environment override, else `svserve::DEFAULT_DRIVERS`).  Results are
+    /// identical at any driver count.
+    pub drivers: usize,
     /// Directory for persistent cache snapshots (`None` = the
     /// `ASSERTSOLVER_CACHE_DIR` environment override, else no persistence).  When
     /// resolved, both the response and the verdict cache spill to disk there and
@@ -56,6 +61,7 @@ impl Default for EvalConfig {
             seed: 0xE7A1,
             workers: 0,
             verify_workers: 0,
+            drivers: 0,
             cache_dir: None,
             check: CheckConfig {
                 depth: 12,
@@ -179,6 +185,14 @@ impl EvalConfig {
             }
             None => base,
         }
+    }
+
+    /// The session-engine configuration this protocol implies:
+    /// [`EvalConfig::drivers`] driver threads (0 = auto via the
+    /// `ASSERTSOLVER_DRIVERS` environment override), no per-session deadline —
+    /// an evaluation must judge every case.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig::default().with_drivers(self.drivers)
     }
 }
 
@@ -417,6 +431,22 @@ impl EvalVerifier {
             .expect("verify pool open during evaluation")
     }
 
+    /// Non-blocking variant of [`EvalVerifier::submit_keyed`] for async
+    /// sessions: parks on a waker (never a thread) while the verify shard is at
+    /// capacity.
+    pub async fn submit_keyed_async(
+        &self,
+        case: Arc<SvaBugEntry>,
+        response: Response,
+        key: VerdictKey,
+    ) -> VerifyTicket {
+        self.pool
+            .submit_async(VerifyRequest::new(case, response, key))
+            .expect("verify pool open during evaluation")
+            .await
+            .expect("verify pool open during evaluation")
+    }
+
     /// Takes a metrics snapshot of the verification stage.
     pub fn metrics(&self) -> VerifyMetrics {
         self.pool.metrics()
@@ -456,57 +486,65 @@ pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
 
 /// Evaluates a model with an externally managed verification backend.
 ///
-/// The two `svserve` pools run concurrently as a pipeline: every case is submitted
-/// to the sharded repair pool up front, and as soon as one case's samples arrive its
-/// distinct candidates are fanned out to the verify pool — so verdicts for early
-/// cases are computed while later cases are still being sampled, instead of
-/// sample-all-then-verify-serially.  Because sampler seeds derive from case content
-/// and verdicts are pure functions of `(case, response, CheckConfig)`, the result is
-/// identical at any [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] setting
-/// and whether the verifier's verdict cache is cold or pre-warmed.
+/// Every case runs as one **async session** on the `svserve` session engine
+/// (submit → sampled → verify → done): the session submits its request to the
+/// sharded repair pool without blocking, awaits the waker-backed ticket, fans
+/// its distinct candidates out to the verify pool, and awaits the verdicts —
+/// all multiplexed over [`EvalConfig::drivers`] driver threads, so a corpus of
+/// thousands holds thousands of sessions in flight on a handful of threads.
+/// Because sampler seeds derive from case content and verdicts are pure
+/// functions of `(case, response, CheckConfig)`, the result is identical at any
+/// [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] /
+/// [`EvalConfig::drivers`] setting and whether the verifier's verdict cache is
+/// cold or pre-warmed.
 pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
     model: &M,
     entries: &[SvaBugEntry],
     config: &EvalConfig,
     verifier: &EvalVerifier,
 ) -> ModelEvaluation {
-    let requests: Vec<RepairRequest> = entries
-        .iter()
-        .map(|entry| {
-            RepairRequest::new(
-                CaseInput::from_entry(entry),
-                config.samples,
-                config.temperature,
-            )
-        })
-        .collect();
+    let engine = SessionEngine::new(config.session_config());
+    let monitor = engine.monitor();
     let results = serve_scoped(
         model,
         config.service_config_for(&model.identity()),
         |service| {
-            let tickets: Vec<_> = requests
-                .into_iter()
-                .map(|request| {
-                    service
-                        .submit(request)
-                        .expect("service open during evaluation")
+            let sessions: Vec<_> = entries
+                .iter()
+                .map(|entry| {
+                    let request = RepairRequest::new(
+                        CaseInput::from_entry(entry),
+                        config.samples,
+                        config.temperature,
+                    );
+                    let monitor = monitor.clone();
+                    async move {
+                        let ticket = service
+                            .submit_async(request)
+                            .expect("service open during evaluation")
+                            .await
+                            .expect("service open during evaluation");
+                        monitor.phase(SessionPhase::Submitted);
+                        let outcome = ticket.await;
+                        monitor.phase(SessionPhase::Sampled);
+                        let case = Arc::new(entry.clone());
+                        let submitted =
+                            fan_out_candidates_async(verifier, &case, &outcome.responses).await;
+                        monitor.phase(SessionPhase::Verifying);
+                        let c = judge_submitted(submitted).await;
+                        monitor.phase(SessionPhase::Done);
+                        (outcome.responses.len(), c)
+                    }
                 })
                 .collect();
-            // Stage 2 of the pipeline: await each case's samples in input order and fan
-            // its distinct candidates out to the verify pool.
-            let mut pending: Vec<(usize, Vec<(usize, VerifyTicket)>)> =
-                Vec::with_capacity(entries.len());
-            for (entry, ticket) in entries.iter().zip(tickets) {
-                let outcome = ticket.wait();
-                let case = Arc::new(entry.clone());
-                let submitted = fan_out_candidates(verifier, &case, &outcome.responses);
-                pending.push((outcome.responses.len(), submitted));
-            }
-            // Stage 3: collect verdicts (verify workers have been judging all along).
+            let outcomes = engine.run_all(sessions);
             entries
                 .iter()
-                .zip(pending)
-                .map(|(entry, (n, submitted))| case_result(entry, n, submitted))
+                .zip(outcomes)
+                .map(|(entry, outcome)| {
+                    let (n, c) = outcome.completed().expect("evaluation session completed");
+                    build_case_result(entry, n, c)
+                })
                 .collect::<Vec<_>>()
         },
     );
@@ -516,16 +554,17 @@ pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
     }
 }
 
-/// Dedups one case's candidates and submits the distinct ones for judgement.
+/// Dedups one case's candidates into `(multiplicity, key, response)` triples.
 ///
 /// Identical responses within a case collapse to one verdict job with a
 /// multiplicity, which keeps the per-case correct count `c` independent of
-/// verify-pool scheduling; the returned pairs are `(multiplicity, ticket)`.
-fn fan_out_candidates(
+/// verify-pool scheduling.  Shared by the blocking and async fan-outs so the
+/// two paths cannot diverge.
+fn dedup_candidates(
     verifier: &EvalVerifier,
     case: &Arc<SvaBugEntry>,
     responses: &[Response],
-) -> Vec<(usize, VerifyTicket)> {
+) -> Vec<(usize, VerdictKey, Response)> {
     let mut multiplicity: BTreeMap<VerdictKey, usize> = BTreeMap::new();
     let mut distinct: Vec<(VerdictKey, Response)> = Vec::new();
     for response in responses {
@@ -539,21 +578,62 @@ fn fan_out_candidates(
     }
     distinct
         .into_iter()
-        .map(|(key, response)| {
+        .map(|(key, response)| (multiplicity[&key], key, response))
+        .collect()
+}
+
+/// Dedups one case's candidates and submits the distinct ones for judgement
+/// (blocking submit — the escalation judge runs on coordinator threads); the
+/// returned pairs are `(multiplicity, ticket)`.
+fn fan_out_candidates(
+    verifier: &EvalVerifier,
+    case: &Arc<SvaBugEntry>,
+    responses: &[Response],
+) -> Vec<(usize, VerifyTicket)> {
+    dedup_candidates(verifier, case, responses)
+        .into_iter()
+        .map(|(count, key, response)| {
             (
-                multiplicity[&key],
+                count,
                 verifier.submit_keyed(Arc::clone(case), response, key),
             )
         })
         .collect()
 }
 
-/// Awaits one case's verdicts and folds them into a [`CaseResult`].
-fn case_result(entry: &SvaBugEntry, n: usize, submitted: Vec<(usize, VerifyTicket)>) -> CaseResult {
-    let c = submitted
-        .into_iter()
-        .map(|(count, ticket)| if ticket.wait().verdict { count } else { 0 })
-        .sum();
+/// Async variant of [`fan_out_candidates`] for session futures: same dedup
+/// (shared via [`dedup_candidates`]), but submissions park on wakers instead
+/// of threads.
+async fn fan_out_candidates_async(
+    verifier: &EvalVerifier,
+    case: &Arc<SvaBugEntry>,
+    responses: &[Response],
+) -> Vec<(usize, VerifyTicket)> {
+    let candidates = dedup_candidates(verifier, case, responses);
+    let mut submitted = Vec::with_capacity(candidates.len());
+    for (count, key, response) in candidates {
+        let ticket = verifier
+            .submit_keyed_async(Arc::clone(case), response, key)
+            .await;
+        submitted.push((count, ticket));
+    }
+    submitted
+}
+
+/// Awaits one case's verdicts and folds them into the correct count `c`
+/// (multiplicities included).
+async fn judge_submitted(submitted: Vec<(usize, VerifyTicket)>) -> usize {
+    let mut correct = 0;
+    for (count, ticket) in submitted {
+        if ticket.await.verdict {
+            correct += count;
+        }
+    }
+    correct
+}
+
+/// Folds one case's sample and correct counts into a [`CaseResult`].
+fn build_case_result(entry: &SvaBugEntry, n: usize, c: usize) -> CaseResult {
     CaseResult {
         module_name: entry.module_name.clone(),
         n,
@@ -643,33 +723,55 @@ impl EscalationJudge for LadderJudge {
     }
 }
 
-/// Routes every case under one policy and judges the answers into results.
-fn route_and_judge(
+/// Routes every case under one policy as an async session and judges the
+/// answers into results; returns each case's result plus its routed attempt
+/// trail (length 1 for the direct policies, the full ladder walk for
+/// [`RoutePolicy::Escalate`]).
+fn route_phase(
+    engine: &SessionEngine,
     router: &ModelRouter,
     policy: RoutePolicy,
     requests: &[RepairRequest],
     cases: &[Arc<SvaBugEntry>],
     entries: &[SvaBugEntry],
     verifier: &EvalVerifier,
-) -> Vec<CaseResult> {
-    let tickets: Vec<_> = requests
+) -> Vec<(CaseResult, Vec<RouteAttempt>)> {
+    let monitor = engine.monitor();
+    let sessions: Vec<_> = requests
         .iter()
-        .map(|request| {
-            router
-                .submit(request.clone(), policy)
-                .expect("router open during evaluation")
+        .zip(cases)
+        .map(|(request, case)| {
+            let request = request.clone();
+            let case = Arc::clone(case);
+            let monitor = monitor.clone();
+            async move {
+                let ticket = router
+                    .submit_async(request, policy)
+                    .expect("router open during evaluation")
+                    .await
+                    .expect("router open during evaluation");
+                monitor.phase(SessionPhase::Submitted);
+                let outcome = ticket.await;
+                monitor.phase(SessionPhase::Sampled);
+                if outcome.escalations() > 0 {
+                    monitor.phase(SessionPhase::Escalated);
+                }
+                let submitted = fan_out_candidates_async(verifier, &case, &outcome.responses).await;
+                monitor.phase(SessionPhase::Verifying);
+                let c = judge_submitted(submitted).await;
+                monitor.phase(SessionPhase::Done);
+                (outcome.responses.len(), c, outcome.attempts)
+            }
         })
         .collect();
-    let mut pending = Vec::with_capacity(entries.len());
-    for (case, ticket) in cases.iter().zip(tickets) {
-        let outcome = ticket.wait();
-        let submitted = fan_out_candidates(verifier, case, &outcome.responses);
-        pending.push((outcome.responses.len(), submitted));
-    }
+    let outcomes = engine.run_all(sessions);
     entries
         .iter()
-        .zip(pending)
-        .map(|(entry, (n, submitted))| case_result(entry, n, submitted))
+        .zip(outcomes)
+        .map(|(entry, outcome)| {
+            let (n, c, attempts) = outcome.completed().expect("ladder session completed");
+            (build_case_result(entry, n, c), attempts)
+        })
         .collect()
 }
 
@@ -688,8 +790,9 @@ fn route_and_judge(
 /// routing layer exists for.
 ///
 /// Determinism: [`LadderReport::evaluation`] is byte-identical at any
-/// [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] setting and with
-/// warm or cold caches (in-memory or on-disk), for every policy.
+/// [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] /
+/// [`EvalConfig::drivers`] setting and with warm or cold caches (in-memory or
+/// on-disk), for every policy.
 ///
 /// # Panics
 ///
@@ -734,6 +837,7 @@ pub fn evaluate_ladder(
         .collect();
     let router = ModelRouter::start(backends, judge, RouterConfig::default());
     let ladder = router.ladder().to_vec();
+    let engine = SessionEngine::new(config.session_config());
 
     // Phase 1 — pinned: one full evaluation per model.  This also warms every
     // backend's response cache and the shared verdict cache, so the later
@@ -743,60 +847,61 @@ pub fn evaluate_ladder(
         .enumerate()
         .map(|(idx, model)| ModelEvaluation {
             model: model.name().to_string(),
-            results: route_and_judge(
+            results: route_phase(
+                &engine,
                 &router,
                 RoutePolicy::Pinned(idx),
                 &requests,
                 &cases,
                 entries,
                 &verifier,
-            ),
+            )
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect(),
         })
         .collect();
 
     // Phase 2 — A/B split: the content hash of each case picks its arm.
     let ab_split = ModelEvaluation {
         model: format!("A/B split ({} arms)", models.len()),
-        results: route_and_judge(
+        results: route_phase(
+            &engine,
             &router,
             RoutePolicy::AbSplit,
             &requests,
             &cases,
             entries,
             &verifier,
-        ),
+        )
+        .into_iter()
+        .map(|(result, _)| result)
+        .collect(),
     };
 
     // Phase 3 — escalation: cheapest rung first, re-submitting on failed
-    // verdicts; the judge inside the router computes each rung's correct count,
-    // so the terminal attempt *is* the case result.
-    let tickets: Vec<_> = requests
-        .iter()
-        .map(|request| {
-            router
-                .submit(request.clone(), RoutePolicy::Escalate)
-                .expect("router open during evaluation")
-        })
-        .collect();
-    // The terminal rung's responses are re-judged *positionally* against each
-    // entry's own golden fix (pure verdict-cache hits on a duplicate-free
-    // corpus, where this equals the terminal attempt's correct count).  This
-    // keeps `c` truthful even when two corpus entries share identical case
-    // content but different golden fixes — the router's judge, which can only
-    // see request content, necessarily judges such twins against one of them.
-    let mut pending = Vec::with_capacity(entries.len());
-    for (case, ticket) in cases.iter().zip(tickets) {
-        let outcome = ticket.wait();
-        let submitted = fan_out_candidates(&verifier, case, &outcome.responses);
-        pending.push((outcome, submitted));
-    }
+    // verdicts.  The terminal rung's responses are re-judged *positionally*
+    // against each entry's own golden fix (pure verdict-cache hits on a
+    // duplicate-free corpus, where this equals the terminal attempt's correct
+    // count).  This keeps `c` truthful even when two corpus entries share
+    // identical case content but different golden fixes — the router's judge,
+    // which can only see request content, necessarily judges such twins
+    // against one of them.
     let mut escalate_results = Vec::with_capacity(entries.len());
     let mut trails = Vec::with_capacity(entries.len());
-    for (entry, (outcome, submitted)) in entries.iter().zip(pending) {
-        escalate_results.push(case_result(entry, outcome.responses.len(), submitted));
+    for (entry, (result, attempts)) in entries.iter().zip(route_phase(
+        &engine,
+        &router,
+        RoutePolicy::Escalate,
+        &requests,
+        &cases,
+        entries,
+        &verifier,
+    )) {
+        escalate_results.push(result);
         trails.push(EscalationTrail {
             module_name: entry.module_name.clone(),
-            attempts: outcome.attempts,
+            attempts,
         });
     }
     let escalate = ModelEvaluation {

@@ -33,6 +33,14 @@
 //!   pool and cache, behind one submit/await surface; a [`RoutePolicy`] places
 //!   each request (pinned, deterministic A/B split, or cheapest-first escalation
 //!   with verification-failure re-submits and a full attempt trail).
+//! * **Async session runtime** — a hand-rolled, dependency-free executor
+//!   ([`rt`]) plus a [`session::SessionEngine`] that drives each repair session
+//!   as a waker-scheduled state machine (submit → sampled → verify →
+//!   accept/escalate → done), so thousands of in-flight sessions multiplex over
+//!   a handful of driver threads instead of parking one OS thread per waiter.
+//!   Tickets are `Future`s, pool submission is non-blocking
+//!   (`submit_async`), and per-backend admission control sheds overload with a
+//!   deterministic [`SubmitError::Busy`].
 //!
 //! ## Quick example
 //!
@@ -59,7 +67,9 @@ pub mod metrics;
 pub mod persist;
 pub mod queue;
 pub mod route;
+pub mod rt;
 pub mod service;
+pub mod session;
 mod ticket;
 pub mod verify;
 
@@ -69,18 +79,24 @@ pub use persist::{
     env_cache_dir, PersistSpec, SnapshotHeader, SnapshotLoad, CACHE_DIR_ENV,
     DEFAULT_COMPACT_AFTER_RUNS, SNAPSHOT_FORMAT_VERSION,
 };
-pub use queue::ServiceClosed;
+pub use queue::{ServiceClosed, SubmitError};
 pub use route::{
     ab_arm, BackendMetrics, BackendSpec, EscalationJudge, EscalationMetrics, JudgeReport,
-    ModelRouter, RouteAttempt, RouteMetrics, RouteOutcome, RoutePolicy, RouteTicket, RouterConfig,
+    ModelRouter, RouteAttempt, RouteMetrics, RouteOutcome, RoutePolicy, RouteSubmitFuture,
+    RouteTicket, RouterConfig,
 };
+pub use rt::{block_on, env_drivers, Runtime, TaskHandle, DRIVERS_ENV};
 pub use service::{
     serve_scoped, RepairOutcome, RepairRequest, RepairService, RepairTicket, ScopedService,
-    ServiceConfig,
+    ServiceConfig, SubmitFuture,
+};
+pub use session::{
+    SessionConfig, SessionEngine, SessionHandle, SessionMetrics, SessionMonitor, SessionOutcome,
+    SessionPhase, DEFAULT_DRIVERS,
 };
 pub use verify::{
     env_verify_workers, verify_scoped, ResponseJudge, ScopedVerifier, VerdictOutcome, VerifyConfig,
-    VerifyPool, VerifyRequest, VerifyTicket, VERIFY_WORKERS_ENV,
+    VerifyPool, VerifyRequest, VerifySubmitFuture, VerifyTicket, VERIFY_WORKERS_ENV,
 };
 
 #[cfg(test)]

@@ -32,6 +32,9 @@ pub(crate) struct MetricsRecorder {
     snapshot_rejects: AtomicU64,
     snapshot_compacted_entries: AtomicU64,
     peak_queue_depth: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
+    shed_busy: AtomicU64,
     queue_wait_ns: AtomicU64,
     cache_lookup_ns: AtomicU64,
     solve_ns: AtomicU64,
@@ -57,6 +60,9 @@ impl MetricsRecorder {
             snapshot_rejects: AtomicU64::new(0),
             snapshot_compacted_entries: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+            shed_busy: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             cache_lookup_ns: AtomicU64::new(0),
             solve_ns: AtomicU64::new(0),
@@ -67,6 +73,46 @@ impl MetricsRecorder {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.peak_queue_depth
             .fetch_max(depth_after as u64, Ordering::Relaxed);
+    }
+
+    /// Admission control: reserves one in-flight slot, or reports the pool
+    /// busy.  `limit == 0` means unbounded (the slot is still counted, so the
+    /// in-flight gauge works either way).  The reservation is released by
+    /// [`MetricsRecorder::record_job`] when the job completes, or by
+    /// [`MetricsRecorder::release_in_flight`] when the submission is abandoned
+    /// before it ever reached a queue.
+    pub(crate) fn try_admit(&self, limit: usize) -> bool {
+        let admitted = if limit == 0 {
+            self.in_flight.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            let updated =
+                self.in_flight
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+                        (current < limit as u64).then_some(current + 1)
+                    });
+            match updated {
+                Ok(previous) => previous + 1,
+                Err(_) => return false,
+            }
+        };
+        self.peak_in_flight.fetch_max(admitted, Ordering::Relaxed);
+        true
+    }
+
+    /// Counts one request shed by admission control (`SubmitError::Busy`).
+    pub(crate) fn record_shed(&self) {
+        self.shed_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases an in-flight slot for a submission that never became a job
+    /// (closed while enqueueing, or an async submit future dropped first).
+    /// Saturating, so a stray release can never wrap the gauge.
+    pub(crate) fn release_in_flight(&self) {
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+                Some(current.saturating_sub(1))
+            });
     }
 
     pub(crate) fn record_batch(&self) {
@@ -130,6 +176,7 @@ impl MetricsRecorder {
         solve: Option<Duration>,
     ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        self.release_in_flight();
         self.queue_wait_ns
             .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
         self.cache_lookup_ns
@@ -165,6 +212,9 @@ impl MetricsRecorder {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed) as usize,
+            in_flight_sessions: self.in_flight.load(Ordering::Relaxed) as usize,
+            peak_in_flight_sessions: self.peak_in_flight.load(Ordering::Relaxed) as usize,
+            shed_busy: self.shed_busy.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
             cache_hit_rate: if cache_hits + cache_misses == 0 {
@@ -215,6 +265,9 @@ impl MetricsRecorder {
             completed: stage.completed,
             queue_depth,
             peak_queue_depth: stage.peak_queue_depth,
+            in_flight_sessions: stage.in_flight_sessions,
+            peak_in_flight_sessions: stage.peak_in_flight_sessions,
+            shed_busy: stage.shed_busy,
             cache_hits: stage.cache_hits,
             cache_misses: stage.cache_misses,
             cache_entries,
@@ -251,6 +304,9 @@ impl MetricsRecorder {
             completed: stage.completed,
             queue_depth,
             peak_queue_depth: stage.peak_queue_depth,
+            in_flight_sessions: stage.in_flight_sessions,
+            peak_in_flight_sessions: stage.peak_in_flight_sessions,
+            shed_busy: stage.shed_busy,
             cache_hits: stage.cache_hits,
             cache_misses: stage.cache_misses,
             cache_entries,
@@ -282,6 +338,9 @@ struct Stage {
     submitted: u64,
     completed: u64,
     peak_queue_depth: usize,
+    in_flight_sessions: usize,
+    peak_in_flight_sessions: usize,
+    shed_busy: u64,
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
@@ -315,6 +374,17 @@ pub struct ServiceMetrics {
     pub queue_depth: usize,
     /// Highest single-shard depth observed at submit time.
     pub peak_queue_depth: usize,
+    /// Requests admitted but not yet completed — the in-flight session gauge.
+    /// Admission happens before enqueueing, so this also counts submissions
+    /// parked awaiting queue space (it can exceed `submitted - completed`
+    /// while async submits are waiting, and drops back when they enqueue,
+    /// complete, or are abandoned).
+    pub in_flight_sessions: usize,
+    /// Highest concurrent in-flight count observed over the pool's lifetime.
+    pub peak_in_flight_sessions: usize,
+    /// Requests shed by admission control (`max_in_flight` reached); each one
+    /// was rejected with `SubmitError::Busy` instead of queued.
+    pub shed_busy: u64,
     /// Requests answered from the response cache.
     pub cache_hits: u64,
     /// Requests that required a model invocation.
@@ -380,6 +450,12 @@ pub struct VerifyMetrics {
     pub queue_depth: usize,
     /// Highest single-shard depth observed at submit time.
     pub peak_queue_depth: usize,
+    /// Verdict jobs admitted but not yet completed — the in-flight gauge.
+    pub in_flight_sessions: usize,
+    /// Highest concurrent in-flight count observed over the pool's lifetime.
+    pub peak_in_flight_sessions: usize,
+    /// Verdict jobs shed by admission control (0 unless a limit is configured).
+    pub shed_busy: u64,
     /// Verdicts answered from the verdict cache.
     pub cache_hits: u64,
     /// Verdicts that required running the judge.
@@ -476,6 +552,13 @@ impl VerifyMetrics {
                 format!("{:>10} (peak {})", self.queue_depth, self.peak_queue_depth),
             ),
             (
+                "in flight",
+                format!(
+                    "{:>10} now (peak {}), {} shed busy",
+                    self.in_flight_sessions, self.peak_in_flight_sessions, self.shed_busy
+                ),
+            ),
+            (
                 "cache",
                 format!(
                     "{:>10} entries, {} hits / {} misses ({:.1}% hit rate)",
@@ -554,6 +637,13 @@ impl ServiceMetrics {
             (
                 "queue depth",
                 format!("{:>10} (peak {})", self.queue_depth, self.peak_queue_depth),
+            ),
+            (
+                "in flight",
+                format!(
+                    "{:>10} now (peak {}), {} shed busy",
+                    self.in_flight_sessions, self.peak_in_flight_sessions, self.shed_busy
+                ),
             ),
             (
                 "cache",

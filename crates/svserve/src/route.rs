@@ -40,12 +40,15 @@
 
 use crate::cache::CaseKey;
 use crate::metrics::{indent_block, render_block, ServiceMetrics, VerifyMetrics};
-use crate::queue::{ServiceClosed, Shard};
+use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::service::{splitmix64, worker_loop, RepairRequest, ServiceConfig, ServiceCore};
 use crate::ticket::TicketState;
 use serde::{Deserialize, Serialize};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use svmodel::{RepairModel, Response};
 
 /// Salt mixed into the A/B arm hash so arm assignment decorrelates from the
@@ -261,6 +264,29 @@ pub struct RouteTicket {
     inner: TicketInner,
 }
 
+/// Folds a direct (Pinned/AbSplit) backend outcome into the routed shape.
+fn finalize_direct(
+    outcome: crate::service::RepairOutcome,
+    backend: usize,
+    name: String,
+    cost: u32,
+) -> RouteOutcome {
+    RouteOutcome {
+        attempts: vec![RouteAttempt {
+            backend: name.clone(),
+            cost,
+            judged: false,
+            distinct_candidates: 0,
+            correct_candidates: 0,
+            terminal: true,
+        }],
+        backend,
+        backend_name: name,
+        from_cache: outcome.from_cache,
+        responses: outcome.responses,
+    }
+}
+
 impl RouteTicket {
     /// Blocks until the request has been served (through however many rungs the
     /// policy needed).
@@ -271,24 +297,35 @@ impl RouteTicket {
                 backend,
                 name,
                 cost,
-            } => {
-                let outcome = ticket.wait();
-                RouteOutcome {
-                    attempts: vec![RouteAttempt {
-                        backend: name.clone(),
-                        cost,
-                        judged: false,
-                        distinct_candidates: 0,
-                        correct_candidates: 0,
-                        terminal: true,
-                    }],
-                    backend,
-                    backend_name: name,
-                    from_cache: outcome.from_cache,
-                    responses: outcome.responses,
-                }
-            }
+            } => finalize_direct(ticket.wait(), backend, name, cost),
             TicketInner::Escalated(state) => state.wait(),
+        }
+    }
+}
+
+impl Future for RouteTicket {
+    type Output = RouteOutcome;
+
+    /// Awaits the routed outcome without holding a thread; works for every
+    /// policy (direct tickets finalize on completion, escalated tickets are
+    /// fulfilled by a coordinator).
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<RouteOutcome> {
+        match &mut self.get_mut().inner {
+            TicketInner::Direct {
+                ticket,
+                backend,
+                name,
+                cost,
+            } => match Pin::new(ticket).poll(cx) {
+                Poll::Ready(outcome) => Poll::Ready(finalize_direct(
+                    outcome,
+                    *backend,
+                    std::mem::take(name),
+                    *cost,
+                )),
+                Poll::Pending => Poll::Pending,
+            },
+            TicketInner::Escalated(state) => state.poll_take(cx.waker()),
         }
     }
 }
@@ -298,6 +335,80 @@ struct Backend {
     cost: u32,
     model: Arc<dyn RepairModel + Send + Sync>,
     core: Arc<ServiceCore>,
+}
+
+enum RouteSubmitKind<'a> {
+    /// Pinned / A/B routes: the backend pool's own submit future.
+    Direct {
+        fut: crate::service::SubmitFuture<'a>,
+        backend: usize,
+        policy: RoutePolicy,
+    },
+    /// Escalate routes: a waker-parked push onto the escalation queue.
+    Escalate {
+        job: Option<EscalateJob>,
+        state: Arc<TicketState<RouteOutcome>>,
+    },
+}
+
+/// Future returned by [`ModelRouter::submit_async`]: resolves to the request's
+/// [`RouteTicket`] once the backend shard (direct policies) or the escalation
+/// queue has accepted the job, parking on a waker while at capacity.
+pub struct RouteSubmitFuture<'a> {
+    core: &'a RouterCore,
+    kind: RouteSubmitKind<'a>,
+}
+
+impl Future for RouteSubmitFuture<'_> {
+    type Output = Result<RouteTicket, ServiceClosed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match &mut this.kind {
+            RouteSubmitKind::Direct {
+                fut,
+                backend,
+                policy,
+            } => match Pin::new(fut).poll(cx) {
+                Poll::Ready(Ok(ticket)) => {
+                    // Counted only once the backend accepted the job, matching
+                    // the blocking path's accounting.
+                    let counter = match policy {
+                        RoutePolicy::AbSplit => &this.core.recorder.ab_split_requests,
+                        _ => &this.core.recorder.pinned_requests,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    let spec = &this.core.backends[*backend];
+                    Poll::Ready(Ok(RouteTicket {
+                        inner: TicketInner::Direct {
+                            ticket,
+                            backend: *backend,
+                            name: spec.name.clone(),
+                            cost: spec.cost,
+                        },
+                    }))
+                }
+                Poll::Ready(Err(closed)) => Poll::Ready(Err(closed)),
+                Poll::Pending => Poll::Pending,
+            },
+            RouteSubmitKind::Escalate { job, state } => {
+                match this
+                    .core
+                    .queue
+                    .poll_push(job, &this.core.closed, cx.waker())
+                {
+                    Poll::Ready(Ok(_)) => {
+                        this.core.recorder.submitted.fetch_add(1, Ordering::Relaxed);
+                        Poll::Ready(Ok(RouteTicket {
+                            inner: TicketInner::Escalated(Arc::clone(state)),
+                        }))
+                    }
+                    Poll::Ready(Err(closed)) => Poll::Ready(Err(closed)),
+                    Poll::Pending => Poll::Pending,
+                }
+            }
+        }
+    }
 }
 
 struct EscalateJob {
@@ -370,7 +481,10 @@ impl RouterCore {
         let rungs = self.ladder.len();
         for (rung, &idx) in self.ladder.iter().enumerate() {
             let backend = &self.backends[idx];
-            let Ok(ticket) = backend.core.submit(request.clone()) else {
+            // Internal ladder legs bypass per-backend admission: shedding a
+            // request halfway up an already-admitted escalation would turn one
+            // accepted session into a spurious failure.
+            let Ok(ticket) = backend.core.submit_inner(request.clone(), false) else {
                 // Only reachable if a backend pool was closed out from under an
                 // in-flight ladder (the shutdown path drains coordinators
                 // first); degrade to an empty terminal answer.
@@ -561,7 +675,11 @@ impl ModelRouter {
     }
 
     /// Submits one request under a policy; blocks only on backpressure (a full
-    /// backend shard or escalation queue).
+    /// backend shard or escalation queue).  A backend at its
+    /// [`ServiceConfig::max_in_flight`] limit sheds [`RoutePolicy::Pinned`] and
+    /// [`RoutePolicy::AbSplit`] requests with a deterministic
+    /// [`SubmitError::Busy`], counted in that backend's
+    /// [`ServiceMetrics::shed_busy`].
     ///
     /// # Panics
     ///
@@ -570,11 +688,11 @@ impl ModelRouter {
         &self,
         request: RepairRequest,
         policy: RoutePolicy,
-    ) -> Result<RouteTicket, ServiceClosed> {
+    ) -> Result<RouteTicket, SubmitError> {
         if self.core.closed.load(Ordering::Acquire) {
-            return Err(ServiceClosed);
+            return Err(SubmitError::Closed);
         }
-        let direct = |idx: usize| -> Result<RouteTicket, ServiceClosed> {
+        let direct = |idx: usize| -> Result<RouteTicket, SubmitError> {
             let backend = &self.core.backends[idx];
             let ticket = backend.core.submit(request.clone())?;
             Ok(RouteTicket {
@@ -588,11 +706,7 @@ impl ModelRouter {
         };
         match policy {
             RoutePolicy::Pinned(idx) => {
-                assert!(
-                    idx < self.core.backends.len(),
-                    "pinned backend index {idx} out of range ({} backends)",
-                    self.core.backends.len()
-                );
+                self.assert_backend_index(idx);
                 // Count only after the backend accepted the submit, so the
                 // policy counters cannot exceed requests actually served when
                 // a submit races shutdown.
@@ -617,10 +731,72 @@ impl ModelRouter {
                     request,
                     ticket: Arc::clone(&state),
                 };
-                self.core.queue.push_blocking(job, &self.core.closed)?;
+                self.core
+                    .queue
+                    .push_blocking(job, &self.core.closed)
+                    .map_err(SubmitError::from)?;
                 self.core.recorder.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(RouteTicket {
                     inner: TicketInner::Escalated(state),
+                })
+            }
+        }
+    }
+
+    fn assert_backend_index(&self, idx: usize) {
+        assert!(
+            idx < self.core.backends.len(),
+            "pinned backend index {idx} out of range ({} backends)",
+            self.core.backends.len()
+        );
+    }
+
+    /// Non-blocking submit for async sessions: admission and shutdown are
+    /// checked eagerly (so [`SubmitError::Busy`] sheds deterministically before
+    /// any awaiting), and the returned future parks on a waker — never a
+    /// thread — while the backend shard or escalation queue is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`RoutePolicy::Pinned`] index is out of range.
+    pub fn submit_async(
+        &self,
+        request: RepairRequest,
+        policy: RoutePolicy,
+    ) -> Result<RouteSubmitFuture<'_>, SubmitError> {
+        if self.core.closed.load(Ordering::Acquire) {
+            return Err(SubmitError::Closed);
+        }
+        let direct =
+            |idx: usize, policy: RoutePolicy| -> Result<RouteSubmitFuture<'_>, SubmitError> {
+                let backend = &self.core.backends[idx];
+                Ok(RouteSubmitFuture {
+                    core: &self.core,
+                    kind: RouteSubmitKind::Direct {
+                        fut: backend.core.submit_async(request.clone())?,
+                        backend: idx,
+                        policy,
+                    },
+                })
+            };
+        match policy {
+            RoutePolicy::Pinned(idx) => {
+                self.assert_backend_index(idx);
+                direct(idx, policy)
+            }
+            RoutePolicy::AbSplit => direct(ab_arm(request.key(), self.core.backends.len()), policy),
+            RoutePolicy::Escalate => {
+                let state = TicketState::new();
+                let job = EscalateJob {
+                    request,
+                    ticket: Arc::clone(&state),
+                };
+                Ok(RouteSubmitFuture {
+                    core: &self.core,
+                    kind: RouteSubmitKind::Escalate {
+                        job: Some(job),
+                        state,
+                    },
                 })
             }
         }

@@ -22,10 +22,13 @@
 use crate::cache::{case_key, CaseKey, LruCache};
 use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
-use crate::queue::{ServiceClosed, Shard};
+use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::ticket::TicketState;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 use svmodel::{CaseInput, RepairModel, Response};
 
@@ -42,6 +45,12 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Service seed mixed into every per-case sampler seed.
     pub seed: u64,
+    /// Admission control: maximum requests in flight (admitted but not yet
+    /// completed) before `submit` sheds new work with [`SubmitError::Busy`]
+    /// instead of queueing it.  `0` = unbounded.  Shed requests are counted in
+    /// [`ServiceMetrics::shed_busy`]; the rejection is deterministic — it
+    /// depends only on the exact in-flight count, never on timing heuristics.
+    pub max_in_flight: usize,
     /// On-disk snapshot of the response cache: preloaded at start, written by
     /// [`RepairService::flush`] / shutdown / the end of [`serve_scoped`].  `None`
     /// keeps the cache purely in-memory.  See [`crate::persist`] for the format
@@ -57,6 +66,7 @@ impl Default for ServiceConfig {
             max_batch: 8,
             cache_capacity: 1024,
             seed: 0x0005_E127_AB1E,
+            max_in_flight: 0,
             persist: None,
         }
     }
@@ -78,6 +88,13 @@ impl ServiceConfig {
     /// Returns the config with response-cache persistence enabled.
     pub fn with_persist(mut self, persist: PersistSpec) -> Self {
         self.persist = Some(persist);
+        self
+    }
+
+    /// Returns the config with the in-flight admission limit replaced
+    /// (`0` = unbounded).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
         self
     }
 
@@ -152,6 +169,63 @@ impl RepairTicket {
     /// Non-blocking poll; returns the outcome once served.
     pub fn try_take(&self) -> Option<RepairOutcome> {
         self.state.try_take()
+    }
+}
+
+impl Future for RepairTicket {
+    type Output = RepairOutcome;
+
+    /// Awaits the outcome without holding a thread: the worker's `fulfill`
+    /// wakes the registered task.
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<RepairOutcome> {
+        self.state.poll_take(cx.waker())
+    }
+}
+
+/// Future returned by the async submit paths: resolves to the request's
+/// [`RepairTicket`] once the target shard has accepted the job, parking on a
+/// waker (never a thread) while the shard is at capacity.
+///
+/// Dropping the future before it resolves abandons the submission and rolls
+/// back the admission slot it reserved, so a cancelled session cannot leak
+/// in-flight budget.
+pub struct SubmitFuture<'a> {
+    core: &'a ServiceCore,
+    job: Option<Job>,
+    shard: usize,
+    state: Arc<TicketState<RepairOutcome>>,
+}
+
+impl Future for SubmitFuture<'_> {
+    type Output = Result<RepairTicket, ServiceClosed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.core.shards[this.shard].poll_push(&mut this.job, &this.core.closed, cx.waker()) {
+            Poll::Ready(Ok(depth)) => {
+                this.core.metrics.record_submit(depth);
+                Poll::Ready(Ok(RepairTicket {
+                    state: Arc::clone(&this.state),
+                }))
+            }
+            Poll::Ready(Err(closed)) => {
+                // The job never reached a queue: hand the admission slot back.
+                this.core.metrics.release_in_flight();
+                Poll::Ready(Err(closed))
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl Drop for SubmitFuture<'_> {
+    fn drop(&mut self) {
+        // Still holding the job means it was never enqueued: release the
+        // admission slot reserved at `begin_submit`.  (Once enqueued, the
+        // worker releases it when the job completes.)
+        if self.job.is_some() {
+            self.core.metrics.release_in_flight();
+        }
     }
 }
 
@@ -312,9 +386,28 @@ impl ServiceCore {
         (key.fold64() % self.shards.len() as u64) as usize
     }
 
-    pub(crate) fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+    /// Admission + job construction, shared by the blocking and async submit
+    /// paths.  On success the in-flight slot has been reserved; it is released
+    /// by the worker when the job completes, or rolled back by the caller if
+    /// the job never reaches a queue.  `enforce_admission = false` bypasses the
+    /// `max_in_flight` limit (used by the router's internal escalation legs,
+    /// which must not be shed halfway up a ladder) but still counts the slot.
+    fn begin_submit(
+        &self,
+        request: RepairRequest,
+        enforce_admission: bool,
+    ) -> Result<(Job, usize, Arc<TicketState<RepairOutcome>>), SubmitError> {
         if self.closed.load(Ordering::Acquire) {
-            return Err(ServiceClosed);
+            return Err(SubmitError::Closed);
+        }
+        let limit = if enforce_admission {
+            self.config.max_in_flight
+        } else {
+            0
+        };
+        if !self.metrics.try_admit(limit) {
+            self.metrics.record_shed();
+            return Err(SubmitError::Busy);
         }
         let key = request.key();
         let state = TicketState::new();
@@ -326,9 +419,46 @@ impl ServiceCore {
             key,
         };
         let shard = self.shard_for(key);
-        let depth = self.shards[shard].push_blocking(job, &self.closed)?;
-        self.metrics.record_submit(depth);
-        Ok(RepairTicket { state })
+        Ok((job, shard, state))
+    }
+
+    pub(crate) fn submit(&self, request: RepairRequest) -> Result<RepairTicket, SubmitError> {
+        self.submit_inner(request, true)
+    }
+
+    pub(crate) fn submit_inner(
+        &self,
+        request: RepairRequest,
+        enforce_admission: bool,
+    ) -> Result<RepairTicket, SubmitError> {
+        let (job, shard, state) = self.begin_submit(request, enforce_admission)?;
+        match self.shards[shard].push_blocking(job, &self.closed) {
+            Ok(depth) => {
+                self.metrics.record_submit(depth);
+                Ok(RepairTicket { state })
+            }
+            Err(closed) => {
+                self.metrics.release_in_flight();
+                Err(closed.into())
+            }
+        }
+    }
+
+    /// Non-blocking submit: admission and shutdown are checked eagerly (so a
+    /// deterministic [`SubmitError::Busy`] surfaces before any awaiting), and
+    /// the returned future parks on the shard's submit waker — instead of an OS
+    /// thread — while the queue is at capacity.
+    pub(crate) fn submit_async(
+        &self,
+        request: RepairRequest,
+    ) -> Result<SubmitFuture<'_>, SubmitError> {
+        let (job, shard, state) = self.begin_submit(request, true)?;
+        Ok(SubmitFuture {
+            core: self,
+            job: Some(job),
+            shard,
+            state,
+        })
     }
 
     fn queue_depth(&self) -> usize {
@@ -468,8 +598,17 @@ impl<M: RepairModel + Send + Sync + 'static> RepairService<M> {
     }
 
     /// Submits one request; blocks only when the target shard is at capacity.
-    pub fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+    /// Sheds with [`SubmitError::Busy`] when [`ServiceConfig::max_in_flight`]
+    /// is reached.
+    pub fn submit(&self, request: RepairRequest) -> Result<RepairTicket, SubmitError> {
         self.core.submit(request)
+    }
+
+    /// Non-blocking submit for async sessions: admission is checked eagerly,
+    /// and the returned future parks on a waker (not a thread) while the
+    /// target shard is at capacity.  Await it, then await the ticket.
+    pub fn submit_async(&self, request: RepairRequest) -> Result<SubmitFuture<'_>, SubmitError> {
+        self.core.submit_async(request)
     }
 
     /// Submits a whole workload and waits for every answer, preserving input order.
@@ -523,8 +662,17 @@ pub struct ScopedService<'a> {
 
 impl ScopedService<'_> {
     /// Submits one request; blocks only when the target shard is at capacity.
-    pub fn submit(&self, request: RepairRequest) -> Result<RepairTicket, ServiceClosed> {
+    /// Sheds with [`SubmitError::Busy`] when [`ServiceConfig::max_in_flight`]
+    /// is reached.
+    pub fn submit(&self, request: RepairRequest) -> Result<RepairTicket, SubmitError> {
         self.core.submit(request)
+    }
+
+    /// Non-blocking submit for async sessions: admission is checked eagerly,
+    /// and the returned future parks on a waker (not a thread) while the
+    /// target shard is at capacity.  Await it, then await the ticket.
+    pub fn submit_async(&self, request: RepairRequest) -> Result<SubmitFuture<'_>, SubmitError> {
+        self.core.submit_async(request)
     }
 
     /// Submits a whole workload and waits for every answer, preserving input order.

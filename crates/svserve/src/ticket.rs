@@ -1,44 +1,135 @@
-//! Shared submit/await ticket used by both worker pools.
+//! Shared submit/await ticket used by both worker pools and the router.
 //!
-//! A ticket is one slot guarded by a mutex plus a condvar.  The repair pool and the
-//! verify pool each wrap it in a typed handle ([`crate::RepairTicket`],
-//! [`crate::VerifyTicket`]); the slot type is the pool's outcome struct.
+//! A ticket is one slot guarded by a mutex, awaitable two ways:
+//!
+//! * **Blocking** — [`TicketState::wait`] parks the calling OS thread on a
+//!   condvar until the outcome arrives (the original shape; one thread per
+//!   waiter).
+//! * **Async** — [`TicketState::poll_take`] registers the task's [`Waker`];
+//!   [`TicketState::fulfill`] wakes it, so thousands of waiting sessions cost a
+//!   stored waker each instead of a parked thread.  The typed handles
+//!   ([`crate::RepairTicket`], [`crate::VerifyTicket`], [`crate::RouteTicket`])
+//!   implement `Future` on top of this.
+//!
+//! A fulfilled ticket whose waiter has been dropped (a cancelled or expired
+//! session) is simply a slot nobody takes: the stored waker, if any, wakes a
+//! task whose future is already gone, which the runtime treats as a no-op.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Poll, Waker};
+
+struct Inner<T> {
+    slot: Option<T>,
+    waker: Option<Waker>,
+}
 
 /// One-shot rendezvous between a submitter and the worker that serves its job.
 pub(crate) struct TicketState<T> {
-    slot: Mutex<Option<T>>,
+    inner: Mutex<Inner<T>>,
     ready: Condvar,
 }
 
 impl<T> TicketState<T> {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Self {
-            slot: Mutex::new(None),
+            inner: Mutex::new(Inner {
+                slot: None,
+                waker: None,
+            }),
             ready: Condvar::new(),
         })
     }
 
-    /// Deposits the outcome and wakes every waiter.
+    /// Deposits the outcome, wakes the registered async waiter (if any) and
+    /// every blocking waiter.
     pub(crate) fn fulfill(&self, outcome: T) {
-        *self.slot.lock().expect("ticket lock") = Some(outcome);
+        let waker = {
+            let mut inner = self.inner.lock().expect("ticket lock");
+            inner.slot = Some(outcome);
+            inner.waker.take()
+        };
         self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
     }
 
-    /// Blocks until the outcome arrives.
+    /// Blocks until the outcome arrives (the synchronous shim).
     pub(crate) fn wait(&self) -> T {
-        let mut slot = self.slot.lock().expect("ticket lock");
+        let mut inner = self.inner.lock().expect("ticket lock");
         loop {
-            if let Some(outcome) = slot.take() {
+            if let Some(outcome) = inner.slot.take() {
                 return outcome;
             }
-            slot = self.ready.wait(slot).expect("ticket lock");
+            inner = self.ready.wait(inner).expect("ticket lock");
         }
     }
 
     /// Non-blocking poll.
     pub(crate) fn try_take(&self) -> Option<T> {
-        self.slot.lock().expect("ticket lock").take()
+        self.inner.lock().expect("ticket lock").slot.take()
+    }
+
+    /// Async poll: takes the outcome if it is there, otherwise stores the
+    /// task's waker (replacing any previous one — a ticket has one consumer)
+    /// for [`TicketState::fulfill`] to fire.
+    pub(crate) fn poll_take(&self, waker: &Waker) -> Poll<T> {
+        let mut inner = self.inner.lock().expect("ticket lock");
+        match inner.slot.take() {
+            Some(outcome) => Poll::Ready(outcome),
+            None => {
+                match &mut inner.waker {
+                    Some(existing) if existing.will_wake(waker) => {}
+                    registered => *registered = Some(waker.clone()),
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::Context;
+
+    #[test]
+    fn fulfill_then_wait_round_trips() {
+        let state = TicketState::new();
+        state.fulfill(41u32);
+        assert_eq!(state.wait(), 41);
+        assert_eq!(state.try_take(), None);
+    }
+
+    #[test]
+    fn poll_take_registers_a_waker_and_fulfill_fires_it() {
+        struct TicketFuture(Arc<TicketState<u32>>);
+        impl Future for TicketFuture {
+            type Output = u32;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                self.0.poll_take(cx.waker())
+            }
+        }
+
+        let state = TicketState::new();
+        let fulfiller = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                state.fulfill(9u32);
+            })
+        };
+        assert_eq!(crate::rt::block_on(TicketFuture(Arc::clone(&state))), 9);
+        fulfiller.join().unwrap();
+    }
+
+    #[test]
+    fn fulfilling_a_ticket_with_a_dropped_waiter_is_a_no_op() {
+        let state = TicketState::new();
+        // No waiter ever registered; fulfilling must not panic or leak a wake.
+        state.fulfill(1u32);
+        assert_eq!(state.try_take(), Some(1));
     }
 }

@@ -36,11 +36,14 @@
 use crate::cache::{LruCache, VerdictKey};
 use crate::metrics::{MetricsRecorder, VerifyMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
-use crate::queue::{ServiceClosed, Shard};
+use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::ticket::TicketState;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 use svmodel::Response;
 
@@ -120,6 +123,9 @@ impl VerifyConfig {
     }
 }
 
+/// A constructed-but-unqueued verify job: `(job, target shard, ticket state)`.
+type BegunVerifyJob<C> = (VerifyJob<C>, usize, Arc<TicketState<VerdictOutcome>>);
+
 /// Anything that can judge whether a candidate response solves a case.
 ///
 /// Implemented for free by any `Fn(&C, &Response) -> bool + Sync` closure, which is
@@ -196,6 +202,16 @@ impl VerifyTicket {
     /// Non-blocking poll; returns the outcome once served.
     pub fn try_take(&self) -> Option<VerdictOutcome> {
         self.state.try_take()
+    }
+}
+
+impl Future for VerifyTicket {
+    type Output = VerdictOutcome;
+
+    /// Awaits the verdict without holding a thread: the worker's `fulfill`
+    /// wakes the registered task.
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<VerdictOutcome> {
+        self.state.poll_take(cx.waker())
     }
 }
 
@@ -317,10 +333,14 @@ impl<C> VerifyCore<C> {
         (key.fold64() % self.shards.len() as u64) as usize
     }
 
-    fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, ServiceClosed> {
+    /// Job construction shared by the blocking and async submit paths; the
+    /// in-flight slot reserved here is released by the worker at completion.
+    fn begin_submit(&self, request: VerifyRequest<C>) -> Result<BegunVerifyJob<C>, SubmitError> {
         if self.closed.load(Ordering::Acquire) {
-            return Err(ServiceClosed);
+            return Err(SubmitError::Closed);
         }
+        // No admission limit on the verify pool (limit 0 = gauge only).
+        let _ = self.metrics.try_admit(0);
         let state = TicketState::new();
         let shard = self.shard_for(request.key);
         let job = VerifyJob {
@@ -328,9 +348,34 @@ impl<C> VerifyCore<C> {
             ticket: Arc::clone(&state),
             request,
         };
-        let depth = self.shards[shard].push_blocking(job, &self.closed)?;
-        self.metrics.record_submit(depth);
-        Ok(VerifyTicket { state })
+        Ok((job, shard, state))
+    }
+
+    fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, SubmitError> {
+        let (job, shard, state) = self.begin_submit(request)?;
+        match self.shards[shard].push_blocking(job, &self.closed) {
+            Ok(depth) => {
+                self.metrics.record_submit(depth);
+                Ok(VerifyTicket { state })
+            }
+            Err(closed) => {
+                self.metrics.release_in_flight();
+                Err(closed.into())
+            }
+        }
+    }
+
+    fn submit_async(
+        &self,
+        request: VerifyRequest<C>,
+    ) -> Result<VerifySubmitFuture<'_, C>, SubmitError> {
+        let (job, shard, state) = self.begin_submit(request)?;
+        Ok(VerifySubmitFuture {
+            core: self,
+            job: Some(job),
+            shard,
+            state,
+        })
     }
 
     fn queue_depth(&self) -> usize {
@@ -356,6 +401,48 @@ impl<C> VerifyCore<C> {
         self.closed.store(true, Ordering::Release);
         for shard in &self.shards {
             shard.notify_all();
+        }
+    }
+}
+
+/// Future returned by the async submit paths: resolves to the job's
+/// [`VerifyTicket`] once the target shard has accepted it, parking on a waker
+/// (never a thread) while the shard is at capacity.  Dropping it before it
+/// resolves abandons the submission and rolls back the in-flight slot.
+pub struct VerifySubmitFuture<'a, C> {
+    core: &'a VerifyCore<C>,
+    job: Option<VerifyJob<C>>,
+    shard: usize,
+    state: Arc<TicketState<VerdictOutcome>>,
+}
+
+impl<C> Future for VerifySubmitFuture<'_, C> {
+    type Output = Result<VerifyTicket, ServiceClosed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.core.shards[this.shard].poll_push(&mut this.job, &this.core.closed, cx.waker()) {
+            Poll::Ready(Ok(depth)) => {
+                this.core.metrics.record_submit(depth);
+                Poll::Ready(Ok(VerifyTicket {
+                    state: Arc::clone(&this.state),
+                }))
+            }
+            Poll::Ready(Err(closed)) => {
+                // Never enqueued: hand the in-flight slot back.
+                this.core.metrics.release_in_flight();
+                Poll::Ready(Err(closed))
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<C> Drop for VerifySubmitFuture<'_, C> {
+    fn drop(&mut self) {
+        // Never enqueued: hand the in-flight slot back.
+        if self.job.is_some() {
+            self.core.metrics.release_in_flight();
         }
     }
 }
@@ -466,8 +553,17 @@ impl<C: Send + Sync + 'static> VerifyPool<C> {
     }
 
     /// Submits one verdict job; blocks only when the target shard is at capacity.
-    pub fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, ServiceClosed> {
+    pub fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, SubmitError> {
         self.core.submit(request)
+    }
+
+    /// Non-blocking submit for async sessions: the returned future parks on a
+    /// waker (not a thread) while the target shard is at capacity.
+    pub fn submit_async(
+        &self,
+        request: VerifyRequest<C>,
+    ) -> Result<VerifySubmitFuture<'_, C>, SubmitError> {
+        self.core.submit_async(request)
     }
 
     /// Submits a whole batch and waits for every verdict, preserving input order.
@@ -521,8 +617,17 @@ pub struct ScopedVerifier<'a, C> {
 
 impl<C> ScopedVerifier<'_, C> {
     /// Submits one verdict job; blocks only when the target shard is at capacity.
-    pub fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, ServiceClosed> {
+    pub fn submit(&self, request: VerifyRequest<C>) -> Result<VerifyTicket, SubmitError> {
         self.core.submit(request)
+    }
+
+    /// Non-blocking submit for async sessions: the returned future parks on a
+    /// waker (not a thread) while the target shard is at capacity.
+    pub fn submit_async(
+        &self,
+        request: VerifyRequest<C>,
+    ) -> Result<VerifySubmitFuture<'_, C>, SubmitError> {
+        self.core.submit_async(request)
     }
 
     /// Submits a whole batch and waits for every verdict, preserving input order.

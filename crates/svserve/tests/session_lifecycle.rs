@@ -1,0 +1,329 @@
+//! Session lifecycle edge cases: cancellation, deadline timeout, and
+//! deterministic admission shedding.
+//!
+//! The contracts under test:
+//!
+//! * a **dropped or expired session** releases its queue slot and admission
+//!   budget — the pool's in-flight gauge returns to zero and later submissions
+//!   are served normally;
+//! * a ticket fulfilled after its session is gone **never strands a waker** —
+//!   the stored waker wakes a dead task, which the runtime no-ops;
+//! * pool counters stay **consistent** (`completed == submitted`, gauge zero)
+//!   through every exit path;
+//! * admission control sheds with a **deterministic** `SubmitError::Busy`: with
+//!   the pool gated (nothing can complete), exactly `max_in_flight` submissions
+//!   are admitted and the rest are shed, regardless of arrival interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use svmodel::{CaseInput, RepairModel, Response};
+use svserve::{
+    RepairRequest, RepairService, ServiceConfig, SessionConfig, SessionEngine, SessionOutcome,
+    SubmitError,
+};
+
+/// A gate the test opens to let the model produce answers; while closed, every
+/// worker blocks inside `solve`, so nothing completes and in-flight counts are
+/// exact.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+struct GatedModel {
+    gate: Arc<Gate>,
+    calls: AtomicUsize,
+}
+
+impl RepairModel for GatedModel {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn solve(
+        &self,
+        case: &CaseInput,
+        samples: usize,
+        _temperature: f64,
+        seed: u64,
+    ) -> Vec<Response> {
+        self.gate.wait_open();
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        (0..samples)
+            .map(|i| Response {
+                bug_line_number: 1 + i as u32,
+                buggy_line: case.buggy_source.clone(),
+                fixed_line: format!("fix seed {seed} sample {i}"),
+                cot: None,
+            })
+            .collect()
+    }
+}
+
+fn request(tag: usize) -> RepairRequest {
+    RepairRequest::new(
+        CaseInput {
+            spec: format!("spec {tag}"),
+            buggy_source: format!("module m{tag}(); endmodule"),
+            logs: format!("assertion a{tag} failed"),
+        },
+        2,
+        0.2,
+    )
+}
+
+fn gated_service(gate: &Arc<Gate>, config: ServiceConfig) -> RepairService<GatedModel> {
+    RepairService::start(
+        Arc::new(GatedModel {
+            gate: Arc::clone(gate),
+            calls: AtomicUsize::new(0),
+        }),
+        config,
+    )
+}
+
+/// Polls the pool until `predicate` holds or the deadline passes.
+fn wait_until(deadline: Duration, mut predicate: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if predicate() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    predicate()
+}
+
+#[test]
+fn expired_sessions_release_slots_and_leave_counters_consistent() {
+    let gate = Gate::new();
+    let service = gated_service(&gate, ServiceConfig::default().with_workers(1));
+    let engine = SessionEngine::new(
+        SessionConfig::default()
+            .with_drivers(2)
+            .with_deadline(Duration::from_millis(40)),
+    );
+
+    // Three sessions await a gated pool: all must time out, none may hold a
+    // driver thread while waiting.
+    let sessions: Vec<_> = (0..3)
+        .map(|tag| {
+            let service = &service;
+            async move {
+                let ticket = service
+                    .submit_async(request(tag))
+                    .expect("pool open")
+                    .await
+                    .expect("pool open");
+                ticket.await.responses.len()
+            }
+        })
+        .collect();
+    let outcomes = engine.run_all(sessions);
+    assert!(outcomes.iter().all(|o| *o == SessionOutcome::TimedOut));
+    let session_metrics = engine.metrics();
+    assert_eq!(session_metrics.timed_out, 3);
+    assert_eq!(
+        session_metrics.in_flight_sessions, 0,
+        "expired sessions must release the engine gauge"
+    );
+
+    // The jobs themselves still drain once the gate opens: fulfilling tickets
+    // whose sessions are gone must not strand a waker or wedge the pool.
+    gate.open();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            service.metrics().in_flight_sessions == 0
+        }),
+        "pool must drain after the gate opens"
+    );
+    let metrics = service.metrics();
+    assert_eq!(metrics.submitted, 3);
+    assert_eq!(metrics.completed, 3, "every queued job still completes");
+
+    // And the pool still serves new, live sessions.
+    let late = engine.run_all(vec![async {
+        service
+            .submit_async(request(99))
+            .expect("pool open")
+            .await
+            .expect("pool open")
+            .await
+            .responses
+            .len()
+    }]);
+    assert_eq!(late[0], SessionOutcome::Completed(2));
+    service.shutdown();
+}
+
+#[test]
+fn cancelled_sessions_release_admission_and_never_strand_wakers() {
+    let gate = Gate::new();
+    // Capacity-1 single worker: one job blocks in the model, one sits in the
+    // queue, and the third session parks inside its submit future.
+    let config = ServiceConfig {
+        shard_capacity: 1,
+        ..ServiceConfig::default()
+    };
+    let service_narrow = gated_service(&gate, config.with_workers(1).with_max_in_flight(3));
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(2));
+
+    let started = Arc::new(AtomicUsize::new(0));
+    engine.runtime().scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|tag| {
+                let service = &service_narrow;
+                let started = Arc::clone(&started);
+                engine.spawn_session(scope, async move {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    let ticket = service
+                        .submit_async(request(tag))
+                        .expect("pool open")
+                        .await
+                        .expect("pool open");
+                    ticket.await.responses.len()
+                })
+            })
+            .collect();
+        // Wait until all three sessions have submitted: worker holds one job,
+        // the queue holds one, and one submit future is parked on the shard.
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                started.load(Ordering::SeqCst) == 3
+                    && service_narrow.metrics().in_flight_sessions == 3
+            }),
+            "all three sessions must be in flight"
+        );
+
+        // Cancel them all mid-await: dropped submit futures must roll their
+        // admission slots back immediately (the enqueued jobs release theirs
+        // when the worker completes them).
+        for handle in &handles {
+            handle.cancel();
+        }
+        for handle in handles {
+            assert_eq!(handle.join(), SessionOutcome::Aborted);
+        }
+        assert!(
+            wait_until(Duration::from_secs(5), || {
+                service_narrow.metrics().in_flight_sessions <= 2
+            }),
+            "the never-enqueued submission must release its slot on cancel"
+        );
+
+        // Open the gate: the two enqueued jobs complete into dropped tickets —
+        // no stranded wakers, counters consistent.
+        gate.open();
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                service_narrow.metrics().in_flight_sessions == 0
+            }),
+            "pool must drain after cancellation"
+        );
+    });
+    let metrics = service_narrow.metrics();
+    assert_eq!(metrics.completed, metrics.submitted);
+    assert_eq!(metrics.in_flight_sessions, 0);
+    assert_eq!(engine.metrics().aborted, 3);
+
+    // The pool still serves fresh work after all that (admission recovered).
+    let outcome = service_narrow.submit(request(7)).expect("pool open").wait();
+    assert_eq!(outcome.responses.len(), 2);
+    service_narrow.shutdown();
+}
+
+#[test]
+fn admission_sheds_exactly_the_overflow_deterministically() {
+    let gate = Gate::new();
+    let service = gated_service(
+        &gate,
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_max_in_flight(4),
+    );
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(4));
+
+    // Gate closed: nothing completes, so exactly 4 of 10 submissions can be
+    // admitted — regardless of how the sessions interleave.
+    let sessions: Vec<_> = (0..10)
+        .map(|tag| {
+            let service = &service;
+            async move {
+                match service.submit_async(request(tag)) {
+                    Ok(submit) => {
+                        let ticket = submit.await.expect("pool open");
+                        ticket.await;
+                        "served"
+                    }
+                    Err(SubmitError::Busy) => "shed",
+                    Err(SubmitError::Closed) => panic!("pool must be open"),
+                }
+            }
+        })
+        .collect();
+    assert_eq!(service.metrics().shed_busy, 0);
+    // Open the gate only after every submission attempt has resolved (4
+    // admitted and parked in the pool, 6 shed), so no late session can sneak
+    // into a slot freed by an early completion.
+    let outcomes = std::thread::scope(|s| {
+        s.spawn(|| {
+            assert!(
+                wait_until(Duration::from_secs(10), || {
+                    let m = service.metrics();
+                    m.in_flight_sessions == 4 && m.shed_busy == 6
+                }),
+                "all ten submission attempts must resolve while gated"
+            );
+            gate.open();
+        });
+        engine.run_all(sessions)
+    });
+    let served = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Completed("served"))
+        .count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Completed("shed"))
+        .count();
+    assert_eq!(served, 4, "exactly max_in_flight sessions are admitted");
+    assert_eq!(shed, 6, "every overflow submission sheds deterministically");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.shed_busy, 6);
+    assert_eq!(metrics.submitted, 4);
+    assert_eq!(metrics.completed, 4);
+    assert_eq!(metrics.in_flight_sessions, 0);
+    assert_eq!(metrics.peak_in_flight_sessions, 4);
+    assert!(metrics.render().contains("shed busy"));
+
+    // With the gate open and the pool drained, admission has recovered.
+    let outcome = service
+        .submit(request(77))
+        .expect("slots free again")
+        .wait();
+    assert_eq!(outcome.responses.len(), 2);
+    service.shutdown();
+}

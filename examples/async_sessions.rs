@@ -1,0 +1,337 @@
+//! Async session runtime at scale: ≥ 10,000 concurrent in-flight repair
+//! sessions multiplexed over ≤ 4 driver threads, plus deterministic admission
+//! shedding.
+//!
+//! ```text
+//! cargo run --release --example async_sessions [-- --sessions 10000 --drivers 4]
+//! ```
+//!
+//! The old serving surface parked one OS thread per waiting caller, so 10,000
+//! concurrent sessions would have needed 10,000 threads.  Here every session is
+//! a waker-scheduled state machine (submit → sampled → verify → done) on the
+//! `svserve::SessionEngine`:
+//!
+//! 1. **Scale phase** — the repair model is gated shut, `--sessions` sessions
+//!    are spawned, and the process *proves* they are all in flight at once on a
+//!    handful of drivers before the gate opens and the pools drain them.  Exits
+//!    nonzero unless peak in-flight ≥ the session count and the driver count
+//!    stayed ≤ 4.
+//! 2. **Admission phase** — a second pool runs with `max_in_flight = 64` and is
+//!    offered 96 gated sessions: exactly 64 must be admitted and exactly 32
+//!    shed with a deterministic `Busy`.  Exits nonzero otherwise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use svmodel::{CaseInput, RepairModel, Response};
+use svserve::{
+    verdict_key, RepairRequest, RepairService, ServiceConfig, SessionConfig, SessionEngine,
+    SessionOutcome, SessionPhase, SubmitError, VerifyConfig, VerifyPool, VerifyRequest,
+};
+
+/// Hard ceiling the scale claim is made against.
+const MAX_DRIVERS: usize = 4;
+
+fn fail(message: &str) -> ! {
+    eprintln!("FAILED: {message}");
+    std::process::exit(1);
+}
+
+/// A gate the main thread opens once every session is provably in flight;
+/// while closed, pool workers block inside `solve`, so nothing completes.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+/// A cheap deterministic model behind a gate.
+struct GatedEchoModel {
+    gate: Arc<Gate>,
+}
+
+impl RepairModel for GatedEchoModel {
+    fn name(&self) -> &str {
+        "gated-echo"
+    }
+
+    fn solve(
+        &self,
+        case: &CaseInput,
+        samples: usize,
+        _temperature: f64,
+        seed: u64,
+    ) -> Vec<Response> {
+        self.gate.wait_open();
+        (0..samples)
+            .map(|i| Response {
+                bug_line_number: 1 + i as u32,
+                buggy_line: case.buggy_source.clone(),
+                fixed_line: format!("fix {} seed {seed}", case.spec),
+                cot: None,
+            })
+            .collect()
+    }
+}
+
+fn request(tag: usize) -> RepairRequest {
+    RepairRequest::new(
+        CaseInput {
+            spec: format!("spec {tag}"),
+            buggy_source: format!("module m{tag}(); assign y = {tag}; endmodule"),
+            logs: format!("assertion a{tag} failed"),
+        },
+        1,
+        0.2,
+    )
+}
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let sessions = arg_value("--sessions").unwrap_or(10_000);
+    let drivers = arg_value("--drivers")
+        .or_else(svserve::env_drivers)
+        .unwrap_or(MAX_DRIVERS)
+        .min(MAX_DRIVERS);
+
+    println!("== async_sessions: {sessions} sessions over {drivers} driver thread(s) ==\n");
+
+    // ---------------------------------------------------------------- phase 1
+    // Scale: every session runs submit → sampled → verify → done against a
+    // gated repair pool and a live verify pool.
+    let gate = Gate::new();
+    let service = RepairService::start(
+        Arc::new(GatedEchoModel {
+            gate: Arc::clone(&gate),
+        }),
+        ServiceConfig {
+            workers: 2,
+            shard_capacity: 256,
+            cache_capacity: 2 * sessions.max(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let verifier: VerifyPool<String> = VerifyPool::start(
+        Arc::new(|case: &String, response: &Response| response.fixed_line.contains(case.as_str())),
+        VerifyConfig {
+            workers: 2,
+            cache_capacity: 2 * sessions.max(1),
+            ..VerifyConfig::default()
+        },
+    );
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(drivers));
+    let monitor = engine.monitor();
+
+    let session_futures: Vec<_> = (0..sessions)
+        .map(|tag| {
+            let service = &service;
+            let verifier = &verifier;
+            let monitor = monitor.clone();
+            async move {
+                let submit = match service.submit_async(request(tag)) {
+                    Ok(submit) => submit,
+                    Err(err) => fail(&format!("scale-phase submit refused: {err}")),
+                };
+                let ticket = submit.await.expect("pool open");
+                monitor.phase(SessionPhase::Submitted);
+                let outcome = ticket.await;
+                monitor.phase(SessionPhase::Sampled);
+                let case = format!("spec {tag}");
+                let response = outcome.responses[0].clone();
+                let key = verdict_key(&[case.as_bytes()], &response, b"async-sessions-demo");
+                monitor.phase(SessionPhase::Verifying);
+                let verdict = verifier
+                    .submit_async(VerifyRequest::new(Arc::new(case), response, key))
+                    .expect("verify pool open")
+                    .await
+                    .expect("verify pool open")
+                    .await;
+                monitor.phase(SessionPhase::Done);
+                verdict.verdict
+            }
+        })
+        .collect();
+
+    let started = Instant::now();
+    let verdicts = std::thread::scope(|scope| {
+        // The sessions run on the engine's drivers; this scope thread only
+        // spawns them and joins the outcomes.
+        let runner = scope.spawn(|| engine.run_all(session_futures));
+
+        // Prove the scale claim while the gate is shut: every session spawned,
+        // none finished, all multiplexed over `drivers` threads.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let metrics = engine.metrics();
+            if metrics.in_flight_sessions as usize == sessions {
+                break;
+            }
+            if Instant::now() > deadline {
+                fail(&format!(
+                    "only {} of {sessions} sessions became concurrently in-flight",
+                    metrics.in_flight_sessions
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let peak = engine.metrics().peak_in_flight_sessions as usize;
+        println!(
+            "scale: {peak} sessions concurrently in flight on {} driver(s) \
+             ({}x the driver count)",
+            engine.drivers(),
+            peak / engine.drivers().max(1)
+        );
+        if peak < sessions {
+            fail(&format!("peak in-flight {peak} < session count {sessions}"));
+        }
+        if engine.drivers() > MAX_DRIVERS {
+            fail(&format!(
+                "driver count {} exceeds the claimed ceiling {MAX_DRIVERS}",
+                engine.drivers()
+            ));
+        }
+
+        // Open the gate and drain everything.
+        gate.open();
+        runner.join().expect("runner thread")
+    });
+    let elapsed = started.elapsed();
+
+    let completed = verdicts
+        .iter()
+        .filter(|outcome| outcome.is_completed())
+        .count();
+    if completed != sessions {
+        fail(&format!("{completed} of {sessions} sessions completed"));
+    }
+    if !verdicts
+        .iter()
+        .all(|outcome| *outcome == SessionOutcome::Completed(true))
+    {
+        fail("every echoed fix must pass verification");
+    }
+    println!(
+        "scale: all {sessions} sessions completed in {:.2}s after the gate opened\n",
+        elapsed.as_secs_f64()
+    );
+    println!("{}\n", engine.metrics().render());
+    println!(
+        "{}\n",
+        service.metrics().with_verify(verifier.metrics()).render()
+    );
+    service.shutdown();
+    verifier.shutdown();
+
+    // ---------------------------------------------------------------- phase 2
+    // Admission control: 96 gated sessions offered to a 64-slot pool — exactly
+    // 64 admitted, exactly 32 shed with a deterministic `Busy`.
+    const LIMIT: usize = 64;
+    const OFFERED: usize = 96;
+    let gate = Gate::new();
+    let limited = RepairService::start(
+        Arc::new(GatedEchoModel {
+            gate: Arc::clone(&gate),
+        }),
+        ServiceConfig {
+            workers: 2,
+            max_in_flight: LIMIT,
+            ..ServiceConfig::default()
+        },
+    );
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(drivers));
+    let shed_live = Arc::new(AtomicUsize::new(0));
+    let admission_futures: Vec<_> = (0..OFFERED)
+        .map(|tag| {
+            let limited = &limited;
+            let shed_live = Arc::clone(&shed_live);
+            async move {
+                match limited.submit_async(request(tag)) {
+                    Ok(submit) => {
+                        submit.await.expect("pool open").await;
+                        "served"
+                    }
+                    Err(SubmitError::Busy) => {
+                        shed_live.fetch_add(1, Ordering::Relaxed);
+                        "shed"
+                    }
+                    Err(SubmitError::Closed) => fail("limited pool closed unexpectedly"),
+                }
+            }
+        })
+        .collect();
+    let outcomes = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Open the gate only once every submission attempt has resolved
+            // while nothing could complete, making the shed count exact.
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                let in_flight = limited.metrics().in_flight_sessions;
+                let shed = shed_live.load(Ordering::Relaxed);
+                if in_flight == LIMIT && shed == OFFERED - LIMIT {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    fail(&format!(
+                        "admission did not settle: {in_flight} in flight, {shed} shed"
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            gate.open();
+        });
+        engine.run_all(admission_futures)
+    });
+    let served = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Completed("served"))
+        .count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Completed("shed"))
+        .count();
+    let metrics = limited.metrics();
+    println!(
+        "admission: offered {OFFERED} to a {LIMIT}-slot pool -> {served} served, {shed} shed \
+         (pool counted {})",
+        metrics.shed_busy
+    );
+    if served != LIMIT || shed != OFFERED - LIMIT || metrics.shed_busy as usize != shed {
+        fail("admission shedding must be exact and deterministic");
+    }
+    if metrics.peak_in_flight_sessions != LIMIT {
+        fail(&format!(
+            "peak in-flight {} must equal the admission limit {LIMIT}",
+            metrics.peak_in_flight_sessions
+        ));
+    }
+    limited.shutdown();
+
+    println!("\nOK: async session runtime sustained the load and shed exactly the overflow");
+}
