@@ -19,6 +19,7 @@
 //! wall-clock parity is expected; the payoff measured here is concurrency per
 //! thread, not speedup.)
 
+use assertsolver_bench::SummaryWriter;
 use criterion::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -166,6 +167,7 @@ fn run_async(drivers: usize) -> (f64, u64) {
 }
 
 fn main() {
+    let mut writer = SummaryWriter::new("async_frontend", 4);
     println!("async_frontend: {SESSIONS} sessions (submit -> sample -> verify -> done)");
     println!(
         "{:>10} {:>9} {:>12} {:>16}",
@@ -177,9 +179,9 @@ fn main() {
         "{:>10} {:>9} {:>12.3} {:>16}",
         "blocking", "-", blocking_secs, "1/thread"
     );
-    println!(
-        "BENCH_SUMMARY {{\"bench\":\"async_frontend\",\"mode\":\"blocking\",\"sessions\":{SESSIONS},\"secs\":{blocking_secs:.6}}}"
-    );
+    writer.emit(format!(
+        "{{\"bench\":\"async_frontend\",\"mode\":\"blocking\",\"sessions\":{SESSIONS},\"secs\":{blocking_secs:.6}}}"
+    ));
 
     for drivers in [1usize, 2, 4] {
         let (secs, peak) = run_async(drivers);
@@ -190,9 +192,10 @@ fn main() {
             secs,
             peak
         );
-        println!(
-            "BENCH_SUMMARY {{\"bench\":\"async_frontend\",\"mode\":\"async_{drivers}\",\"sessions\":{SESSIONS},\"secs\":{secs:.6},\"peak_in_flight\":{peak},\"secs_vs_blocking\":{:.2}}}",
+        writer.emit(format!(
+            "{{\"bench\":\"async_frontend\",\"mode\":\"async_{drivers}\",\"sessions\":{SESSIONS},\"secs\":{secs:.6},\"peak_in_flight\":{peak},\"secs_vs_blocking\":{:.2}}}",
             secs / blocking_secs
-        );
+        ));
     }
+    writer.finish();
 }

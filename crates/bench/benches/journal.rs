@@ -1,0 +1,121 @@
+//! Journaling overhead on the quick evaluation protocol: tracer off vs on.
+//!
+//! The same quick-protocol evaluation runs twice, best of `PASSES` passes each
+//! way: once through `evaluate_model` with no journal directory resolved (the
+//! tracer handle is off — the hot path pays one branch per hook), and once
+//! through `evaluate_model_journaled` (every session records phase / timing /
+//! verdict events into the sharded sink, which is then drained, sorted and
+//! rendered).  The two evaluations are asserted byte-identical, and the
+//! journaled wall-clock is asserted within the **5% overhead budget** the
+//! observability layer promises.
+//!
+//! Two machine-readable `BENCH_SUMMARY {...}` lines feed the
+//! `BENCH_journal.json` trajectory:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"journal","mode":"off","cases":8,...}
+//! BENCH_SUMMARY {"bench":"journal","mode":"on","cases":8,...,"overhead_pct":1.3}
+//! ```
+//!
+//! Run with `cargo bench --bench journal`.
+
+use assertsolver::{evaluate_model_journaled, EvalConfig, JournalManifest};
+use assertsolver_bench::SummaryWriter;
+use criterion::black_box;
+use std::time::Instant;
+use svdata::SvaBugEntry;
+use svmodel::{AssertSolverModel, RepairModel};
+
+const PASSES: usize = 3;
+
+/// Absolute slack (seconds) on top of the 5% budget: at quick-protocol scale a
+/// single scheduler hiccup is bigger than 5% of the run, and the budget is
+/// about asymptotic overhead, not timer noise.
+const NOISE_FLOOR_SECS: f64 = 0.25;
+
+fn corpus() -> Vec<SvaBugEntry> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(31));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(8);
+    entries
+}
+
+fn main() {
+    let mut writer = SummaryWriter::new("journal", 2);
+    let entries = corpus();
+    let model = AssertSolverModel::base(9);
+    let config = EvalConfig {
+        workers: 2,
+        verify_workers: 2,
+        ..EvalConfig::quick(37)
+    };
+    println!(
+        "journal: {} cases x {} samples, tracer off vs on, best of {PASSES} passes",
+        entries.len(),
+        config.samples
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "mode", "wall (s)", "events", "overhead"
+    );
+
+    // --- Tracer off: no journal dir resolves, every hook is one cold branch. ---
+    assert!(
+        config.resolved_journal_dir().is_none(),
+        "unset ASSERTSOLVER_JOURNAL_DIR before running the overhead bench"
+    );
+    let mut off_secs = f64::INFINITY;
+    let mut baseline = None;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let evaluation = assertsolver::evaluate_model(&model, &entries, &config);
+        off_secs = off_secs.min(start.elapsed().as_secs_f64());
+        baseline = Some(evaluation);
+    }
+    let baseline = baseline.expect("at least one off pass");
+    println!("{:>6} {:>12.3} {:>10} {:>14}", "off", off_secs, 0, "1.00");
+    writer.emit(format!(
+        "{{\"bench\":\"journal\",\"mode\":\"off\",\"cases\":{},\"samples\":{},\"secs\":{off_secs:.6}}}",
+        entries.len(),
+        config.samples
+    ));
+
+    // --- Tracer on: full session journal recorded, drained and rendered. ---
+    let manifest = JournalManifest::for_protocol("", "", &model.identity(), &entries, &config);
+    let mut on_secs = f64::INFINITY;
+    let mut events = 0usize;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let (evaluation, rendered) = evaluate_model_journaled(&model, &entries, &config, &manifest);
+        on_secs = on_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            baseline, evaluation,
+            "journaled evaluation must be byte-identical to the untraced one"
+        );
+        events = rendered.lines().count().saturating_sub(2);
+        assert!(events > 0, "journaled run must record session events");
+        black_box(&rendered);
+    }
+    let overhead = on_secs / off_secs;
+    let overhead_pct = (overhead - 1.0) * 100.0;
+    println!(
+        "{:>6} {:>12.3} {:>10} {:>13.2}x",
+        "on", on_secs, events, overhead
+    );
+    writer.emit(format!(
+        "{{\"bench\":\"journal\",\"mode\":\"on\",\"cases\":{},\"samples\":{},\"secs\":{on_secs:.6},\"events\":{events},\"overhead_pct\":{overhead_pct:.1}}}",
+        entries.len(),
+        config.samples
+    ));
+
+    // The acceptance budget: journaling must cost < 5% wall-clock on the quick
+    // protocol (plus an absolute floor so timer noise on a sub-second run
+    // cannot flake the gate).
+    assert!(
+        on_secs <= off_secs * 1.05 + NOISE_FLOOR_SECS,
+        "journaling overhead {overhead_pct:.1}% exceeds the 5% budget \
+         (off {off_secs:.3}s, on {on_secs:.3}s)"
+    );
+    writer.finish();
+}

@@ -18,6 +18,7 @@
 //! recomputation, not from parallelism, so it shows up even on the 1-core CI
 //! container — unlike the worker-scaling benches.)
 
+use assertsolver_bench::SummaryWriter;
 use criterion::black_box;
 use std::time::Instant;
 use svdata::SvaBugEntry;
@@ -37,6 +38,7 @@ fn main() {
     let dir =
         std::env::temp_dir().join(format!("assertsolver-bench-persist-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = SummaryWriter::new("persist", 2);
     let entries = corpus();
     let model = AssertSolverModel::base(7);
     let config = assertsolver::EvalConfig {
@@ -62,12 +64,12 @@ fn main() {
     let cold_secs = cold_start.elapsed().as_secs_f64();
     black_box(&cold);
     println!("{:>6} {:>12.3} {:>14} {:>16}", "cold", cold_secs, 0, "1.00");
-    println!(
-        "BENCH_SUMMARY {{\"bench\":\"persist\",\"mode\":\"cold\",\"cases\":{},\"samples\":{},\"secs\":{:.6}}}",
+    writer.emit(format!(
+        "{{\"bench\":\"persist\",\"mode\":\"cold\",\"cases\":{},\"samples\":{},\"secs\":{:.6}}}",
         entries.len(),
         config.samples,
         cold_secs
-    );
+    ));
 
     let mut best_warm = f64::INFINITY;
     let mut warm_hits = 0u64;
@@ -92,14 +94,15 @@ fn main() {
         "{:>6} {:>12.3} {:>14} {:>16.2}",
         "warm", best_warm, warm_hits, speedup
     );
-    println!(
-        "BENCH_SUMMARY {{\"bench\":\"persist\",\"mode\":\"warm\",\"cases\":{},\"samples\":{},\"secs\":{:.6},\"verdict_warm_hits\":{},\"speedup_vs_cold\":{:.2}}}",
+    writer.emit(format!(
+        "{{\"bench\":\"persist\",\"mode\":\"warm\",\"cases\":{},\"samples\":{},\"secs\":{:.6},\"verdict_warm_hits\":{},\"speedup_vs_cold\":{:.2}}}",
         entries.len(),
         config.samples,
         best_warm,
         warm_hits,
         speedup
-    );
+    ));
 
     let _ = std::fs::remove_dir_all(&dir);
+    writer.finish();
 }

@@ -21,6 +21,7 @@
 //! Run with `cargo bench --bench route`.  (Warm speedup comes from skipping
 //! recomputation, not parallelism, so it shows up on the 1-core container.)
 
+use assertsolver_bench::SummaryWriter;
 use criterion::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,11 +46,18 @@ fn config(dir: &std::path::Path) -> assertsolver::EvalConfig {
     }
 }
 
-fn summary(mode: &str, cases: usize, secs: f64, solved: usize, extra: &str) {
-    println!(
-        "BENCH_SUMMARY {{\"bench\":\"route\",\"mode\":\"{mode}\",\"cases\":{cases},\"samples\":4,\
+fn summary(
+    writer: &mut SummaryWriter,
+    mode: &str,
+    cases: usize,
+    secs: f64,
+    solved: usize,
+    extra: &str,
+) {
+    writer.emit(format!(
+        "{{\"bench\":\"route\",\"mode\":\"{mode}\",\"cases\":{cases},\"samples\":4,\
          \"secs\":{secs:.6},\"solved\":{solved}{extra}}}"
-    );
+    ));
 }
 
 fn main() {
@@ -58,6 +66,7 @@ fn main() {
     let single_dir = base.join("single");
     let ladder_dir = base.join("ladder");
     let _ = std::fs::remove_dir_all(&base);
+    let mut writer = SummaryWriter::new("route", 4);
     let entries = corpus();
     println!(
         "route: {} cases x 4 samples, single (strongest rung) vs 3-rung ladder, cold + warm",
@@ -83,6 +92,7 @@ fn main() {
         "1.00"
     );
     summary(
+        &mut writer,
         "single-cold",
         entries.len(),
         single_cold_secs,
@@ -107,6 +117,7 @@ fn main() {
         single_speedup
     );
     summary(
+        &mut writer,
         "single-warm",
         entries.len(),
         single_warm_secs,
@@ -138,6 +149,7 @@ fn main() {
         "1.00"
     );
     summary(
+        &mut writer,
         "ladder-cold",
         entries.len(),
         ladder_cold_secs,
@@ -172,6 +184,7 @@ fn main() {
         ladder_speedup
     );
     summary(
+        &mut writer,
         "ladder-warm",
         entries.len(),
         ladder_warm_secs,
@@ -181,4 +194,5 @@ fn main() {
     black_box(&ladder_warm);
 
     let _ = std::fs::remove_dir_all(&base);
+    writer.finish();
 }

@@ -17,6 +17,7 @@
 //! speedup column naturally stays ~1.0; on multi-core hosts 4 workers are expected
 //! to clear 1.5× over 1 worker, since verdicts are embarrassingly parallel.)
 
+use assertsolver_bench::SummaryWriter;
 use criterion::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +78,7 @@ fn main() {
         jobs.len()
     );
 
+    let mut writer = SummaryWriter::new("verify_pool", WORKER_COUNTS.len());
     let mut baseline_secs = None;
     for workers in WORKER_COUNTS {
         let mut best_secs = f64::INFINITY;
@@ -106,9 +108,10 @@ fn main() {
         println!(
             "  {workers} worker(s): {best_secs:>7.3} s, {throughput:>8.1} verdicts/s, speedup {speedup:>5.2}x ({accepted} accepted)"
         );
-        println!(
-            "BENCH_SUMMARY {{\"bench\":\"verify_pool\",\"workers\":{workers},\"jobs\":{},\"seconds\":{best_secs:.4},\"verdicts_per_sec\":{throughput:.1},\"speedup_vs_1\":{speedup:.2}}}",
+        writer.emit(format!(
+            "{{\"bench\":\"verify_pool\",\"workers\":{workers},\"jobs\":{},\"seconds\":{best_secs:.4},\"verdicts_per_sec\":{throughput:.1},\"speedup_vs_1\":{speedup:.2}}}",
             jobs.len()
-        );
+        ));
     }
+    writer.finish();
 }

@@ -1,0 +1,217 @@
+//! `svreplay` — record and re-drive byte-deterministic session journals.
+//!
+//! `record` runs a quick-protocol evaluation with journaling on and writes the
+//! rendered journal (header manifest, sorted deterministic events, the
+//! serialized `ModelEvaluation` payload, checksummed footer) to disk.  The
+//! manifest carries *rebuild tags* — recipes for reconstructing the exact
+//! model and corpus — plus content fingerprints pinning them.
+//!
+//! `replay` parses a recorded journal, rebuilds the model/corpus/protocol from
+//! the manifest (refusing on any fingerprint mismatch), re-drives the whole
+//! evaluation through the engine, and asserts the re-rendered journal is
+//! **byte-identical** to the file — which also proves the embedded
+//! `ModelEvaluation` payload matched.  Exit status is the verdict, so CI can
+//! chain `svreplay record && svreplay replay`.
+//!
+//! Journal bytes are a pure function of `(model, corpus, protocol)`: the
+//! replay passes at any `ASSERTSOLVER_DRIVERS` / worker count and with warm or
+//! cold caches.
+
+use assertsolver::{
+    corpus_fingerprint, evaluate_model_journaled, human_crafted_cases, EvalConfig, JournalManifest,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use svdata::SvaBugEntry;
+use svmodel::{AssertSolverModel, RepairModel};
+use svserve::{parse_journal, write_journal};
+
+const USAGE: &str = "usage:
+  svreplay record --out <path> [--seed <n>] [--limit <n>]
+  svreplay replay <path>";
+
+fn build_corpus(pipeline_seed: u64, limit: usize) -> Vec<SvaBugEntry> {
+    // The same mixed corpus the determinism tests sweep: machine-generated
+    // pipeline cases plus the human-crafted set, truncated.
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(pipeline_seed));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(human_crafted_cases());
+    entries.truncate(limit);
+    entries
+}
+
+fn model_tag(seed: u64) -> String {
+    format!("base:{seed}")
+}
+
+fn corpus_tag(pipeline_seed: u64, limit: usize) -> String {
+    format!("tiny:{pipeline_seed}+human:{limit}")
+}
+
+fn model_from_tag(tag: &str) -> Result<AssertSolverModel, String> {
+    let seed = tag
+        .strip_prefix("base:")
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .ok_or_else(|| format!("unknown model tag {tag:?} (expected base:<seed>)"))?;
+    Ok(AssertSolverModel::base(seed))
+}
+
+fn corpus_from_tag(tag: &str) -> Result<Vec<SvaBugEntry>, String> {
+    let err = || format!("unknown corpus tag {tag:?} (expected tiny:<seed>+human:<limit>)");
+    let rest = tag.strip_prefix("tiny:").ok_or_else(err)?;
+    let (seed, limit) = rest.split_once("+human:").ok_or_else(err)?;
+    let seed = seed.parse::<u64>().map_err(|_| err())?;
+    let limit = limit.parse::<usize>().map_err(|_| err())?;
+    Ok(build_corpus(seed, limit))
+}
+
+/// The evaluation protocol a manifest describes: the quick protocol's bounded
+/// check with the manifest's sampling knobs.  Worker/driver counts stay at the
+/// environment-resolved defaults — they must not change journal bytes.
+fn config_from_manifest(manifest: &JournalManifest) -> EvalConfig {
+    EvalConfig {
+        samples: manifest.samples as usize,
+        temperature: manifest.temperature_milli as f64 / 1000.0,
+        ..EvalConfig::quick(manifest.seed)
+    }
+}
+
+fn record(out: &Path, seed: u64, limit: usize) -> Result<(), String> {
+    let pipeline_seed = 31;
+    let entries = build_corpus(pipeline_seed, limit);
+    if entries.is_empty() {
+        return Err("empty corpus".to_string());
+    }
+    let model = AssertSolverModel::base(seed);
+    let config = EvalConfig::quick(seed);
+    let manifest = JournalManifest::for_protocol(
+        &model_tag(seed),
+        &corpus_tag(pipeline_seed, limit),
+        &model.identity(),
+        &entries,
+        &config,
+    );
+    let (evaluation, rendered) = evaluate_model_journaled(&model, &entries, &config, &manifest);
+    write_journal(out, &rendered)
+        .map_err(|err| format!("cannot write {}: {err}", out.display()))?;
+    println!(
+        "svreplay: recorded {} cases ({} bytes, pass@1 {:.1}%) -> {}",
+        entries.len(),
+        rendered.len(),
+        evaluation.passk().pass1_percent(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn replay(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    let parsed = parse_journal(&text)?;
+    let manifest = JournalManifest::parse(&parsed.header.manifest)?;
+    if manifest.model_tag.is_empty() || manifest.corpus_tag.is_empty() {
+        return Err(
+            "record-only journal (empty rebuild tags); record one with `svreplay record`"
+                .to_string(),
+        );
+    }
+
+    let model = model_from_tag(&manifest.model_tag)?;
+    if model.identity() != manifest.model {
+        return Err(format!(
+            "model {:?} rebuilt from tag {:?} does not match journaled identity {:?}",
+            model.identity(),
+            manifest.model_tag,
+            manifest.model
+        ));
+    }
+    let entries = corpus_from_tag(&manifest.corpus_tag)?;
+    let corpus_fnv = format!("{:016x}", corpus_fingerprint(&entries));
+    if corpus_fnv != manifest.corpus_fnv {
+        return Err(format!(
+            "corpus fingerprint {corpus_fnv} rebuilt from tag {:?} does not match journaled {}",
+            manifest.corpus_tag, manifest.corpus_fnv
+        ));
+    }
+    let config = config_from_manifest(&manifest);
+    let rebuilt = JournalManifest::for_protocol(
+        &manifest.model_tag,
+        &manifest.corpus_tag,
+        &model.identity(),
+        &entries,
+        &config,
+    );
+    if rebuilt != manifest {
+        return Err(format!(
+            "rebuilt manifest differs from journaled one (protocol drift?)\n  journal: {}\n  rebuilt: {}",
+            manifest.render(),
+            rebuilt.render()
+        ));
+    }
+
+    let (_, rendered) = evaluate_model_journaled(&model, &entries, &config, &manifest);
+    if rendered != text {
+        let diverged = rendered
+            .lines()
+            .zip(text.lines())
+            .position(|(a, b)| a != b)
+            .map(|idx| idx + 1)
+            .unwrap_or_else(|| rendered.lines().count().min(text.lines().count()) + 1);
+        return Err(format!(
+            "replay diverged: re-driven journal is not byte-identical to {} (first difference on line {diverged})",
+            path.display()
+        ));
+    }
+    println!(
+        "svreplay: replayed {} ({} events, {} bytes) byte-identical",
+        path.display(),
+        parsed.footer.events,
+        text.len()
+    );
+    Ok(())
+}
+
+fn parse_u64(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    args.next()
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .ok_or_else(|| format!("{flag} needs an unsigned integer"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = argv.iter();
+    match args.next().map(String::as_str) {
+        Some("record") => {
+            let mut out: Option<PathBuf> = None;
+            let mut seed = 9u64;
+            let mut limit = 6usize;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--out" => out = args.next().map(PathBuf::from),
+                    "--seed" => seed = parse_u64(&mut args, "--seed")?,
+                    "--limit" => limit = parse_u64(&mut args, "--limit")? as usize,
+                    other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+                }
+            }
+            let out = out.ok_or_else(|| format!("record needs --out <path>\n{USAGE}"))?;
+            record(&out, seed, limit)
+        }
+        Some("replay") => {
+            let path = args
+                .next()
+                .ok_or_else(|| format!("replay needs a journal path\n{USAGE}"))?;
+            replay(Path::new(path))
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("svreplay: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,10 +14,12 @@ use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
 use svserve::persist::fnv64;
 use svserve::{
-    env_cache_dir, serve_scoped, verdict_key, BackendSpec, CaseKey, EscalationJudge, JudgeReport,
+    env_cache_dir, env_journal_dir, render_journal, serve_scoped, verdict_key, write_journal,
+    BackendSpec, CaseKey, EscalationJudge, JournalHeader, JournalSink, JournalSpec, JudgeReport,
     ModelRouter, PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
-    ServiceConfig, SessionConfig, SessionEngine, SessionPhase, VerdictKey, VerifyConfig,
-    VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
+    ServiceConfig, SessionConfig, SessionEngine, SessionPhase, SessionSpan, TracerHandle,
+    VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
+    DEFAULT_COMPACT_AFTER_RUNS,
 };
 use svverify::{CheckConfig, VerifyOracle};
 
@@ -49,6 +51,12 @@ pub struct EvalConfig {
     /// preload at the next evaluation, so repeated runs skip resolved cases; a
     /// warm run's `ModelEvaluation` is byte-identical to a cold run's.
     pub cache_dir: Option<String>,
+    /// Directory for session-journal artifacts (`None` = the
+    /// `ASSERTSOLVER_JOURNAL_DIR` environment override, else no journaling).
+    /// When resolved, [`evaluate_model`] records every session's deterministic
+    /// events and writes a checksummed JSONL journal there; journal bytes are
+    /// identical at any worker/driver count and with warm or cold caches.
+    pub journal_dir: Option<String>,
     /// Bounded-check configuration used to decide whether a repair solves the failure.
     pub check: CheckConfig,
 }
@@ -63,6 +71,7 @@ impl Default for EvalConfig {
             verify_workers: 0,
             drivers: 0,
             cache_dir: None,
+            journal_dir: None,
             check: CheckConfig {
                 depth: 12,
                 random_cases: 16,
@@ -97,6 +106,18 @@ impl EvalConfig {
             .filter(|raw| !raw.is_empty())
             .map(std::path::PathBuf::from)
             .or_else(env_cache_dir)
+    }
+
+    /// The journal directory this protocol records to, if any: the explicit
+    /// [`EvalConfig::journal_dir`] field, else the `ASSERTSOLVER_JOURNAL_DIR`
+    /// environment override (`svserve::JOURNAL_DIR_ENV`).
+    pub fn resolved_journal_dir(&self) -> Option<std::path::PathBuf> {
+        self.journal_dir
+            .as_deref()
+            .map(|raw| raw.trim())
+            .filter(|raw| !raw.is_empty())
+            .map(std::path::PathBuf::from)
+            .or_else(env_journal_dir)
     }
 
     /// The repair-service configuration this protocol implies.
@@ -377,12 +398,19 @@ pub struct EvalVerifier {
 impl EvalVerifier {
     /// Starts the verify workers for the given protocol.
     pub fn start(config: &EvalConfig) -> Self {
+        Self::start_traced(config, TracerHandle::off())
+    }
+
+    /// Starts the verify workers with a journal tracer installed on the pool,
+    /// so admit and cache/panic diagnostics land in the session journal.  With
+    /// [`TracerHandle::off`] this is exactly [`EvalVerifier::start`].
+    pub fn start_traced(config: &EvalConfig, tracer: TracerHandle) -> Self {
         let oracle = VerifyOracle::new(config.check.clone());
         let judge = move |entry: &SvaBugEntry, response: &Response| {
             response_is_correct(entry, response, &oracle)
         };
         Self {
-            pool: VerifyPool::start(Arc::new(judge), config.verify_config()),
+            pool: VerifyPool::start(Arc::new(judge), config.verify_config().with_tracer(tracer)),
             check_fingerprint: config.check.fingerprint(),
         }
     }
@@ -467,21 +495,150 @@ impl EvalVerifier {
     }
 }
 
+/// What a session journal was recorded over: enough identity to *rebuild* the
+/// evaluation (`svreplay replay`) and enough fingerprints to refuse a replay
+/// against the wrong inputs.
+///
+/// Rendered (as one JSON line) into the journal header's `manifest` field.
+/// `model_tag` / `corpus_tag` are rebuild recipes the recorder chooses (e.g.
+/// `base:3` and `tiny:31+human`); the fingerprints are pure content hashes the
+/// replayer re-derives and compares.  Temperature is carried in milli-units so
+/// the manifest never serializes a float.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalManifest {
+    /// Model identity string ([`RepairModel::identity`]): folds a content hash
+    /// of the weights, so two same-named checkpoints never replay each other.
+    pub model: String,
+    /// Recorder-chosen recipe for rebuilding the model (opaque to the core).
+    pub model_tag: String,
+    /// Recorder-chosen recipe for rebuilding the corpus (opaque to the core).
+    pub corpus_tag: String,
+    /// FNV-1a/64 over every corpus entry's verdict-relevant content, in hex.
+    pub corpus_fnv: String,
+    /// Samples per case (`n`).
+    pub samples: u64,
+    /// Sampling temperature in milli-units (`0.2` → `200`).
+    pub temperature_milli: u64,
+    /// Evaluation seed.
+    pub seed: u64,
+    /// FNV-1a/64 of the bounded-check fingerprint, in hex.
+    pub check_fnv: String,
+}
+
+impl JournalManifest {
+    /// Builds the manifest for one `(model, corpus, protocol)` triple.  The
+    /// rebuild tags are the caller's (pass empty strings for record-only
+    /// journals that will never be re-driven).
+    pub fn for_protocol(
+        model_tag: &str,
+        corpus_tag: &str,
+        model_identity: &str,
+        entries: &[SvaBugEntry],
+        config: &EvalConfig,
+    ) -> Self {
+        Self {
+            model: model_identity.to_string(),
+            model_tag: model_tag.to_string(),
+            corpus_tag: corpus_tag.to_string(),
+            corpus_fnv: format!("{:016x}", corpus_fingerprint(entries)),
+            samples: config.samples as u64,
+            temperature_milli: (config.temperature * 1000.0).round() as u64,
+            seed: config.seed,
+            check_fnv: format!("{:016x}", fnv64(&config.check.fingerprint())),
+        }
+    }
+
+    /// Renders the manifest as one JSON line (the journal header's `manifest`).
+    pub fn render(&self) -> String {
+        serde_json::to_string(self).expect("manifest serializes")
+    }
+
+    /// Parses a rendered manifest back, for replay validation.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|err| format!("malformed journal manifest: {err}"))
+    }
+}
+
+/// FNV-1a/64 over every corpus entry's identity-relevant fields, in corpus
+/// order — the fingerprint [`JournalManifest`] pins a journal to.
+pub fn corpus_fingerprint(entries: &[SvaBugEntry]) -> u64 {
+    let mut bytes = Vec::new();
+    for entry in entries {
+        bytes.extend_from_slice(entry.module_name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(entry.buggy_source.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&entry.bug_line_number.to_le_bytes());
+        bytes.extend_from_slice(entry.fixed_line.as_bytes());
+        bytes.push(0);
+    }
+    fnv64(&bytes)
+}
+
 /// Evaluates a model over a set of cases.
 ///
 /// Sampling runs through the `svserve` repair service and verification through a
 /// fresh [`EvalVerifier`]; see [`evaluate_model_with`] for the pipeline.  To share a
 /// warm verdict cache across several evaluations, start an [`EvalVerifier`] once and
 /// call [`evaluate_model_with`] directly.
+///
+/// When [`EvalConfig::journal_dir`] (or `ASSERTSOLVER_JOURNAL_DIR`) resolves,
+/// the run additionally records a session journal and writes it to
+/// `journal-<slug>-<hash>.jsonl` in that directory as a record-only artifact
+/// (empty rebuild tags; use `svreplay record` for replayable journals).
 pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
     model: &M,
     entries: &[SvaBugEntry],
     config: &EvalConfig,
 ) -> ModelEvaluation {
-    let verifier = EvalVerifier::start(config);
-    let evaluation = evaluate_model_with(model, entries, config, &verifier);
-    verifier.shutdown();
+    let Some(dir) = config.resolved_journal_dir() else {
+        let verifier = EvalVerifier::start(config);
+        let evaluation = evaluate_model_with(model, entries, config, &verifier);
+        verifier.shutdown();
+        return evaluation;
+    };
+    let manifest = JournalManifest::for_protocol("", "", &model.identity(), entries, config);
+    let (evaluation, rendered) = evaluate_model_journaled(model, entries, config, &manifest);
+    let mut keyed = model.identity().as_bytes().to_vec();
+    keyed.push(0);
+    keyed.extend_from_slice(&config.seed.to_le_bytes());
+    keyed.extend_from_slice(&corpus_fingerprint(entries).to_le_bytes());
+    let path = dir.join(format!(
+        "journal-{}-{:08x}.jsonl",
+        file_slug(&model.identity()),
+        fnv64(&keyed) as u32
+    ));
+    // Best-effort like the cache flush paths: an unwritable journal directory
+    // must not fail the evaluation itself.
+    let _ = write_journal(&path, &rendered);
     evaluation
+}
+
+/// Evaluates a model while recording a session journal, returning the
+/// evaluation plus the *rendered* journal (header, sorted records, the
+/// serialized [`ModelEvaluation`] as payload, checksummed footer).
+///
+/// The rendered bytes are a pure function of `(model, corpus, protocol)`:
+/// identical at any [`EvalConfig::workers`] / [`EvalConfig::verify_workers`] /
+/// [`EvalConfig::drivers`] setting and with warm or cold caches.  That makes
+/// the journal a repro artifact — `svreplay` re-drives it and asserts byte
+/// equality of both the journal and the embedded evaluation payload.
+pub fn evaluate_model_journaled<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    manifest: &JournalManifest,
+) -> (ModelEvaluation, String) {
+    let sink = JournalSink::shared(JournalSpec::default());
+    let tracer = sink.handle();
+    let verifier = EvalVerifier::start_traced(config, tracer.clone());
+    let evaluation = evaluate_model_traced(model, entries, config, &verifier, &tracer);
+    verifier.shutdown();
+    let records = sink.drain_sorted();
+    let header = JournalHeader::expected(&manifest.render());
+    let payload = serde_json::to_string(&evaluation).expect("evaluation serializes");
+    let rendered = render_journal(&header, &records, &payload);
+    (evaluation, rendered)
 }
 
 /// Evaluates a model with an externally managed verification backend.
@@ -503,21 +660,56 @@ pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
     config: &EvalConfig,
     verifier: &EvalVerifier,
 ) -> ModelEvaluation {
-    let engine = SessionEngine::new(config.session_config());
+    evaluate_model_traced(model, entries, config, verifier, &TracerHandle::off())
+}
+
+/// [`evaluate_model_with`] with a journal tracer threaded through every layer:
+/// the repair service, the session engine's runtime, and a per-case
+/// [`SessionSpan`] that records phase transitions, sample/candidate tallies,
+/// the verdict split and exactly one terminal event.  Session ids are the
+/// request content hashes, so journal identity survives any concurrency.  With
+/// [`TracerHandle::off`] this is exactly [`evaluate_model_with`] — one branch
+/// per instrumented site.  (The verifier's own tracer is installed at
+/// [`EvalVerifier::start_traced`], since its pool outlives single evaluations.)
+pub fn evaluate_model_traced<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    verifier: &EvalVerifier,
+    tracer: &TracerHandle,
+) -> ModelEvaluation {
+    let engine = SessionEngine::new(config.session_config().with_tracer(tracer.clone()));
     let monitor = engine.monitor();
     let results = serve_scoped(
         model,
-        config.service_config_for(&model.identity()),
+        config
+            .service_config_for(&model.identity())
+            .with_tracer(tracer.clone()),
         |service| {
-            let sessions: Vec<_> = entries
+            let requests: Vec<RepairRequest> = entries
                 .iter()
                 .map(|entry| {
-                    let request = RepairRequest::new(
+                    RepairRequest::new(
                         CaseInput::from_entry(entry),
                         config.samples,
                         config.temperature,
-                    );
+                    )
+                })
+                .collect();
+            // One owner span per case, keyed by the request's content hash;
+            // the futures hold clone handles, and the owners emit the terminal
+            // events from the engine outcomes after `run_all` returns.
+            let spans: Vec<SessionSpan> = requests
+                .iter()
+                .map(|request| SessionSpan::new(tracer, request.key().fold64()))
+                .collect();
+            let sessions: Vec<_> = entries
+                .iter()
+                .zip(requests)
+                .zip(&spans)
+                .map(|((entry, request), span)| {
                     let monitor = monitor.clone();
+                    let span = span.handle();
                     async move {
                         let ticket = service
                             .submit_async(request)
@@ -525,19 +717,29 @@ pub fn evaluate_model_with<M: RepairModel + Sync + ?Sized>(
                             .await
                             .expect("service open during evaluation");
                         monitor.phase(SessionPhase::Submitted);
+                        span.phase(SessionPhase::Submitted);
                         let outcome = ticket.await;
                         monitor.phase(SessionPhase::Sampled);
+                        span.phase(SessionPhase::Sampled);
+                        span.timing("samples", outcome.responses.len() as u64);
                         let case = Arc::new(entry.clone());
                         let submitted =
                             fan_out_candidates_async(verifier, &case, &outcome.responses).await;
                         monitor.phase(SessionPhase::Verifying);
+                        span.phase(SessionPhase::Verifying);
+                        span.timing("distinct-candidates", submitted.len() as u64);
                         let c = judge_submitted(submitted).await;
+                        span.verdict(c as u64, outcome.responses.len().saturating_sub(c) as u64);
                         monitor.phase(SessionPhase::Done);
+                        span.phase(SessionPhase::Done);
                         (outcome.responses.len(), c)
                     }
                 })
                 .collect();
             let outcomes = engine.run_all(sessions);
+            for (span, outcome) in spans.iter().zip(&outcomes) {
+                span.finish(outcome);
+            }
             entries
                 .iter()
                 .zip(outcomes)

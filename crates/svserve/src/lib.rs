@@ -41,6 +41,13 @@
 //!   Tickets are `Future`s, pool submission is non-blocking
 //!   (`submit_async`), and per-backend admission control sheds overload with a
 //!   deterministic [`SubmitError::Busy`].
+//! * **Structured session journal** — a typed-event observability layer
+//!   ([`journal`]): span hooks on the pools, the router and the session engine
+//!   record phases, rung attempts, verdict tallies and terminal outcomes into a
+//!   sharded sink with logical timestamps, rendered as a checksummed JSONL
+//!   artifact whose bytes are deterministic at any driver/worker count — a
+//!   replayable repro artifact, not just a log.  Off by default; the hot path
+//!   pays one branch.
 //!
 //! ## Quick example
 //!
@@ -63,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod journal;
 pub mod metrics;
 pub mod persist;
 pub mod queue;
@@ -74,6 +82,12 @@ mod ticket;
 pub mod verify;
 
 pub use cache::{case_key, verdict_key, CaseKey, LruCache, VerdictKey};
+pub use journal::{
+    env_journal_dir, logical_tick, parse_journal, render_journal, write_journal, JournalCounters,
+    JournalEvent, JournalFooter, JournalHeader, JournalMode, JournalRecord, JournalSink,
+    JournalSpec, ParsedJournal, SessionEnd, SessionSpan, SpanHandle, Tracer, TracerHandle,
+    JOURNAL_DIR_ENV, JOURNAL_FORMAT_VERSION, JOURNAL_KIND, TERMINAL_SEQ,
+};
 pub use metrics::{indent_block, render_block, ServiceMetrics, VerifyMetrics};
 pub use persist::{
     env_cache_dir, PersistSpec, SnapshotHeader, SnapshotLoad, CACHE_DIR_ENV,
@@ -114,5 +128,9 @@ mod tests {
         assert_send_sync::<super::VerifyRequest<String>>();
         assert_send_sync::<super::VerdictOutcome>();
         assert_send_sync::<super::VerifyTicket>();
+        assert_send_sync::<super::TracerHandle>();
+        assert_send_sync::<super::JournalSink>();
+        assert_send_sync::<super::SessionSpan>();
+        assert_send_sync::<super::SpanHandle>();
     }
 }

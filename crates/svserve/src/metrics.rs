@@ -35,6 +35,7 @@ pub(crate) struct MetricsRecorder {
     in_flight: AtomicU64,
     peak_in_flight: AtomicU64,
     shed_busy: AtomicU64,
+    journal_events: AtomicU64,
     queue_wait_ns: AtomicU64,
     cache_lookup_ns: AtomicU64,
     solve_ns: AtomicU64,
@@ -63,6 +64,7 @@ impl MetricsRecorder {
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             shed_busy: AtomicU64::new(0),
+            journal_events: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             cache_lookup_ns: AtomicU64::new(0),
             solve_ns: AtomicU64::new(0),
@@ -102,6 +104,12 @@ impl MetricsRecorder {
     /// Counts one request shed by admission control (`SubmitError::Busy`).
     pub(crate) fn record_shed(&self) {
         self.shed_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one event this pool emitted to an installed [`crate::Tracer`];
+    /// stays zero while no tracer is configured (journaling off).
+    pub(crate) fn record_journal_event(&self) {
+        self.journal_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Releases an in-flight slot for a submission that never became a job
@@ -215,6 +223,7 @@ impl MetricsRecorder {
             in_flight_sessions: self.in_flight.load(Ordering::Relaxed) as usize,
             peak_in_flight_sessions: self.peak_in_flight.load(Ordering::Relaxed) as usize,
             shed_busy: self.shed_busy.load(Ordering::Relaxed),
+            journal_events: self.journal_events.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
             cache_hit_rate: if cache_hits + cache_misses == 0 {
@@ -268,6 +277,7 @@ impl MetricsRecorder {
             in_flight_sessions: stage.in_flight_sessions,
             peak_in_flight_sessions: stage.peak_in_flight_sessions,
             shed_busy: stage.shed_busy,
+            journal_events: stage.journal_events,
             cache_hits: stage.cache_hits,
             cache_misses: stage.cache_misses,
             cache_entries,
@@ -307,6 +317,7 @@ impl MetricsRecorder {
             in_flight_sessions: stage.in_flight_sessions,
             peak_in_flight_sessions: stage.peak_in_flight_sessions,
             shed_busy: stage.shed_busy,
+            journal_events: stage.journal_events,
             cache_hits: stage.cache_hits,
             cache_misses: stage.cache_misses,
             cache_entries,
@@ -341,6 +352,7 @@ struct Stage {
     in_flight_sessions: usize,
     peak_in_flight_sessions: usize,
     shed_busy: u64,
+    journal_events: u64,
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
@@ -385,6 +397,9 @@ pub struct ServiceMetrics {
     /// Requests shed by admission control (`max_in_flight` reached); each one
     /// was rejected with `SubmitError::Busy` instead of queued.
     pub shed_busy: u64,
+    /// Events this pool emitted to an installed [`crate::Tracer`] (admits,
+    /// sheds, cache provenance, panics); zero while journaling is off.
+    pub journal_events: u64,
     /// Requests answered from the response cache.
     pub cache_hits: u64,
     /// Requests that required a model invocation.
@@ -456,6 +471,9 @@ pub struct VerifyMetrics {
     pub peak_in_flight_sessions: usize,
     /// Verdict jobs shed by admission control (0 unless a limit is configured).
     pub shed_busy: u64,
+    /// Events this pool emitted to an installed [`crate::Tracer`] (admits,
+    /// cache provenance, judge panics); zero while journaling is off.
+    pub journal_events: u64,
     /// Verdicts answered from the verdict cache.
     pub cache_hits: u64,
     /// Verdicts that required running the judge.
@@ -589,6 +607,10 @@ impl VerifyMetrics {
                 ),
             ),
             (
+                "journal",
+                format!("{:>10} events emitted", self.journal_events),
+            ),
+            (
                 "mean batch size",
                 format!("{:>10.2}", self.mean_batch_size),
             ),
@@ -669,6 +691,10 @@ impl ServiceMetrics {
                 ),
             ),
             ("solve panics", format!("{:>10}", self.solve_panics)),
+            (
+                "journal",
+                format!("{:>10} events emitted", self.journal_events),
+            ),
             (
                 "mean batch size",
                 format!("{:>10.2}", self.mean_batch_size),

@@ -39,6 +39,7 @@
 //! the per-identity file names).
 
 use crate::cache::CaseKey;
+use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::{indent_block, render_block, ServiceMetrics, VerifyMetrics};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::service::{splitmix64, worker_loop, RepairRequest, ServiceConfig, ServiceCore};
@@ -168,6 +169,11 @@ pub struct RouterConfig {
     pub escalation_workers: usize,
     /// Bounded depth of the escalation queue; submitters block past this.
     pub escalation_capacity: usize,
+    /// Journal tracer the routing layer emits rung events to; off by default,
+    /// in which case the ladder costs one branch per request.  Rung events are
+    /// pure functions of request content (backend name, judge tallies), so
+    /// they land in the deterministic journal.
+    pub tracer: TracerHandle,
 }
 
 impl Default for RouterConfig {
@@ -175,11 +181,18 @@ impl Default for RouterConfig {
         Self {
             escalation_workers: 2,
             escalation_capacity: 64,
+            tracer: TracerHandle::off(),
         }
     }
 }
 
 impl RouterConfig {
+    /// Returns the config with the journal tracer replaced.
+    pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     fn normalized(mut self) -> Self {
         self.escalation_workers = self.escalation_workers.max(1);
         self.escalation_capacity = self.escalation_capacity.max(1);
@@ -425,6 +438,7 @@ struct EscalationRecorder {
     exhausted: AtomicU64,
     verdict_resubmits: AtomicU64,
     judge_panics: AtomicU64,
+    journal_events: AtomicU64,
     /// `depth_histogram[d]` counts escalation requests that tried `d + 1` rungs.
     depth_histogram: Vec<AtomicU64>,
     pinned_requests: AtomicU64,
@@ -440,6 +454,7 @@ impl EscalationRecorder {
             exhausted: AtomicU64::new(0),
             verdict_resubmits: AtomicU64::new(0),
             judge_panics: AtomicU64::new(0),
+            journal_events: AtomicU64::new(0),
             depth_histogram: (0..rungs).map(|_| AtomicU64::new(0)).collect(),
             pinned_requests: AtomicU64::new(0),
             ab_split_requests: AtomicU64::new(0),
@@ -454,6 +469,7 @@ impl EscalationRecorder {
             exhausted: self.exhausted.load(Ordering::Relaxed),
             verdict_resubmits: self.verdict_resubmits.load(Ordering::Relaxed),
             judge_panics: self.judge_panics.load(Ordering::Relaxed),
+            journal_events: self.journal_events.load(Ordering::Relaxed),
             depth_histogram: self
                 .depth_histogram
                 .iter()
@@ -472,6 +488,7 @@ struct RouterCore {
     queue: Shard<EscalateJob>,
     judge: Arc<dyn EscalationJudge>,
     recorder: EscalationRecorder,
+    tracer: TracerHandle,
     closed: AtomicBool,
 }
 
@@ -479,6 +496,9 @@ impl RouterCore {
     fn run_ladder(&self, request: &RepairRequest) -> RouteOutcome {
         let mut attempts: Vec<RouteAttempt> = Vec::with_capacity(1);
         let rungs = self.ladder.len();
+        // The journal session id is the request's content hash — computed only
+        // when a tracer is installed, so the off path never pays the hash.
+        let session = self.tracer.is_on().then(|| request.key().fold64());
         for (rung, &idx) in self.ladder.iter().enumerate() {
             let backend = &self.backends[idx];
             // Internal ladder legs bypass per-backend admission: shedding a
@@ -505,6 +525,22 @@ impl RouterCore {
                 }
             });
             let terminal = report.accepted() || rung + 1 == rungs;
+            if let Some(session) = session {
+                // Deterministic event: every field is a pure function of
+                // request content, sequenced by ladder position.
+                self.recorder.journal_events.fetch_add(1, Ordering::Relaxed);
+                self.tracer.event(
+                    session,
+                    rung as u32,
+                    JournalEvent::Rung {
+                        rung: rung as u32,
+                        backend: backend.name.clone(),
+                        judged: report.distinct as u64,
+                        correct: report.correct as u64,
+                        terminal,
+                    },
+                );
+            }
             attempts.push(RouteAttempt {
                 backend: backend.name.clone(),
                 cost: backend.cost,
@@ -620,6 +656,7 @@ impl ModelRouter {
             queue: Shard::new(config.escalation_capacity),
             judge,
             recorder,
+            tracer: config.tracer.clone(),
             closed: AtomicBool::new(false),
             ladder,
             backends,
@@ -930,6 +967,9 @@ pub struct EscalationMetrics {
     pub verdict_resubmits: u64,
     /// Judge invocations that panicked; each was treated as a rejection.
     pub judge_panics: u64,
+    /// Rung events the routing layer emitted to an installed [`crate::Tracer`];
+    /// stays zero while journaling is off.
+    pub journal_events: u64,
     /// `depth_histogram[d]` counts requests that tried `d + 1` rungs before
     /// terminating; the length equals the backend count.
     pub depth_histogram: Vec<u64>,
@@ -955,6 +995,10 @@ impl EscalationMetrics {
             (
                 "resubmits",
                 format!("{:>10} verdict-triggered", self.verdict_resubmits),
+            ),
+            (
+                "journal",
+                format!("{:>10} events emitted", self.journal_events),
             ),
             ("depth histogram", {
                 let buckets = format!("{:?}", self.depth_histogram);

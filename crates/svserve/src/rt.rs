@@ -44,6 +44,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
+use crate::journal::{JournalEvent, TracerHandle};
+
 /// Environment variable overriding the default session-driver count
 /// (see [`crate::session::SessionConfig`]); CI runs the async suite at 1 and 4.
 pub const DRIVERS_ENV: &str = "ASSERTSOLVER_DRIVERS";
@@ -75,6 +77,12 @@ struct RtShared {
     /// `Completer`s must still report `TaskAborted` instead of letting a
     /// `TaskHandle::join` hang.  Pruned opportunistically at spawn.
     tasks: Mutex<Vec<std::sync::Weak<Task>>>,
+    /// Journal hook for scheduler diagnostics (task spawns, timer fires).
+    /// These are *volatile* events — which driver fires a timer is
+    /// interleaving-dependent — so they never enter the deterministic journal.
+    tracer: TracerHandle,
+    /// Monotone pseudo-id source for spawn diagnostics.
+    spawn_seq: AtomicU64,
 }
 
 /// Pending timers: a min-heap of deadlines plus the live wakers by timer id.
@@ -102,6 +110,16 @@ impl RtShared {
                 if let Some(waker) = timers.wakers.remove(&id) {
                     due.push(waker);
                 }
+            }
+        }
+        if self.tracer.is_on() {
+            for _ in &due {
+                self.tracer.diagnostic(
+                    self.spawn_seq.load(Ordering::Relaxed),
+                    JournalEvent::Span {
+                        name: "timer-fire".to_string(),
+                    },
+                );
             }
         }
         for waker in due {
@@ -469,6 +487,13 @@ pub struct Runtime {
 impl Runtime {
     /// Starts `drivers` driver threads (clamped to at least 1).
     pub fn new(drivers: usize) -> Self {
+        Self::with_tracer(drivers, TracerHandle::off())
+    }
+
+    /// Starts `drivers` driver threads with a journal tracer installed; the
+    /// scheduler emits volatile spawn/timer diagnostics to it.  With
+    /// [`TracerHandle::off`] this is exactly [`Runtime::new`].
+    pub fn with_tracer(drivers: usize, tracer: TracerHandle) -> Self {
         let shared = Arc::new(RtShared {
             ready: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
@@ -476,6 +501,8 @@ impl Runtime {
             next_timer_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             tasks: Mutex::new(Vec::new()),
+            tracer,
+            spawn_seq: AtomicU64::new(0),
         });
         let drivers = (0..drivers.max(1))
             .map(|idx| {
@@ -495,6 +522,15 @@ impl Runtime {
     }
 
     fn spawn_boxed(&self, future: BoxFuture) -> Arc<Task> {
+        if self.shared.tracer.is_on() {
+            let id = self.shared.spawn_seq.fetch_add(1, Ordering::Relaxed);
+            self.shared.tracer.diagnostic(
+                id,
+                JournalEvent::Span {
+                    name: "task-spawn".to_string(),
+                },
+            );
+        }
         let task = Arc::new(Task {
             shared: Arc::clone(&self.shared),
             future: Mutex::new(Some(future)),

@@ -20,6 +20,7 @@
 //! responses — only the wall-clock changes.
 
 use crate::cache::{case_key, CaseKey, LruCache};
+use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
@@ -56,6 +57,9 @@ pub struct ServiceConfig {
     /// keeps the cache purely in-memory.  See [`crate::persist`] for the format
     /// and invalidation rules.
     pub persist: Option<PersistSpec>,
+    /// Journal tracer admit/shed and cache/panic diagnostics are emitted to;
+    /// off by default, in which case each instrumented site costs one branch.
+    pub tracer: TracerHandle,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +72,7 @@ impl Default for ServiceConfig {
             seed: 0x0005_E127_AB1E,
             max_in_flight: 0,
             persist: None,
+            tracer: TracerHandle::off(),
         }
     }
 }
@@ -95,6 +100,12 @@ impl ServiceConfig {
     /// (`0` = unbounded).
     pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
         self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Returns the config with the journal tracer replaced.
+    pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -407,9 +418,29 @@ impl ServiceCore {
         };
         if !self.metrics.try_admit(limit) {
             self.metrics.record_shed();
+            if self.config.tracer.is_on() {
+                // The key is only needed for the diagnostic; don't hash the
+                // request content on the shed fast-path while journaling is off.
+                self.metrics.record_journal_event();
+                self.config.tracer.diagnostic(
+                    request.key().fold64(),
+                    JournalEvent::Shed {
+                        pool: "repair".to_string(),
+                    },
+                );
+            }
             return Err(SubmitError::Busy);
         }
         let key = request.key();
+        if self.config.tracer.is_on() {
+            self.metrics.record_journal_event();
+            self.config.tracer.diagnostic(
+                key.fold64(),
+                JournalEvent::Admit {
+                    pool: "repair".to_string(),
+                },
+            );
+        }
         let state = TicketState::new();
         let job = Job {
             seed: self.derive_seed(key),
@@ -517,6 +548,17 @@ pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
                 .expect("cache lock")
                 .get_tagged(job.key);
             let cache_lookup = service_start.elapsed();
+            if core.config.tracer.is_on() {
+                core.metrics.record_journal_event();
+                core.config.tracer.diagnostic(
+                    job.key.fold64(),
+                    JournalEvent::Cache {
+                        pool: "repair".to_string(),
+                        hit: cached.is_some(),
+                        warm: matches!(cached, Some((_, true))),
+                    },
+                );
+            }
             let (responses, solve_time) = match cached {
                 Some((responses, warm)) => {
                     if warm {
@@ -551,6 +593,15 @@ pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
                         Err(_) => {
                             // Not cached: a retry should reach the model again.
                             core.metrics.record_solve_panic();
+                            if core.config.tracer.is_on() {
+                                core.metrics.record_journal_event();
+                                core.config.tracer.diagnostic(
+                                    job.key.fold64(),
+                                    JournalEvent::Panic {
+                                        pool: "repair".to_string(),
+                                    },
+                                );
+                            }
                             (Arc::new(Vec::new()), Some(elapsed))
                         }
                     }

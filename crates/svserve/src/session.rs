@@ -39,6 +39,7 @@
 //! shard placement, pure verdicts).  The async determinism suite pins
 //! evaluation results byte-for-byte at 1/2/4/8 drivers, warm or cold caches.
 
+use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::render_block;
 use crate::rt::{env_drivers, with_deadline, Expiry, Runtime, Scope, TaskHandle};
 use std::future::Future;
@@ -62,6 +63,11 @@ pub struct SessionConfig {
     /// it expires is dropped (releasing everything it holds) and reported as
     /// [`SessionOutcome::TimedOut`].  `None` = no deadline.
     pub deadline: Option<Duration>,
+    /// Journal tracer the engine (and its runtime) emit events to; off by
+    /// default, in which case instrumented paths cost one branch.  Session
+    /// *content* events come from [`crate::SessionSpan`]s the caller owns —
+    /// the engine itself only emits volatile scheduling diagnostics.
+    pub tracer: TracerHandle,
 }
 
 impl SessionConfig {
@@ -74,6 +80,12 @@ impl SessionConfig {
     /// Returns the config with the per-session deadline replaced.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the config with the journal tracer replaced.
+    pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -130,6 +142,7 @@ pub enum SessionPhase {
 }
 
 struct SessionRecorder {
+    journal_events: AtomicU64,
     spawned: AtomicU64,
     completed: AtomicU64,
     timed_out: AtomicU64,
@@ -146,6 +159,7 @@ struct SessionRecorder {
 impl SessionRecorder {
     fn new() -> Self {
         Self {
+            journal_events: AtomicU64::new(0),
             spawned: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
@@ -215,6 +229,9 @@ pub struct SessionMetrics {
     pub phase_escalated: u64,
     /// Transitions into [`SessionPhase::Done`].
     pub phase_done: u64,
+    /// Diagnostics the engine emitted to an installed [`crate::Tracer`]; zero
+    /// while journaling is off.
+    pub journal_events: u64,
 }
 
 impl SessionMetrics {
@@ -247,6 +264,10 @@ impl SessionMetrics {
                     self.phase_escalated,
                     self.phase_done
                 ),
+            ),
+            (
+                "journal",
+                format!("{:>10} events emitted", self.journal_events),
             ),
         ]
     }
@@ -325,9 +346,10 @@ pub struct SessionEngine {
 }
 
 impl SessionEngine {
-    /// Starts the driver threads.
+    /// Starts the driver threads, handing the runtime the configured tracer so
+    /// scheduling diagnostics land in the same journal as session events.
     pub fn new(config: SessionConfig) -> Self {
-        let runtime = Runtime::new(config.resolved_drivers());
+        let runtime = Runtime::with_tracer(config.resolved_drivers(), config.tracer.clone());
         Self {
             runtime,
             recorder: Arc::new(SessionRecorder::new()),
@@ -367,6 +389,7 @@ impl SessionEngine {
             phase_verifying: self.recorder.verifying.load(Ordering::Relaxed),
             phase_escalated: self.recorder.escalated.load(Ordering::Relaxed),
             phase_done: self.recorder.done.load(Ordering::Relaxed),
+            journal_events: self.recorder.journal_events.load(Ordering::Relaxed),
         }
     }
 
@@ -383,6 +406,18 @@ impl SessionEngine {
         T: Send + 'env,
     {
         let mut gauge = SessionGauge::start(&self.recorder);
+        if self.config.tracer.is_on() {
+            // Volatile diagnostic: which engine slot a session spawned into is
+            // interleaving-dependent, so it never enters the deterministic
+            // journal — content events come from the caller's `SessionSpan`.
+            self.recorder.journal_events.fetch_add(1, Ordering::Relaxed);
+            self.config.tracer.diagnostic(
+                self.recorder.spawned.load(Ordering::Relaxed),
+                JournalEvent::Span {
+                    name: "session-spawn".to_string(),
+                },
+            );
+        }
         let deadline = self
             .config
             .deadline

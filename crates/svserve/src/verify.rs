@@ -34,6 +34,7 @@
 //! reaches the judge again.
 
 use crate::cache::{LruCache, VerdictKey};
+use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::{MetricsRecorder, VerifyMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
@@ -78,6 +79,9 @@ pub struct VerifyConfig {
     /// keeps the cache purely in-memory.  See [`crate::persist`] for the format
     /// and invalidation rules.
     pub persist: Option<PersistSpec>,
+    /// Journal tracer admit and cache/panic diagnostics are emitted to; off by
+    /// default, in which case each instrumented site costs one branch.
+    pub tracer: TracerHandle,
 }
 
 impl Default for VerifyConfig {
@@ -91,6 +95,7 @@ impl Default for VerifyConfig {
             max_batch: 16,
             cache_capacity: 4096,
             persist: None,
+            tracer: TracerHandle::off(),
         }
     }
 }
@@ -111,6 +116,12 @@ impl VerifyConfig {
     /// Returns the config with verdict-cache persistence enabled.
     pub fn with_persist(mut self, persist: PersistSpec) -> Self {
         self.persist = Some(persist);
+        self
+    }
+
+    /// Returns the config with the journal tracer replaced.
+    pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -341,6 +352,15 @@ impl<C> VerifyCore<C> {
         }
         // No admission limit on the verify pool (limit 0 = gauge only).
         let _ = self.metrics.try_admit(0);
+        if self.config.tracer.is_on() {
+            self.metrics.record_journal_event();
+            self.config.tracer.diagnostic(
+                request.key.fold64(),
+                JournalEvent::Admit {
+                    pool: "verify".to_string(),
+                },
+            );
+        }
         let state = TicketState::new();
         let shard = self.shard_for(request.key);
         let job = VerifyJob {
@@ -476,6 +496,17 @@ fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
                 .expect("verdict cache lock")
                 .get_tagged(job.request.key);
             let cache_lookup = service_start.elapsed();
+            if core.config.tracer.is_on() {
+                core.metrics.record_journal_event();
+                core.config.tracer.diagnostic(
+                    job.request.key.fold64(),
+                    JournalEvent::Cache {
+                        pool: "verify".to_string(),
+                        hit: cached.is_some(),
+                        warm: matches!(cached, Some((_, true))),
+                    },
+                );
+            }
             let (verdict, verdict_time) = match cached {
                 Some((verdict, warm)) => {
                     if warm {
@@ -505,6 +536,15 @@ fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
                         Err(_) => {
                             // Not cached: a retry should reach the judge again.
                             core.metrics.record_solve_panic();
+                            if core.config.tracer.is_on() {
+                                core.metrics.record_journal_event();
+                                core.config.tracer.diagnostic(
+                                    job.request.key.fold64(),
+                                    JournalEvent::Panic {
+                                        pool: "verify".to_string(),
+                                    },
+                                );
+                            }
                             (false, Some(elapsed))
                         }
                     }

@@ -1,0 +1,402 @@
+//! Journal behaviour on the failure paths: every way a session can die must
+//! journal **exactly one** terminal event and leave the sink fully drainable.
+//!
+//! The contracts under test:
+//!
+//! * a **timed-out** session journals one `Terminal { TimedOut }` — emitted by
+//!   the owner span after the join, because the future itself is dropped by
+//!   the deadline and can never report;
+//! * a **cancelled** session journals one `Terminal { Aborted } `, whether the
+//!   owner calls `finish` with the joined outcome or merely drops the span;
+//! * a **shed** session journals one `Terminal { Shed }` from inside the
+//!   future, and the owner's later `finish` with the completed outcome does
+//!   not double-journal (first terminal wins);
+//! * a **panicking judge** is absorbed into a failed verdict: the session
+//!   still journals one `Terminal { Completed }`, the panic surfaces as a
+//!   volatile `Panic` diagnostic, and nothing stays buffered after a drain.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use svmodel::{CaseInput, RepairModel, Response};
+use svserve::{
+    verdict_key, JournalEvent, JournalMode, JournalRecord, JournalSink, JournalSpec, RepairRequest,
+    RepairService, ServiceConfig, SessionConfig, SessionEnd, SessionEngine, SessionOutcome,
+    SessionSpan, SubmitError, VerifyConfig, VerifyPool, VerifyRequest, TERMINAL_SEQ,
+};
+
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+struct GatedModel {
+    gate: Arc<Gate>,
+    calls: AtomicUsize,
+}
+
+impl RepairModel for GatedModel {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn solve(
+        &self,
+        case: &CaseInput,
+        samples: usize,
+        _temperature: f64,
+        seed: u64,
+    ) -> Vec<Response> {
+        self.gate.wait_open();
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        (0..samples)
+            .map(|i| Response {
+                bug_line_number: 1 + i as u32,
+                buggy_line: case.buggy_source.clone(),
+                fixed_line: format!("fix seed {seed} sample {i}"),
+                cot: None,
+            })
+            .collect()
+    }
+}
+
+fn request(tag: usize) -> RepairRequest {
+    RepairRequest::new(
+        CaseInput {
+            spec: format!("spec {tag}"),
+            buggy_source: format!("module m{tag}(); endmodule"),
+            logs: format!("assertion a{tag} failed"),
+        },
+        2,
+        0.2,
+    )
+}
+
+fn gated_service(gate: &Arc<Gate>, config: ServiceConfig) -> RepairService<GatedModel> {
+    RepairService::start(
+        Arc::new(GatedModel {
+            gate: Arc::clone(gate),
+            calls: AtomicUsize::new(0),
+        }),
+        config,
+    )
+}
+
+fn wait_until(deadline: Duration, mut predicate: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if predicate() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    predicate()
+}
+
+/// The terminal records of `session`, in drain order.
+fn terminals(records: &[JournalRecord], session: u64) -> Vec<SessionEnd> {
+    records
+        .iter()
+        .filter(|r| r.session == session && r.seq == TERMINAL_SEQ)
+        .map(|r| match &r.event {
+            JournalEvent::Terminal { outcome } => *outcome,
+            other => panic!("terminal seq carries non-terminal event {other:?}"),
+        })
+        .collect()
+}
+
+/// Asserts the sink is empty after a drain: no stranded buffer slots.
+fn assert_fully_drained(sink: &Arc<JournalSink>) {
+    let counters = sink.counters();
+    assert_eq!(counters.buffered, 0, "drain must leave nothing buffered");
+    assert!(
+        sink.drain_sorted().is_empty(),
+        "a second drain must find no stranded records"
+    );
+}
+
+#[test]
+fn timed_out_sessions_journal_exactly_one_terminal() {
+    let sink = JournalSink::shared(JournalSpec::default());
+    let tracer = sink.handle();
+    let gate = Gate::new();
+    let service = gated_service(&gate, ServiceConfig::default().with_workers(1));
+    let engine = SessionEngine::new(
+        SessionConfig::default()
+            .with_drivers(2)
+            .with_deadline(Duration::from_millis(40)),
+    );
+
+    let spans: Vec<SessionSpan> = (0..3)
+        .map(|tag| SessionSpan::new(&tracer, 100 + tag as u64))
+        .collect();
+    let sessions: Vec<_> = (0..3)
+        .map(|tag| {
+            let service = &service;
+            let handle = spans[tag].handle();
+            async move {
+                let ticket = service
+                    .submit_async(request(tag))
+                    .expect("pool open")
+                    .await
+                    .expect("pool open");
+                let outcome = ticket.await;
+                // Dropped by the deadline before this point: the phase below
+                // must never be journaled for a timed-out session.
+                handle.timing("samples", outcome.responses.len() as u64);
+                outcome.responses.len()
+            }
+        })
+        .collect();
+    let outcomes = engine.run_all(sessions);
+    assert!(outcomes.iter().all(|o| *o == SessionOutcome::TimedOut));
+    for (span, outcome) in spans.iter().zip(&outcomes) {
+        span.finish(outcome);
+    }
+    // Finishing twice must not double-journal.
+    for (span, outcome) in spans.iter().zip(&outcomes) {
+        span.finish(outcome);
+    }
+    drop(spans); // drop after finish must not add an Aborted terminal
+
+    let records = sink.drain_sorted();
+    for tag in 0..3u64 {
+        assert_eq!(
+            terminals(&records, 100 + tag),
+            vec![SessionEnd::TimedOut],
+            "session {tag} must journal exactly one TimedOut terminal"
+        );
+    }
+    assert_eq!(
+        records.len(),
+        3,
+        "timed-out sessions journal nothing but their terminals"
+    );
+    assert_fully_drained(&sink);
+
+    gate.open();
+    assert!(wait_until(Duration::from_secs(10), || {
+        service.metrics().in_flight_sessions == 0
+    }));
+    service.shutdown();
+}
+
+#[test]
+fn cancelled_sessions_journal_exactly_one_aborted_terminal() {
+    let sink = JournalSink::shared(JournalSpec::default());
+    let tracer = sink.handle();
+    let gate = Gate::new();
+    let service = gated_service(&gate, ServiceConfig::default().with_workers(1));
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(2));
+
+    let spans: Vec<SessionSpan> = (0..2)
+        .map(|tag| SessionSpan::new(&tracer, 200 + tag as u64))
+        .collect();
+    let started = Arc::new(AtomicUsize::new(0));
+    engine.runtime().scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|tag| {
+                let service = &service;
+                let started = Arc::clone(&started);
+                engine.spawn_session(scope, async move {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    let ticket = service
+                        .submit_async(request(tag))
+                        .expect("pool open")
+                        .await
+                        .expect("pool open");
+                    ticket.await.responses.len()
+                })
+            })
+            .collect();
+        assert!(wait_until(Duration::from_secs(10), || {
+            started.load(Ordering::SeqCst) == 2
+        }));
+        for handle in &handles {
+            handle.cancel();
+        }
+        // Owner 0 finishes with the joined outcome; owner 1 just drops its
+        // span — both paths must journal exactly one Aborted terminal.
+        for (tag, handle) in handles.into_iter().enumerate() {
+            let outcome = handle.join();
+            assert_eq!(outcome, SessionOutcome::Aborted);
+            if tag == 0 {
+                spans[0].finish(&outcome);
+            }
+        }
+        gate.open();
+    });
+    drop(spans);
+
+    let records = sink.drain_sorted();
+    for tag in 0..2u64 {
+        assert_eq!(
+            terminals(&records, 200 + tag),
+            vec![SessionEnd::Aborted],
+            "session {tag} must journal exactly one Aborted terminal"
+        );
+    }
+    assert_fully_drained(&sink);
+
+    assert!(wait_until(Duration::from_secs(10), || {
+        service.metrics().in_flight_sessions == 0
+    }));
+    service.shutdown();
+}
+
+#[test]
+fn shed_sessions_journal_one_shed_terminal_that_wins_over_finish() {
+    let sink = JournalSink::shared(JournalSpec::default());
+    let tracer = sink.handle();
+    let gate = Gate::new();
+    let service = gated_service(
+        &gate,
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_max_in_flight(4),
+    );
+    let engine = SessionEngine::new(SessionConfig::default().with_drivers(4));
+
+    let spans: Vec<SessionSpan> = (0..10)
+        .map(|tag| SessionSpan::new(&tracer, 300 + tag as u64))
+        .collect();
+    let sessions: Vec<_> = (0..10)
+        .map(|tag| {
+            let service = &service;
+            let handle = spans[tag].handle();
+            async move {
+                match service.submit_async(request(tag)) {
+                    Ok(submit) => {
+                        let ticket = submit.await.expect("pool open");
+                        ticket.await;
+                        "served"
+                    }
+                    Err(SubmitError::Busy) => {
+                        handle.shed();
+                        "shed"
+                    }
+                    Err(SubmitError::Closed) => panic!("pool must be open"),
+                }
+            }
+        })
+        .collect();
+    let outcomes = std::thread::scope(|s| {
+        s.spawn(|| {
+            assert!(wait_until(Duration::from_secs(10), || {
+                let m = service.metrics();
+                m.in_flight_sessions == 4 && m.shed_busy == 6
+            }));
+            gate.open();
+        });
+        engine.run_all(sessions)
+    });
+    // Every future completed (with "served" or "shed"); the owner finish must
+    // not overwrite an in-future Shed terminal.
+    for (span, outcome) in spans.iter().zip(&outcomes) {
+        span.finish(outcome);
+    }
+    drop(spans);
+
+    let records = sink.drain_sorted();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for tag in 0..10u64 {
+        let ends = terminals(&records, 300 + tag);
+        assert_eq!(
+            ends.len(),
+            1,
+            "session {tag} must journal exactly one terminal"
+        );
+        match ends[0] {
+            SessionEnd::Shed => shed += 1,
+            SessionEnd::Completed => served += 1,
+            other => panic!("unexpected terminal {other:?} for session {tag}"),
+        }
+    }
+    assert_eq!(shed, 6, "every shed session journals Shed");
+    assert_eq!(served, 4, "every admitted session journals Completed");
+    assert_fully_drained(&sink);
+    service.shutdown();
+}
+
+#[test]
+fn judge_panic_journals_a_diagnostic_and_a_single_completed_terminal() {
+    // Full mode so the volatile Panic diagnostic is serialized, not only
+    // counted.
+    let sink = JournalSink::shared(JournalSpec::default().with_mode(JournalMode::Full));
+    let tracer = sink.handle();
+    let verifier: VerifyPool<String> = VerifyPool::start(
+        Arc::new(|case: &String, response: &Response| {
+            if response.fixed_line.contains("boom") {
+                panic!("judge blew up");
+            }
+            response.fixed_line.contains(case.as_str())
+        }),
+        VerifyConfig {
+            workers: 1,
+            ..VerifyConfig::default()
+        }
+        .with_tracer(tracer.clone()),
+    );
+
+    let make = |tag: &str, line: &str| {
+        let case = format!("case {tag}");
+        let response = Response {
+            bug_line_number: 1,
+            buggy_line: "assign y = 0;".to_string(),
+            fixed_line: line.to_string(),
+            cot: None,
+        };
+        let key = verdict_key(&[case.as_bytes()], &response, b"journal-failures");
+        VerifyRequest::new(Arc::new(case), response, key)
+    };
+
+    let span = SessionSpan::new(&tracer, 400);
+    let good = verifier
+        .submit(make("good", "fix case good"))
+        .expect("pool open");
+    let bad = verifier.submit(make("bad", "boom")).expect("pool open");
+    assert!(good.wait().verdict, "healthy judge path still verdicts");
+    assert!(
+        !bad.wait().verdict,
+        "absorbed panic serves a failed verdict"
+    );
+    span.finish(&SessionOutcome::Completed(()));
+    drop(span);
+
+    assert_eq!(verifier.metrics().verdict_panics, 1);
+    let records = sink.drain_sorted();
+    assert_eq!(
+        terminals(&records, 400),
+        vec![SessionEnd::Completed],
+        "the session survives the judge panic with one Completed terminal"
+    );
+    let panics = records
+        .iter()
+        .filter(|r| matches!(&r.event, JournalEvent::Panic { pool } if pool == "verify"))
+        .count();
+    assert_eq!(panics, 1, "the absorbed panic surfaces as one diagnostic");
+    assert_fully_drained(&sink);
+    verifier.shutdown();
+}
