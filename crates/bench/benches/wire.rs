@@ -1,0 +1,125 @@
+//! Wire-protocol overhead: direct in-process submission vs the loopback
+//! transport, which pushes every request and response through the full frame
+//! codec (encode → checksum → decode, both directions) without a socket.
+//!
+//! Two identically configured services serve the same model and seed, so the
+//! answers must be identical — the bench asserts response-for-response
+//! equality before reporting any number, making it a determinism gate as much
+//! as a perf one.  The reported overhead is the codec + dispatch tax a
+//! same-host shard pays on top of the service itself.
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"wire","mode":"direct","requests":24,...}
+//! BENCH_SUMMARY {"bench":"wire","mode":"loopback","requests":24,...,"overhead_vs_direct":1.04}
+//! ```
+//!
+//! Run with `cargo bench --bench wire`.
+
+use assertsolver_bench::SummaryWriter;
+use criterion::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use svmodel::{AssertSolverModel, CaseInput, RepairModel};
+use svserve::{LoopbackTransport, RepairRequest, RepairService, ServiceConfig, ShardFleet};
+
+const REQUESTS: usize = 24;
+const SAMPLES: usize = 4;
+
+fn requests() -> Vec<RepairRequest> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(47));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(REQUESTS);
+    entries
+        .iter()
+        .map(|entry| RepairRequest::new(CaseInput::from_entry(entry), SAMPLES, 0.2))
+        .collect()
+}
+
+fn service() -> Arc<RepairService<AssertSolverModel>> {
+    Arc::new(RepairService::start(
+        Arc::new(AssertSolverModel::base(7)),
+        ServiceConfig::default().with_workers(2).with_seed(13),
+    ))
+}
+
+fn main() {
+    let mut writer = SummaryWriter::new("wire", 2);
+    let requests = requests();
+    println!(
+        "wire: {} requests x {SAMPLES} samples, direct service vs loopback transport",
+        requests.len()
+    );
+    println!(
+        "{:>10} {:>12} {:>20}",
+        "mode", "wall (s)", "overhead vs direct"
+    );
+
+    // Direct: the plain in-process submit path, no codec anywhere.
+    let direct_service = service();
+    let direct_start = Instant::now();
+    let direct: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            direct_service
+                .submit(request.clone())
+                .expect("pool open")
+                .wait()
+        })
+        .collect();
+    let direct_secs = direct_start.elapsed().as_secs_f64();
+    println!("{:>10} {:>12.3} {:>20}", "direct", direct_secs, "1.00");
+    writer.emit(format!(
+        "{{\"bench\":\"wire\",\"mode\":\"direct\",\"requests\":{},\"samples\":{SAMPLES},\"secs\":{:.6}}}",
+        requests.len(),
+        direct_secs
+    ));
+
+    // Loopback: an identically built service behind the frame codec.  A fresh
+    // service keeps its cache cold, so both modes pay for every sample.
+    let loopback_service = service();
+    let fleet = ShardFleet::new(vec![Box::new(LoopbackTransport::new(
+        Arc::clone(&loopback_service),
+        AssertSolverModel::base(7).identity(),
+    )) as Box<dyn svserve::Transport>]);
+    let loopback_start = Instant::now();
+    let loopback: Vec<_> = requests
+        .iter()
+        .map(|request| fleet.submit(request).expect("fleet healthy"))
+        .collect();
+    let loopback_secs = loopback_start.elapsed().as_secs_f64();
+
+    for (idx, (a, b)) in direct.iter().zip(&loopback).enumerate() {
+        assert_eq!(
+            *a.responses, b.responses,
+            "request {idx}: loopback answers must be identical to direct submission"
+        );
+    }
+    let metrics = fleet.metrics();
+    assert_eq!(metrics.completed, requests.len() as u64);
+    assert_eq!(metrics.wire_errors, 0);
+    black_box((&direct, &loopback));
+
+    let overhead = loopback_secs / direct_secs;
+    println!(
+        "{:>10} {:>12.3} {:>20.2}",
+        "loopback", loopback_secs, overhead
+    );
+    writer.emit(format!(
+        "{{\"bench\":\"wire\",\"mode\":\"loopback\",\"requests\":{},\"samples\":{SAMPLES},\"secs\":{:.6},\"overhead_vs_direct\":{:.2}}}",
+        requests.len(),
+        loopback_secs,
+        overhead
+    ));
+
+    drop(fleet);
+    Arc::try_unwrap(loopback_service)
+        .ok()
+        .expect("sole owner")
+        .shutdown();
+    Arc::try_unwrap(direct_service)
+        .ok()
+        .expect("sole owner")
+        .shutdown();
+    writer.finish();
+}

@@ -103,9 +103,26 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from `ASSERTSOLVER_SCALE` (`full` or `quick`, default quick).
     pub fn from_env() -> Self {
-        match std::env::var("ASSERTSOLVER_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
-            _ => Scale::Quick,
+        Self::from_raw(std::env::var("ASSERTSOLVER_SCALE").ok().as_deref())
+    }
+
+    /// Parses a raw scale value (case-insensitive, whitespace-trimmed).
+    ///
+    /// Unknown values used to be silently swallowed as `Quick` — a typo like
+    /// `ASSERTSOLVER_SCALE=ful` ran the wrong experiment with no trace.  They
+    /// still fall back to `Quick` (the safe scale), but with a one-line
+    /// warning naming the rejected value.
+    pub fn from_raw(raw: Option<&str>) -> Self {
+        match raw.map(str::trim) {
+            None | Some("") => Scale::Quick,
+            Some(value) if value.eq_ignore_ascii_case("full") => Scale::Full,
+            Some(value) if value.eq_ignore_ascii_case("quick") => Scale::Quick,
+            Some(value) => {
+                eprintln!(
+                    "warning: ASSERTSOLVER_SCALE={value:?} is not \"full\" or \"quick\"; using quick"
+                );
+                Scale::Quick
+            }
         }
     }
 
@@ -399,5 +416,17 @@ mod tests {
     fn scale_from_env_defaults_to_quick() {
         std::env::remove_var("ASSERTSOLVER_SCALE");
         assert_eq!(Scale::from_env(), Scale::Quick);
+    }
+
+    #[test]
+    fn scale_parsing_is_case_insensitive_and_trims() {
+        // Regression: only the exact strings "full"/"FULL" selected the full
+        // scale; "Full" or " full " silently ran the quick experiments.
+        assert_eq!(Scale::from_raw(Some("Full")), Scale::Full);
+        assert_eq!(Scale::from_raw(Some(" full ")), Scale::Full);
+        assert_eq!(Scale::from_raw(Some("QUICK")), Scale::Quick);
+        assert_eq!(Scale::from_raw(Some("ful")), Scale::Quick);
+        assert_eq!(Scale::from_raw(Some("")), Scale::Quick);
+        assert_eq!(Scale::from_raw(None), Scale::Quick);
     }
 }

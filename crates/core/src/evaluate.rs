@@ -17,8 +17,8 @@ use svserve::{
     env_cache_dir, env_journal_dir, render_journal, serve_scoped, verdict_key, write_journal,
     BackendSpec, CaseKey, EscalationJudge, JournalHeader, JournalSink, JournalSpec, JudgeReport,
     ModelRouter, PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
-    ServiceConfig, SessionConfig, SessionEngine, SessionPhase, SessionSpan, TracerHandle,
-    VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
+    ServiceConfig, SessionConfig, SessionEngine, SessionPhase, SessionSpan, ShardFleet,
+    TracerHandle, VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
     DEFAULT_COMPACT_AFTER_RUNS,
 };
 use svverify::{CheckConfig, VerifyOracle};
@@ -57,8 +57,38 @@ pub struct EvalConfig {
     /// events and writes a checksummed JSONL journal there; journal bytes are
     /// identical at any worker/driver count and with warm or cold caches.
     pub journal_dir: Option<String>,
+    /// Remote shard fleet to sample against (`None` = the
+    /// `ASSERTSOLVER_SHARD_SOCKETS` environment override, else in-process
+    /// serving).  When resolved, [`evaluate_model`] submits every case over
+    /// the wire to `shard-serve` processes instead of starting a local repair
+    /// service; results are byte-identical to the in-process run as long as
+    /// the shards serve the same model and seed (the `Hello` fingerprint
+    /// handshake enforces the model half).  Verification always runs locally.
+    pub shards: Option<ShardSpec>,
     /// Bounded-check configuration used to decide whether a repair solves the failure.
     pub check: CheckConfig,
+}
+
+/// Where a remote shard fleet lives: one unix-socket path per shard process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// One `shard-serve` socket path per shard; requests place onto shards by
+    /// content hash (`svserve::shard_for_key`), so the paths' *order* matters
+    /// — every client of one fleet must list them identically.
+    pub sockets: Vec<String>,
+    /// Per-call read/write timeout in milliseconds; a wedged shard degrades to
+    /// a counted error after this long, never a hung evaluation.
+    pub timeout_ms: u64,
+}
+
+impl ShardSpec {
+    /// A spec with the default 30-second call timeout.
+    pub fn new(sockets: Vec<String>) -> Self {
+        Self {
+            sockets,
+            timeout_ms: 30_000,
+        }
+    }
 }
 
 impl Default for EvalConfig {
@@ -72,6 +102,7 @@ impl Default for EvalConfig {
             drivers: 0,
             cache_dir: None,
             journal_dir: None,
+            shards: None,
             check: CheckConfig {
                 depth: 12,
                 random_cases: 16,
@@ -118,6 +149,16 @@ impl EvalConfig {
             .filter(|raw| !raw.is_empty())
             .map(std::path::PathBuf::from)
             .or_else(env_journal_dir)
+    }
+
+    /// The remote shard fleet this protocol samples against, if any: the
+    /// explicit [`EvalConfig::shards`] field, else the
+    /// `ASSERTSOLVER_SHARD_SOCKETS` environment override
+    /// (`svserve::SHARD_SOCKETS_ENV`, comma-separated socket paths).
+    pub fn resolved_shards(&self) -> Option<ShardSpec> {
+        self.shards
+            .clone()
+            .or_else(|| svserve::env_shard_sockets().map(ShardSpec::new))
     }
 
     /// The repair-service configuration this protocol implies.
@@ -591,6 +632,9 @@ pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
     entries: &[SvaBugEntry],
     config: &EvalConfig,
 ) -> ModelEvaluation {
+    if let Some(spec) = config.resolved_shards() {
+        return evaluate_model_sharded(model, entries, config, &spec);
+    }
     let Some(dir) = config.resolved_journal_dir() else {
         let verifier = EvalVerifier::start(config);
         let evaluation = evaluate_model_with(model, entries, config, &verifier);
@@ -639,6 +683,80 @@ pub fn evaluate_model_journaled<M: RepairModel + Sync + ?Sized>(
     let payload = serde_json::to_string(&evaluation).expect("evaluation serializes");
     let rendered = render_journal(&header, &records, &payload);
     (evaluation, rendered)
+}
+
+/// Evaluates a model against a remote shard fleet (`shard-serve` processes
+/// behind unix sockets) instead of an in-process repair service.
+///
+/// `model` is the *local* copy of the model the shards serve: its identity is
+/// the fingerprint the `Hello` handshake enforces, so a fleet serving a
+/// different model (whose answers would differ) refuses the connection
+/// instead of silently corrupting the evaluation.  Sampling happens on the
+/// shards — requests place by content hash, so per-shard caches stay disjoint
+/// — while candidate verification runs locally through a fresh
+/// [`EvalVerifier`].  The result is byte-identical to the in-process
+/// [`evaluate_model`] run at any shard count, warm or cold caches.
+///
+/// Degradation, never failure: a case whose shard is down, busy, or corrupt
+/// becomes a zero-sample [`CaseResult`] (`n = 0, c = 0`) and the failure is
+/// counted in the fleet metrics — a killed shard process cannot panic or hang
+/// the evaluation.
+pub fn evaluate_model_sharded<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    spec: &ShardSpec,
+) -> ModelEvaluation {
+    let fleet = ShardFleet::connect_unix(
+        &spec.sockets,
+        Some(&model.identity()),
+        std::time::Duration::from_millis(spec.timeout_ms.max(1)),
+    );
+    let verifier = EvalVerifier::start(config);
+    let evaluation = evaluate_model_over_fleet(model, entries, config, &fleet, &verifier);
+    verifier.shutdown();
+    evaluation
+}
+
+/// [`evaluate_model_sharded`] with externally managed fleet and verifier, so
+/// callers can run several evaluations over one set of connections (and read
+/// the fleet's metrics afterwards).
+pub fn evaluate_model_over_fleet<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    fleet: &ShardFleet,
+    verifier: &EvalVerifier,
+) -> ModelEvaluation {
+    let results = entries
+        .iter()
+        .map(|entry| {
+            let request = RepairRequest::new(
+                CaseInput::from_entry(entry),
+                config.samples,
+                config.temperature,
+            );
+            match fleet.submit(&request) {
+                Ok(outcome) => {
+                    let case = Arc::new(entry.clone());
+                    let submitted = fan_out_candidates(verifier, &case, &outcome.responses);
+                    let mut c = 0;
+                    for (count, ticket) in submitted {
+                        if ticket.wait().verdict {
+                            c += count;
+                        }
+                    }
+                    build_case_result(entry, outcome.responses.len(), c)
+                }
+                // Busy, closed, or a wire failure: a counted degraded case.
+                Err(_) => build_case_result(entry, 0, 0),
+            }
+        })
+        .collect();
+    ModelEvaluation {
+        model: model.name().to_string(),
+        results,
+    }
 }
 
 /// Evaluates a model with an externally managed verification backend.

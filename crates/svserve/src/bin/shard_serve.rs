@@ -1,0 +1,168 @@
+//! `shard-serve` — host one repair-service shard behind a unix socket.
+//!
+//! ```text
+//! shard-serve --socket /tmp/shard-0.sock --model-file model.json \
+//!     [--seed N] [--workers N] [--max-in-flight N] [--snapshot-file PATH]
+//! ```
+//!
+//! The model is an [`svmodel::AssertSolverModel`] serialized as JSON (what
+//! `serde_json::to_string(&model)` produces — weights and all, so the shard
+//! serves byte-identical answers to the process that wrote the file).  With
+//! `--snapshot-file`, the shard warm-starts its response cache from the
+//! fleet's snapshot store (`svserve::persist`) and flushes it back on
+//! shutdown.
+//!
+//! Prints `LISTENING <socket>` once the socket is bound, serves until stdin
+//! reaches EOF (the parent closing the pipe is the shutdown signal), then
+//! flushes and exits.  Exit status 2 = usage error, 1 = runtime failure.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+use svmodel::{AssertSolverModel, RepairModel};
+use svserve::{PersistSpec, RepairService, ServiceConfig, ShardServer};
+
+struct Args {
+    socket: String,
+    model_file: String,
+    seed: Option<u64>,
+    workers: Option<usize>,
+    max_in_flight: Option<usize>,
+    snapshot_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: String::new(),
+        model_file: String::new(),
+        seed: None,
+        workers: None,
+        max_in_flight: None,
+        snapshot_file: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = value("--socket")?,
+            "--model-file" => args.model_file = value("--model-file")?,
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|err| format!("--seed: {err}"))?,
+                )
+            }
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|err| format!("--workers: {err}"))?,
+                )
+            }
+            "--max-in-flight" => {
+                args.max_in_flight = Some(
+                    value("--max-in-flight")?
+                        .parse()
+                        .map_err(|err| format!("--max-in-flight: {err}"))?,
+                )
+            }
+            "--snapshot-file" => args.snapshot_file = Some(value("--snapshot-file")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err("--socket is required".into());
+    }
+    if args.model_file.is_empty() {
+        return Err("--model-file is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("shard-serve: {msg}");
+            eprintln!(
+                "usage: shard-serve --socket PATH --model-file PATH \
+                 [--seed N] [--workers N] [--max-in-flight N] [--snapshot-file PATH]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let model_json = match std::fs::read_to_string(&args.model_file) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("shard-serve: read {}: {err}", args.model_file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let model: AssertSolverModel = match serde_json::from_str(&model_json) {
+        Ok(model) => model,
+        Err(err) => {
+            eprintln!("shard-serve: parse {}: {err}", args.model_file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let fingerprint = model.identity();
+
+    let mut config = ServiceConfig::default();
+    if let Some(seed) = args.seed {
+        config = config.with_seed(seed);
+    }
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+    if let Some(max_in_flight) = args.max_in_flight {
+        config = config.with_max_in_flight(max_in_flight);
+    }
+    if let Some(snapshot) = &args.snapshot_file {
+        // Same keying the in-process evaluation uses: identity + service seed
+        // are folded into the snapshot fingerprint by the service itself, so a
+        // shard restarted with the fleet's snapshot store warm-starts, and one
+        // pointed at a stale file degrades to a cold start.
+        config = config.with_persist(PersistSpec::new(snapshot, &[], fingerprint.clone()));
+    }
+
+    let service = Arc::new(RepairService::start(Arc::new(model), config));
+    let server = match ShardServer::bind(&args.socket, Arc::clone(&service), &fingerprint) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("shard-serve: bind {}: {err}", args.socket);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", args.socket);
+    // Unbuffer the line: the parent waits on it before connecting.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    // Serve until the parent closes our stdin (portable child-lifetime signal:
+    // works for a deliberate shutdown and for a crashed/killed parent alike).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+
+    server.shutdown();
+    match Arc::try_unwrap(service) {
+        Ok(service) => {
+            // Flushes the response snapshot for the next warm start.
+            service.shutdown();
+        }
+        Err(service) => {
+            // A connection thread still holds the service (it is joined by
+            // server.shutdown(), so this is unreachable in practice); flush
+            // without consuming as a fallback.
+            let _ = service.flush();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -47,6 +47,7 @@
 use crate::persist::{self, fnv64};
 use crate::service::splitmix64;
 use crate::session::{SessionOutcome, SessionPhase};
+use crate::sync::lock_recover;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -95,6 +96,9 @@ pub enum SessionEnd {
     TimedOut,
     /// The session was cancelled (or its span dropped unfinished).
     Aborted,
+    /// The session's future panicked while being polled — a crash, distinct
+    /// from deliberate cancellation.
+    Panicked,
     /// Admission control refused the session's submission (`SubmitError::Busy`).
     Shed,
 }
@@ -406,7 +410,7 @@ impl JournalSink {
 
     fn push(&self, record: JournalRecord) {
         let shard = (record.session % self.shards.len() as u64) as usize;
-        let mut buffer = self.shards[shard].lock().expect("journal shard lock");
+        let mut buffer = lock_recover(&self.shards[shard]);
         if buffer.len() < self.spec.shard_capacity {
             buffer.push(record);
         } else {
@@ -414,7 +418,7 @@ impl JournalSink {
             // Never drop an event: a full shard spills centrally and the spill
             // is merely counted (the drain re-sorts everything anyway).
             self.spilled.fetch_add(1, Ordering::Relaxed);
-            self.spill.lock().expect("journal spill lock").push(record);
+            lock_recover(&self.spill).push(record);
         }
     }
 
@@ -423,9 +427,9 @@ impl JournalSink {
     pub fn drain_sorted(&self) -> Vec<JournalRecord> {
         let mut records = Vec::new();
         for shard in &self.shards {
-            records.append(&mut shard.lock().expect("journal shard lock"));
+            records.append(&mut lock_recover(shard));
         }
-        records.append(&mut self.spill.lock().expect("journal spill lock"));
+        records.append(&mut lock_recover(&self.spill));
         records.sort_by_cached_key(|record| (record.session, record.seq, record.render()));
         records
     }
@@ -435,9 +439,9 @@ impl JournalSink {
         let buffered = self
             .shards
             .iter()
-            .map(|shard| shard.lock().expect("journal shard lock").len())
+            .map(|shard| lock_recover(shard).len())
             .sum::<usize>()
-            + self.spill.lock().expect("journal spill lock").len();
+            + lock_recover(&self.spill).len();
         JournalCounters {
             recorded: self.recorded.load(Ordering::Relaxed),
             diagnostics: self.diagnostics.load(Ordering::Relaxed),
@@ -543,6 +547,7 @@ impl SessionSpan {
             SessionOutcome::Completed(_) => SessionEnd::Completed,
             SessionOutcome::TimedOut => SessionEnd::TimedOut,
             SessionOutcome::Aborted => SessionEnd::Aborted,
+            SessionOutcome::Panicked => SessionEnd::Panicked,
         };
         self.core.emit_terminal(end);
     }

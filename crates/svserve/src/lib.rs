@@ -48,6 +48,13 @@
 //!   artifact whose bytes are deterministic at any driver/worker count — a
 //!   replayable repro artifact, not just a log.  Off by default; the hot path
 //!   pays one branch.
+//! * **Distributed shard fabric** — a versioned, checksummed, length-capped
+//!   frame protocol ([`wire`]) with loopback and unix-socket transports, a
+//!   [`ShardFleet`] client placing requests by content hash (per-shard caches
+//!   stay disjoint; results are byte-identical to in-process at any shard
+//!   count) and a [`ShardServer`] / `shard-serve` binary hosting a service
+//!   behind a socket.  `Busy` and every wire failure degrade to counted
+//!   outcomes, never a client panic or hang.
 //!
 //! ## Quick example
 //!
@@ -78,8 +85,10 @@ pub mod route;
 pub mod rt;
 pub mod service;
 pub mod session;
+pub(crate) mod sync;
 mod ticket;
 pub mod verify;
+pub mod wire;
 
 pub use cache::{case_key, verdict_key, CaseKey, LruCache, VerdictKey};
 pub use journal::{
@@ -111,6 +120,12 @@ pub use session::{
 pub use verify::{
     env_verify_workers, verify_scoped, ResponseJudge, ScopedVerifier, VerdictOutcome, VerifyConfig,
     VerifyPool, VerifyRequest, VerifySubmitFuture, VerifyTicket, VERIFY_WORKERS_ENV,
+};
+pub use wire::{
+    decode_frame, encode_frame, env_shard_sockets, read_frame, shard_for_key, write_frame,
+    FleetMetrics, Frame, FrameError, LoopbackTransport, RemoteShard, ShardFleet, ShardServer,
+    Transport, UnixTransport, WireError, WireOutcome, MAX_FRAME_LEN, SHARD_SOCKETS_ENV,
+    WIRE_FORMAT_VERSION,
 };
 
 #[cfg(test)]

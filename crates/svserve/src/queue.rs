@@ -13,6 +13,7 @@
 //!   frees capacity.  This is what lets thousands of sessions wait for queue space
 //!   without holding a driver thread each.
 
+use crate::sync::{lock_recover, wait_timeout_recover};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -92,7 +93,7 @@ impl<T> Shard<T> {
 
     /// Current queue depth.
     pub(crate) fn len(&self) -> usize {
-        self.jobs.lock().expect("shard lock").len()
+        lock_recover(&self.jobs).len()
     }
 
     /// Enqueues a job, blocking while the shard is full.  Returns the depth after
@@ -102,15 +103,13 @@ impl<T> Shard<T> {
         job: T,
         closed: &AtomicBool,
     ) -> Result<usize, ServiceClosed> {
-        let mut jobs = self.jobs.lock().expect("shard lock");
+        let mut jobs = lock_recover(&self.jobs);
         while jobs.len() >= self.capacity {
             if closed.load(Ordering::Acquire) {
                 return Err(ServiceClosed);
             }
-            let (guard, _timeout) = self
-                .not_full
-                .wait_timeout(jobs, std::time::Duration::from_millis(50))
-                .expect("shard lock");
+            let (guard, _timeout) =
+                wait_timeout_recover(&self.not_full, jobs, std::time::Duration::from_millis(50));
             jobs = guard;
         }
         if closed.load(Ordering::Acquire) {
@@ -130,7 +129,7 @@ impl<T> Shard<T> {
         if closed.load(Ordering::Acquire) {
             return TryPush::Closed;
         }
-        let mut jobs = self.jobs.lock().expect("shard lock");
+        let mut jobs = lock_recover(&self.jobs);
         if jobs.len() >= self.capacity {
             return TryPush::Full(job);
         }
@@ -150,10 +149,7 @@ impl<T> Shard<T> {
     /// occasional duplicate from the re-check window costs one spurious wake —
     /// cheaper than an O(parked) `will_wake` scan on every registration.
     pub(crate) fn register_submit_waker(&self, waker: &Waker) {
-        self.submit_wakers
-            .lock()
-            .expect("shard waker lock")
-            .push(waker.clone());
+        lock_recover(&self.submit_wakers).push(waker.clone());
     }
 
     /// Wakes every registered async submitter (capacity freed, or shutdown).
@@ -167,12 +163,7 @@ impl<T> Shard<T> {
     /// (bound it with `max_in_flight` admission control), and correctness wins
     /// over a wake-accounting scheme with liveness holes.
     fn wake_submitters(&self) {
-        let wakers: Vec<Waker> = self
-            .submit_wakers
-            .lock()
-            .expect("shard waker lock")
-            .drain(..)
-            .collect();
+        let wakers: Vec<Waker> = lock_recover(&self.submit_wakers).drain(..).collect();
         for waker in wakers {
             waker.wake();
         }
@@ -182,7 +173,7 @@ impl<T> Shard<T> {
     /// shard is empty.  Returns an empty vector once the service is closed and the
     /// shard has drained — the worker's signal to exit.
     pub(crate) fn drain_batch(&self, max_batch: usize, closed: &AtomicBool) -> Vec<T> {
-        let mut jobs = self.jobs.lock().expect("shard lock");
+        let mut jobs = lock_recover(&self.jobs);
         loop {
             if !jobs.is_empty() {
                 let take = jobs.len().min(max_batch.max(1));
@@ -197,10 +188,8 @@ impl<T> Shard<T> {
             if closed.load(Ordering::Acquire) {
                 return Vec::new();
             }
-            let (guard, _timeout) = self
-                .not_empty
-                .wait_timeout(jobs, std::time::Duration::from_millis(50))
-                .expect("shard lock");
+            let (guard, _timeout) =
+                wait_timeout_recover(&self.not_empty, jobs, std::time::Duration::from_millis(50));
             jobs = guard;
         }
     }

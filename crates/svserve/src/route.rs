@@ -258,6 +258,18 @@ impl RouteOutcome {
             .map(|attempt| attempt.judged && attempt.correct_candidates > 0)
             .unwrap_or(false)
     }
+
+    /// Total cost of every rung tried, saturating at `u32::MAX`.
+    ///
+    /// Backends without a configured cost report the `u32::MAX` sentinel, so a
+    /// trail that walked through one (an exhausted ladder ending at a
+    /// priceless rung) must saturate rather than wrap: a wrapped sum would
+    /// report a nearly-free trail for the most expensive path in the system.
+    pub fn trail_cost(&self) -> u32 {
+        self.attempts
+            .iter()
+            .fold(0u32, |total, attempt| total.saturating_add(attempt.cost))
+    }
 }
 
 enum TicketInner {
@@ -1306,6 +1318,43 @@ mod tests {
         assert_eq!(metrics.escalation.exhausted, 1);
         assert_eq!(metrics.escalation.accepted, 0);
         assert_eq!(metrics.escalation.depth_histogram, vec![0, 1]);
+    }
+
+    #[test]
+    fn exhausted_trail_cost_saturates_instead_of_wrapping() {
+        // Regression: a ladder ending at a cost-sentinel rung (`u32::MAX`, the
+        // "no configured cost" sentinel) used to wrap when summed with the
+        // cheaper rungs below it, reporting a near-zero total for the most
+        // expensive trail in the system.
+        let cheap = TierModel::new("cheap", 5, 0);
+        let priceless = TierModel::new("priceless", u32::MAX, 0);
+        let router = ModelRouter::start(
+            vec![
+                BackendSpec::new(
+                    cheap as Arc<dyn RepairModel + Send + Sync>,
+                    ServiceConfig::default().with_workers(1),
+                ),
+                BackendSpec::new(
+                    priceless as Arc<dyn RepairModel + Send + Sync>,
+                    ServiceConfig::default().with_workers(1),
+                ),
+            ],
+            marker_judge(),
+            RouterConfig::default(),
+        );
+        let outcome = router
+            .submit(request(9), RoutePolicy::Escalate)
+            .unwrap()
+            .wait();
+        assert!(!outcome.accepted(), "no rung can solve skill-0 cases");
+        assert_eq!(outcome.attempts.len(), 2, "both rungs were tried");
+        let wrapped = outcome
+            .attempts
+            .iter()
+            .fold(0u32, |total, attempt| total.wrapping_add(attempt.cost));
+        assert_eq!(wrapped, 4, "a wrapping sum would undercount this trail");
+        assert_eq!(outcome.trail_cost(), u32::MAX, "the trail cost saturates");
+        router.shutdown();
     }
 
     #[test]

@@ -45,19 +45,64 @@ use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
 use crate::journal::{JournalEvent, TracerHandle};
+use crate::sync::{lock_recover, wait_timeout_recover};
 
 /// Environment variable overriding the default session-driver count
 /// (see [`crate::session::SessionConfig`]); CI runs the async suite at 1 and 4.
 pub const DRIVERS_ENV: &str = "ASSERTSOLVER_DRIVERS";
 
-/// Reads the driver-count override from the environment, if set and positive.
+/// Hard ceiling on thread counts accepted from the environment.  A typo like
+/// `ASSERTSOLVER_DRIVERS=40000` would otherwise spawn forty thousand OS
+/// threads and wedge the process before the first task runs.
+pub(crate) const MAX_ENV_THREADS: usize = 512;
+
+/// Outcome of parsing a thread-count knob from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KnobParse {
+    /// A usable positive count.
+    Ok(usize),
+    /// Larger than [`MAX_ENV_THREADS`]; carries the clamped value.
+    Clamped(usize),
+    /// Zero, negative, or not a number at all.
+    Invalid,
+}
+
+/// Parses a raw thread-count knob value: `0`, garbage, or an empty string are
+/// [`KnobParse::Invalid`] (fall back to the default), and anything above
+/// [`MAX_ENV_THREADS`] clamps.  Pure so every knob's policy is testable
+/// without touching process-global environment state.
+pub(crate) fn parse_thread_knob(raw: &str) -> KnobParse {
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => KnobParse::Invalid,
+        Ok(n) if n > MAX_ENV_THREADS => KnobParse::Clamped(MAX_ENV_THREADS),
+        Ok(n) => KnobParse::Ok(n),
+    }
+}
+
+/// Applies [`parse_thread_knob`] to one named knob, warning once on stderr
+/// when the value is clamped or discarded.
+pub(crate) fn resolve_thread_knob(name: &str, raw: &str) -> Option<usize> {
+    match parse_thread_knob(raw) {
+        KnobParse::Ok(n) => Some(n),
+        KnobParse::Clamped(n) => {
+            eprintln!("warning: {name}={raw:?} exceeds {MAX_ENV_THREADS} threads; clamped to {n}");
+            Some(n)
+        }
+        KnobParse::Invalid => {
+            eprintln!("warning: {name}={raw:?} is not a positive thread count; using the default");
+            None
+        }
+    }
+}
+
+/// Reads the driver-count override from the environment, if set and valid.
+///
+/// Zero or unparsable values fall back to the default with a one-line warning
+/// instead of silently vanishing, and absurdly large values clamp to the
+/// 512-thread ceiling instead of wedging the process in thread spawns.
 pub fn env_drivers() -> Option<usize> {
-    std::env::var(DRIVERS_ENV)
-        .ok()?
-        .trim()
-        .parse()
-        .ok()
-        .filter(|&drivers| drivers > 0)
+    let raw = std::env::var(DRIVERS_ENV).ok()?;
+    resolve_thread_knob(DRIVERS_ENV, &raw)
 }
 
 /// Longest a driver parks between checks for shutdown and due timers.
@@ -101,7 +146,7 @@ impl RtShared {
         let now = Instant::now();
         let mut due = Vec::new();
         {
-            let mut timers = self.timers.lock().expect("timer lock");
+            let mut timers = lock_recover(&self.timers);
             while let Some(&std::cmp::Reverse((at, id))) = timers.heap.peek() {
                 if at > now {
                     break;
@@ -129,7 +174,7 @@ impl RtShared {
 
     /// How long a driver may park before the next timer is due.
     fn park_timeout(&self) -> Duration {
-        let timers = self.timers.lock().expect("timer lock");
+        let timers = lock_recover(&self.timers);
         match timers.heap.peek() {
             Some(&std::cmp::Reverse((at, _))) => {
                 at.saturating_duration_since(Instant::now()).min(MAX_PARK)
@@ -152,11 +197,7 @@ struct Task {
 impl Task {
     fn schedule(this: &Arc<Self>) {
         if !this.scheduled.swap(true, Ordering::AcqRel) {
-            this.shared
-                .ready
-                .lock()
-                .expect("ready queue lock")
-                .push_back(Arc::clone(this));
+            lock_recover(&this.shared.ready).push_back(Arc::clone(this));
             this.shared.work.notify_one();
         }
     }
@@ -194,7 +235,7 @@ impl Wake for Task {
 /// polls again, which is harmless (spurious polls are allowed).
 fn run_task(task: Arc<Task>) {
     task.scheduled.store(false, Ordering::Release);
-    let mut slot = task.future.lock().expect("task future lock");
+    let mut slot = lock_recover(&task.future);
     if task.cancelled.load(Ordering::Acquire) {
         slot.take();
         return;
@@ -225,7 +266,7 @@ fn driver_loop(shared: Arc<RtShared>) {
     loop {
         shared.fire_due_timers();
         let task = {
-            let mut ready = shared.ready.lock().expect("ready queue lock");
+            let mut ready = lock_recover(&shared.ready);
             match ready.pop_front() {
                 Some(task) => Some(task),
                 None => {
@@ -233,10 +274,7 @@ fn driver_loop(shared: Arc<RtShared>) {
                         return;
                     }
                     let timeout = shared.park_timeout();
-                    let (mut ready, _) = shared
-                        .work
-                        .wait_timeout(ready, timeout)
-                        .expect("ready queue lock");
+                    let (mut ready, _) = wait_timeout_recover(&shared.work, ready, timeout);
                     ready.pop_front()
                 }
             }
@@ -276,7 +314,7 @@ struct HandleInner<T> {
 impl<T> HandleInner<T> {
     fn finish(&self, value: Result<T, TaskAborted>) {
         let waker = {
-            let mut state = self.state.lock().expect("handle lock");
+            let mut state = lock_recover(&self.state);
             if state.done {
                 return;
             }
@@ -322,7 +360,7 @@ impl<T> TaskHandle<T> {
     /// Blocks until the task finishes; `Err(TaskAborted)` if it was cancelled
     /// or panicked.
     pub fn join(self) -> Result<T, TaskAborted> {
-        let mut state = self.inner.state.lock().expect("handle lock");
+        let mut state = lock_recover(&self.inner.state);
         loop {
             if let Some(value) = state.value.take() {
                 return value;
@@ -330,7 +368,11 @@ impl<T> TaskHandle<T> {
             if state.done {
                 return Err(TaskAborted);
             }
-            state = self.inner.done_cv.wait(state).expect("handle lock");
+            state = self
+                .inner
+                .done_cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -343,7 +385,7 @@ impl<T> TaskHandle<T> {
 
     /// Whether the task has finished (completed, panicked or been cancelled).
     pub fn is_finished(&self) -> bool {
-        self.inner.state.lock().expect("handle lock").done
+        lock_recover(&self.inner.state).done
     }
 }
 
@@ -351,7 +393,7 @@ impl<T> Future for TaskHandle<T> {
     type Output = Result<T, TaskAborted>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut state = self.inner.state.lock().expect("handle lock");
+        let mut state = lock_recover(&self.inner.state);
         if let Some(value) = state.value.take() {
             return Poll::Ready(value);
         }
@@ -372,11 +414,11 @@ struct ScopeState {
 
 impl ScopeState {
     fn increment(&self) {
-        *self.pending.lock().expect("scope lock") += 1;
+        *lock_recover(&self.pending) += 1;
     }
 
     fn decrement(&self) {
-        let mut pending = self.pending.lock().expect("scope lock");
+        let mut pending = lock_recover(&self.pending);
         *pending -= 1;
         if *pending == 0 {
             self.drained.notify_all();
@@ -384,9 +426,12 @@ impl ScopeState {
     }
 
     fn wait_drained(&self) {
-        let mut pending = self.pending.lock().expect("scope lock");
+        let mut pending = lock_recover(&self.pending);
         while *pending > 0 {
-            pending = self.drained.wait(pending).expect("scope lock");
+            pending = self
+                .drained
+                .wait(pending)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -538,7 +583,7 @@ impl Runtime {
             cancelled: AtomicBool::new(false),
         });
         {
-            let mut tasks = self.shared.tasks.lock().expect("task registry lock");
+            let mut tasks = lock_recover(&self.shared.tasks);
             // Amortized pruning keeps the registry proportional to live tasks
             // on long-lived runtimes.
             if tasks.len() >= 1024 && tasks.len().is_power_of_two() {
@@ -623,14 +668,9 @@ impl Drop for Runtime {
         // instead of a `join` hanging forever.  (Scoped tasks cannot reach
         // this point: their scope drained before the runtime could be
         // dropped.)
-        self.shared.ready.lock().expect("ready queue lock").clear();
-        let leftover: Vec<std::sync::Weak<Task>> = self
-            .shared
-            .tasks
-            .lock()
-            .expect("task registry lock")
-            .drain(..)
-            .collect();
+        lock_recover(&self.shared.ready).clear();
+        let leftover: Vec<std::sync::Weak<Task>> =
+            lock_recover(&self.shared.tasks).drain(..).collect();
         for weak in leftover {
             if let Some(task) = weak.upgrade() {
                 Task::cancel(&task);
@@ -654,7 +694,7 @@ impl Future for Sleep {
             return Poll::Ready(());
         }
         {
-            let mut timers = self.shared.timers.lock().expect("timer lock");
+            let mut timers = lock_recover(&self.shared.timers);
             // One heap entry per registration, not per poll: a re-poll (every
             // wake of a deadline-wrapped session) only refreshes the waker.
             if timers.wakers.insert(self.id, cx.waker().clone()).is_none() {
@@ -676,12 +716,7 @@ impl Future for Sleep {
 impl Drop for Sleep {
     fn drop(&mut self) {
         // The heap entry stays (skipped at fire time); only the waker matters.
-        self.shared
-            .timers
-            .lock()
-            .expect("timer lock")
-            .wakers
-            .remove(&self.id);
+        lock_recover(&self.shared.timers).wakers.remove(&self.id);
     }
 }
 
@@ -756,7 +791,7 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
         }
 
         fn wake_by_ref(self: &Arc<Self>) {
-            *self.woken.lock().expect("parker lock") = true;
+            *lock_recover(&self.woken) = true;
             self.cv.notify_one();
         }
     }
@@ -772,16 +807,13 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
         if let Poll::Ready(value) = future.as_mut().poll(&mut cx) {
             return value;
         }
-        let mut woken = parker.woken.lock().expect("parker lock");
+        let mut woken = lock_recover(&parker.woken);
         while !*woken {
             // Timed wait as a safety net against a future that loses its
             // waker: on timeout, break out and re-poll (a spurious poll is
             // always allowed) instead of waiting for a wake that may never
             // come.
-            let (guard, timeout) = parker
-                .cv
-                .wait_timeout(woken, MAX_PARK)
-                .expect("parker lock");
+            let (guard, timeout) = wait_timeout_recover(&parker.cv, woken, MAX_PARK);
             woken = guard;
             if timeout.timed_out() {
                 break;
@@ -952,14 +984,37 @@ mod tests {
 
     #[test]
     fn env_override_parses_only_positive_integers() {
-        let parse = |raw: &str| {
-            raw.trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&drivers| drivers > 0)
-        };
-        assert_eq!(parse(" 4 "), Some(4));
-        assert_eq!(parse("0"), None);
-        assert_eq!(parse("lots"), None);
+        assert_eq!(parse_thread_knob(" 4 "), KnobParse::Ok(4));
+        assert_eq!(parse_thread_knob("0"), KnobParse::Invalid);
+        assert_eq!(parse_thread_knob("lots"), KnobParse::Invalid);
+        assert_eq!(parse_thread_knob(""), KnobParse::Invalid);
+        assert_eq!(parse_thread_knob("-3"), KnobParse::Invalid);
+    }
+
+    #[test]
+    fn env_override_clamps_huge_thread_counts() {
+        // Regression: `ASSERTSOLVER_DRIVERS=40000` used to be taken at face
+        // value and spawn forty thousand driver threads.
+        assert_eq!(
+            parse_thread_knob("40000"),
+            KnobParse::Clamped(MAX_ENV_THREADS)
+        );
+        assert_eq!(
+            parse_thread_knob(&usize::MAX.to_string()),
+            KnobParse::Clamped(MAX_ENV_THREADS)
+        );
+        assert_eq!(
+            parse_thread_knob(&MAX_ENV_THREADS.to_string()),
+            KnobParse::Ok(MAX_ENV_THREADS)
+        );
+        // The resolver surfaces clamped/invalid values as warnings but still
+        // returns a usable count (or the default sentinel `None`).
+        assert_eq!(
+            resolve_thread_knob("TEST_KNOB", "40000"),
+            Some(MAX_ENV_THREADS)
+        );
+        assert_eq!(resolve_thread_knob("TEST_KNOB", "0"), None);
+        assert_eq!(resolve_thread_knob("TEST_KNOB", "garbage"), None);
+        assert_eq!(resolve_thread_knob("TEST_KNOB", "8"), Some(8));
     }
 }

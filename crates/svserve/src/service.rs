@@ -24,6 +24,7 @@ use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
+use crate::sync::lock_recover;
 use crate::ticket::TicketState;
 use std::future::Future;
 use std::pin::Pin;
@@ -119,7 +120,10 @@ impl ServiceConfig {
 }
 
 /// One repair request: the case plus the sampling protocol.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so it can cross a process boundary verbatim ([`crate::wire`]);
+/// the content-addressed key derives from the same fields on both sides.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RepairRequest {
     /// Model input (spec, buggy source, failure log).
     pub case: CaseInput,
@@ -324,9 +328,7 @@ impl ServiceCore {
                 self.snapshot_generation
                     .store(loaded.generation, Ordering::Relaxed);
                 for (key, responses, gen) in loaded.entries {
-                    self.caches[self.shard_for(key)]
-                        .lock()
-                        .expect("cache lock")
+                    lock_recover(&self.caches[self.shard_for(key)])
                         .preload_aged(key, responses, gen);
                 }
                 self.metrics.record_snapshot_load(count);
@@ -348,7 +350,7 @@ impl ServiceCore {
         };
         let mut entries = Vec::new();
         for cache in &self.caches {
-            entries.extend(cache.lock().expect("cache lock").export_aged());
+            entries.extend(lock_recover(cache).export_aged());
         }
         if entries.is_empty() {
             return Ok(0);
@@ -499,7 +501,7 @@ impl ServiceCore {
     fn cache_entries(&self) -> usize {
         self.caches
             .iter()
-            .map(|cache| cache.lock().expect("cache lock").len())
+            .map(|cache| lock_recover(cache).len())
             .sum()
     }
 
@@ -543,10 +545,7 @@ pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
         for job in batch {
             let queue_wait = job.enqueued_at.elapsed();
             let service_start = Instant::now();
-            let cached = core.caches[shard_idx]
-                .lock()
-                .expect("cache lock")
-                .get_tagged(job.key);
+            let cached = lock_recover(&core.caches[shard_idx]).get_tagged(job.key);
             let cache_lookup = service_start.elapsed();
             if core.config.tracer.is_on() {
                 core.metrics.record_journal_event();
@@ -584,9 +583,7 @@ pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
                     match solved {
                         Ok(responses) => {
                             let responses = Arc::new(responses);
-                            core.caches[shard_idx]
-                                .lock()
-                                .expect("cache lock")
+                            lock_recover(&core.caches[shard_idx])
                                 .insert(job.key, Arc::clone(&responses));
                             (responses, Some(elapsed))
                         }

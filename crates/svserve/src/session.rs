@@ -106,8 +106,12 @@ pub enum SessionOutcome<T> {
     Completed(T),
     /// The per-session deadline fired first; the session was dropped pending.
     TimedOut,
-    /// The session was cancelled or panicked before completing.
+    /// The session was cancelled before completing.
     Aborted,
+    /// The session's future panicked while being polled.  A crash is not a
+    /// cancellation: callers retrying `Aborted` sessions must not blindly
+    /// retry a `Panicked` one into the same failure.
+    Panicked,
 }
 
 impl<T> SessionOutcome<T> {
@@ -147,6 +151,7 @@ struct SessionRecorder {
     completed: AtomicU64,
     timed_out: AtomicU64,
     aborted: AtomicU64,
+    panicked: AtomicU64,
     in_flight: AtomicU64,
     peak_in_flight: AtomicU64,
     submitted: AtomicU64,
@@ -164,6 +169,7 @@ impl SessionRecorder {
             completed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -212,8 +218,10 @@ pub struct SessionMetrics {
     pub completed: u64,
     /// Sessions dropped by their deadline.
     pub timed_out: u64,
-    /// Sessions cancelled or panicked.
+    /// Sessions cancelled.
     pub aborted: u64,
+    /// Sessions whose future panicked while being polled.
+    pub panicked: u64,
     /// Sessions currently in flight (spawned, not yet finished).
     pub in_flight_sessions: u64,
     /// Highest concurrent in-flight session count observed — with async
@@ -243,8 +251,8 @@ impl SessionMetrics {
             (
                 "finished",
                 format!(
-                    "{:>10} completed, {} timed out, {} aborted",
-                    self.completed, self.timed_out, self.aborted
+                    "{:>10} completed, {} timed out, {} aborted, {} panicked",
+                    self.completed, self.timed_out, self.aborted, self.panicked
                 ),
             ),
             (
@@ -313,6 +321,33 @@ impl Drop for SessionGauge {
     }
 }
 
+/// Catches panics escaping a session future's `poll`, turning a crash into a
+/// value the engine can count and journal separately from cancellation.
+///
+/// Without this, a panicking session unwound into the runtime's task-level
+/// `catch_unwind`, the completer slot was dropped, and
+/// [`SessionHandle::join`] conflated the crash with a deliberate
+/// [`SessionHandle::cancel`] by reporting [`SessionOutcome::Aborted`].
+struct CatchPanic<F> {
+    inner: std::pin::Pin<Box<F>>,
+}
+
+impl<F: Future> Future for CatchPanic<F> {
+    type Output = Result<F::Output, ()>;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        let inner = self.inner.as_mut();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(std::task::Poll::Ready(value)) => std::task::Poll::Ready(Ok(value)),
+            Ok(std::task::Poll::Pending) => std::task::Poll::Pending,
+            Err(_) => std::task::Poll::Ready(Err(())),
+        }
+    }
+}
+
 /// Await-handle for one spawned session.
 pub struct SessionHandle<T> {
     inner: TaskHandle<SessionOutcome<T>>,
@@ -320,6 +355,10 @@ pub struct SessionHandle<T> {
 
 impl<T> SessionHandle<T> {
     /// Blocks until the session ends, returning how it ended.
+    ///
+    /// A panicking session reports [`SessionOutcome::Panicked`] (the panic is
+    /// caught at the session boundary); only cancellation — or a runtime torn
+    /// down mid-flight — reports [`SessionOutcome::Aborted`].
     pub fn join(self) -> SessionOutcome<T> {
         self.inner.join().unwrap_or(SessionOutcome::Aborted)
     }
@@ -382,6 +421,7 @@ impl SessionEngine {
             completed: self.recorder.completed.load(Ordering::Relaxed),
             timed_out: self.recorder.timed_out.load(Ordering::Relaxed),
             aborted: self.recorder.aborted.load(Ordering::Relaxed),
+            panicked: self.recorder.panicked.load(Ordering::Relaxed),
             in_flight_sessions: self.recorder.in_flight.load(Ordering::Relaxed),
             peak_in_flight_sessions: self.recorder.peak_in_flight.load(Ordering::Relaxed),
             phase_submitted: self.recorder.submitted.load(Ordering::Relaxed),
@@ -422,23 +462,35 @@ impl SessionEngine {
             .config
             .deadline
             .map(|deadline| self.runtime.sleep(deadline));
+        let session = CatchPanic {
+            inner: Box::pin(session),
+        };
         let inner = scope.spawn(async move {
             match deadline {
                 Some(sleep) => match with_deadline(session, sleep).await {
-                    Expiry::Completed(value) => {
+                    Expiry::Completed(Ok(value)) => {
                         gauge.finish(|r| &r.completed);
                         SessionOutcome::Completed(value)
+                    }
+                    Expiry::Completed(Err(())) => {
+                        gauge.finish(|r| &r.panicked);
+                        SessionOutcome::Panicked
                     }
                     Expiry::Expired => {
                         gauge.finish(|r| &r.timed_out);
                         SessionOutcome::TimedOut
                     }
                 },
-                None => {
-                    let value = session.await;
-                    gauge.finish(|r| &r.completed);
-                    SessionOutcome::Completed(value)
-                }
+                None => match session.await {
+                    Ok(value) => {
+                        gauge.finish(|r| &r.completed);
+                        SessionOutcome::Completed(value)
+                    }
+                    Err(()) => {
+                        gauge.finish(|r| &r.panicked);
+                        SessionOutcome::Panicked
+                    }
+                },
             }
         });
         SessionHandle { inner }
@@ -549,6 +601,27 @@ mod tests {
         let metrics = engine.metrics();
         assert_eq!(metrics.aborted, 1);
         assert_eq!(metrics.in_flight_sessions, 0);
+    }
+
+    #[test]
+    fn panicked_sessions_report_panicked_not_aborted() {
+        // Regression: a panicking session future used to unwind into the
+        // runtime's task-level catch_unwind and join as `Aborted`,
+        // indistinguishable from a deliberate cancel.
+        let engine = SessionEngine::new(SessionConfig::default().with_drivers(1));
+        let sessions: Vec<std::pin::Pin<Box<dyn Future<Output = usize> + Send>>> = vec![
+            Box::pin(async { panic!("session crash") }),
+            Box::pin(async { 7 }),
+        ];
+        let outcomes = engine.run_all(sessions);
+        assert_eq!(outcomes[0], SessionOutcome::Panicked);
+        assert_eq!(outcomes[1], SessionOutcome::Completed(7));
+        let metrics = engine.metrics();
+        assert_eq!(metrics.panicked, 1);
+        assert_eq!(metrics.aborted, 0, "a crash is not a cancellation");
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(metrics.in_flight_sessions, 0);
+        assert!(metrics.render().contains("panicked"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! session) is simply a slot nobody takes: the stored waker, if any, wakes a
 //! task whose future is already gone, which the runtime treats as a no-op.
 
+use crate::sync::lock_recover;
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Poll, Waker};
 
@@ -44,7 +45,7 @@ impl<T> TicketState<T> {
     /// every blocking waiter.
     pub(crate) fn fulfill(&self, outcome: T) {
         let waker = {
-            let mut inner = self.inner.lock().expect("ticket lock");
+            let mut inner = lock_recover(&self.inner);
             inner.slot = Some(outcome);
             inner.waker.take()
         };
@@ -56,25 +57,28 @@ impl<T> TicketState<T> {
 
     /// Blocks until the outcome arrives (the synchronous shim).
     pub(crate) fn wait(&self) -> T {
-        let mut inner = self.inner.lock().expect("ticket lock");
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(outcome) = inner.slot.take() {
                 return outcome;
             }
-            inner = self.ready.wait(inner).expect("ticket lock");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Non-blocking poll.
     pub(crate) fn try_take(&self) -> Option<T> {
-        self.inner.lock().expect("ticket lock").slot.take()
+        lock_recover(&self.inner).slot.take()
     }
 
     /// Async poll: takes the outcome if it is there, otherwise stores the
     /// task's waker (replacing any previous one — a ticket has one consumer)
     /// for [`TicketState::fulfill`] to fire.
     pub(crate) fn poll_take(&self, waker: &Waker) -> Poll<T> {
-        let mut inner = self.inner.lock().expect("ticket lock");
+        let mut inner = lock_recover(&self.inner);
         match inner.slot.take() {
             Some(outcome) => Poll::Ready(outcome),
             None => {
@@ -131,5 +135,22 @@ mod tests {
         // No waiter ever registered; fulfilling must not panic or leak a wake.
         state.fulfill(1u32);
         assert_eq!(state.try_take(), Some(1));
+    }
+
+    #[test]
+    fn a_poisoned_ticket_still_round_trips() {
+        // Regression: a panic while the ticket mutex was held (e.g. a panicking
+        // waker clone) used to turn every later fulfill/wait on the same ticket
+        // into a `PoisonError` panic on an unrelated thread.
+        let state: Arc<TicketState<u32>> = TicketState::new();
+        let poisoner = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the ticket lock");
+        })
+        .join();
+        assert!(state.inner.lock().is_err(), "the ticket lock is poisoned");
+        state.fulfill(5u32);
+        assert_eq!(state.wait(), 5);
     }
 }

@@ -38,6 +38,7 @@ use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::{MetricsRecorder, VerifyMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
+use crate::sync::lock_recover;
 use crate::ticket::TicketState;
 use std::future::Future;
 use std::pin::Pin;
@@ -53,14 +54,14 @@ use svmodel::Response;
 /// single-threaded and the parallel verdict paths.
 pub const VERIFY_WORKERS_ENV: &str = "ASSERTSOLVER_VERIFY_WORKERS";
 
-/// Reads the verify-worker override from the environment, if set and positive.
+/// Reads the verify-worker override from the environment, if set and valid.
+///
+/// Same policy as [`crate::rt::env_drivers`]: zero or garbage falls back to
+/// the default with a one-line warning, and huge values clamp instead of
+/// spawning an unbounded number of judge threads.
 pub fn env_verify_workers() -> Option<usize> {
-    std::env::var(VERIFY_WORKERS_ENV)
-        .ok()?
-        .trim()
-        .parse()
-        .ok()
-        .filter(|&workers| workers > 0)
+    let raw = std::env::var(VERIFY_WORKERS_ENV).ok()?;
+    crate::rt::resolve_thread_knob(VERIFY_WORKERS_ENV, &raw)
 }
 
 /// Verify-pool tuning parameters.
@@ -277,10 +278,7 @@ impl<C> VerifyCore<C> {
                 self.snapshot_generation
                     .store(loaded.generation, Ordering::Relaxed);
                 for (key, verdict, gen) in loaded.entries {
-                    self.caches[self.shard_for(key)]
-                        .lock()
-                        .expect("verdict cache lock")
-                        .preload_aged(key, verdict, gen);
+                    lock_recover(&self.caches[self.shard_for(key)]).preload_aged(key, verdict, gen);
                 }
                 self.metrics.record_snapshot_load(count);
             }
@@ -301,7 +299,7 @@ impl<C> VerifyCore<C> {
         };
         let mut entries = Vec::new();
         for cache in &self.caches {
-            entries.extend(cache.lock().expect("verdict cache lock").export_aged());
+            entries.extend(lock_recover(cache).export_aged());
         }
         if entries.is_empty() {
             return Ok(0);
@@ -405,7 +403,7 @@ impl<C> VerifyCore<C> {
     fn cache_entries(&self) -> usize {
         self.caches
             .iter()
-            .map(|cache| cache.lock().expect("verdict cache lock").len())
+            .map(|cache| lock_recover(cache).len())
             .sum()
     }
 
@@ -491,10 +489,7 @@ fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
         for job in batch {
             let queue_wait = job.enqueued_at.elapsed();
             let service_start = Instant::now();
-            let cached = core.caches[shard_idx]
-                .lock()
-                .expect("verdict cache lock")
-                .get_tagged(job.request.key);
+            let cached = lock_recover(&core.caches[shard_idx]).get_tagged(job.request.key);
             let cache_lookup = service_start.elapsed();
             if core.config.tracer.is_on() {
                 core.metrics.record_journal_event();
@@ -526,10 +521,7 @@ fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
                     let elapsed = verdict_start.elapsed();
                     match judged {
                         Ok(verdict) => {
-                            core.caches[shard_idx]
-                                .lock()
-                                .expect("verdict cache lock")
-                                .insert(job.request.key, verdict);
+                            lock_recover(&core.caches[shard_idx]).insert(job.request.key, verdict);
                             core.metrics.record_verdict(verdict);
                             (verdict, Some(elapsed))
                         }

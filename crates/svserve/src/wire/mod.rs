@@ -1,0 +1,66 @@
+//! The distributed shard fabric: a versioned wire protocol pushing the shard
+//! boundary across processes.
+//!
+//! ## Protocol
+//!
+//! Every message is one length-prefixed, checksummed frame
+//! (the `frame` codec): `[u32 len][u64 fnv64 checksum][JSON body]`.  A connection
+//! opens with a `Hello{format_version, fingerprint}` exchange — version skew
+//! or a model-identity mismatch refuses the connection instead of silently
+//! serving different answers — then runs `Submit` → `Response`/`Busy`/
+//! `Closed`/`Err` request-reply.  The declared length is capped
+//! ([`MAX_FRAME_LEN`]) *before* allocation and the checksum is verified
+//! *before* parsing, so a corrupt peer degrades to a counted error, never a
+//! panic or an unbounded allocation.
+//!
+//! ## Transports
+//!
+//! * [`LoopbackTransport`] — in process, every frame still encoded and
+//!   decoded, for deterministic tests that cover the codec;
+//! * [`UnixTransport`] — `std::os::unix::net` stream to a
+//!   [`ShardServer`] (or the `shard-serve` binary), with read/write
+//!   timeouts so a killed shard can never hang a client.
+//!
+//! ## Placement and determinism
+//!
+//! [`shard_for_key`] places each request by content hash — a pure function of
+//! content and shard count, mirroring [`crate::ab_arm`] — so per-shard caches
+//! stay disjoint and a [`ShardFleet`] evaluation is byte-identical to the
+//! in-process run at any shard count, warm or cold.  `Busy` survives the
+//! wire: the fleet maps it back to the same shed accounting
+//! ([`FleetMetrics::shed_busy`], `JournalEvent::Shed{pool:"wire"}`) a local
+//! pool uses.
+
+mod frame;
+mod remote;
+mod server;
+mod transport;
+
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, WireOutcome,
+    MAX_FRAME_LEN, WIRE_FORMAT_VERSION,
+};
+pub use remote::{shard_for_key, FleetMetrics, RemoteShard, ShardFleet};
+pub use server::ShardServer;
+pub use transport::{LoopbackTransport, Transport, UnixTransport, WireError};
+
+/// Environment variable listing shard socket paths (comma-separated); when
+/// set, `assertsolver::evaluate_model` runs against the remote fleet instead
+/// of an in-process service.
+pub const SHARD_SOCKETS_ENV: &str = "ASSERTSOLVER_SHARD_SOCKETS";
+
+/// Reads the shard socket list from the environment, if set and non-empty.
+pub fn env_shard_sockets() -> Option<Vec<String>> {
+    let raw = std::env::var(SHARD_SOCKETS_ENV).ok()?;
+    let sockets: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|socket| !socket.is_empty())
+        .map(str::to_string)
+        .collect();
+    if sockets.is_empty() {
+        None
+    } else {
+        Some(sockets)
+    }
+}

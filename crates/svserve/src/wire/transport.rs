@@ -1,0 +1,215 @@
+//! The [`Transport`] trait and its two implementations: in-process loopback
+//! and unix-socket.
+//!
+//! A transport is one client-side connection to one shard: `call` sends a
+//! [`Frame::Submit`] and blocks for the shard's answer.  Both implementations
+//! push every message through the same frame codec — the loopback transport
+//! encodes and decodes each frame in memory — so a test passing over loopback
+//! exercises byte-for-byte the protocol a socket peer would see.
+
+use super::frame::{read_frame, write_frame, Frame, FrameError, WireOutcome, WIRE_FORMAT_VERSION};
+use crate::queue::SubmitError;
+use crate::service::{RepairRequest, RepairService};
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+use svmodel::RepairModel;
+
+/// Why a wire submission failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The shard's admission control shed the request ([`SubmitError::Busy`]
+    /// over the wire); retrying later is reasonable.
+    Busy,
+    /// The shard's service has shut down; retrying this connection is not.
+    Closed,
+    /// The connection or protocol failed (timeout, corrupt frame, version or
+    /// fingerprint mismatch, dead peer).  The string is diagnostic only.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Busy => write!(f, "shard shed the request (busy)"),
+            WireError::Closed => write!(f, "shard service is closed"),
+            WireError::Protocol(msg) => write!(f, "wire protocol failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One client-side connection to a shard.
+pub trait Transport: Send {
+    /// The serving model's identity fingerprint, learned in the `Hello`
+    /// handshake.
+    fn fingerprint(&self) -> &str;
+
+    /// Submits one request and blocks for the shard's answer.
+    fn call(&mut self, request: &RepairRequest) -> Result<WireOutcome, WireError>;
+}
+
+/// In-process transport over a local [`RepairService`].
+///
+/// Every request and response round-trips through the frame codec
+/// (`encode_frame`/`decode_frame`) exactly as the socket transport's bytes would, so
+/// loopback-backed tests cover the codec, not just the service.
+pub struct LoopbackTransport<M: RepairModel + Send + Sync + 'static> {
+    service: Arc<RepairService<M>>,
+    fingerprint: String,
+}
+
+impl<M: RepairModel + Send + Sync + 'static> LoopbackTransport<M> {
+    /// Wraps a local service; `fingerprint` should be the serving model's
+    /// [`RepairModel::identity`].
+    pub fn new(service: Arc<RepairService<M>>, fingerprint: impl Into<String>) -> Self {
+        Self {
+            service,
+            fingerprint: fingerprint.into(),
+        }
+    }
+}
+
+impl<M: RepairModel + Send + Sync + 'static> Transport for LoopbackTransport<M> {
+    fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn call(&mut self, request: &RepairRequest) -> Result<WireOutcome, WireError> {
+        // Round-trip the submission through the codec: what the shard "hears"
+        // is what a socket peer would have decoded.
+        let submit = codec_round_trip(&Frame::Submit(request.clone()))?;
+        let Frame::Submit(request) = submit else {
+            return Err(WireError::Protocol("submit frame changed shape".into()));
+        };
+        let reply = match self.service.submit(request) {
+            Ok(ticket) => {
+                let outcome = ticket.wait();
+                Frame::Response(WireOutcome {
+                    responses: (*outcome.responses).clone(),
+                    from_cache: outcome.from_cache,
+                })
+            }
+            Err(SubmitError::Busy) => Frame::Busy,
+            Err(SubmitError::Closed) => Frame::Closed,
+        };
+        match codec_round_trip(&reply)? {
+            Frame::Response(outcome) => Ok(outcome),
+            Frame::Busy => Err(WireError::Busy),
+            Frame::Closed => Err(WireError::Closed),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+}
+
+fn codec_round_trip(frame: &Frame) -> Result<Frame, WireError> {
+    let bytes =
+        super::frame::encode_frame(frame).map_err(|err| WireError::Protocol(err.to_string()))?;
+    super::frame::decode_frame(&bytes).map_err(|err| WireError::Protocol(err.to_string()))
+}
+
+/// Unix-domain-socket transport to a `shard-serve` process.
+///
+/// Both directions carry a deadline ([`UnixTransport::connect`]'s `timeout`):
+/// a wedged or killed shard degrades to a [`WireError::Protocol`] after the
+/// timeout, never a hung client.
+pub struct UnixTransport {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+    fingerprint: String,
+}
+
+impl UnixTransport {
+    /// Connects and performs the `Hello` handshake.
+    ///
+    /// The connection is refused — with a [`WireError::Protocol`] naming the
+    /// mismatch — when the shard speaks a different [`WIRE_FORMAT_VERSION`] or
+    /// serves a model whose identity differs from `expected_fingerprint`:
+    /// a fleet must never silently mix incompatible shards, because their
+    /// answers would differ from the local model's.
+    pub fn connect(
+        path: impl AsRef<Path>,
+        expected_fingerprint: Option<&str>,
+        timeout: Duration,
+    ) -> Result<Self, WireError> {
+        let stream = UnixStream::connect(path.as_ref())
+            .map_err(|err| WireError::Protocol(format!("connect: {err}")))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|err| WireError::Protocol(format!("set timeout: {err}")))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|err| WireError::Protocol(format!("clone stream: {err}")))?,
+        );
+        let mut transport = Self {
+            reader,
+            writer: BufWriter::new(stream),
+            fingerprint: String::new(),
+        };
+        transport.send(&Frame::Hello {
+            format_version: WIRE_FORMAT_VERSION,
+            fingerprint: expected_fingerprint.unwrap_or("").to_string(),
+        })?;
+        match transport.receive()? {
+            Frame::Hello {
+                format_version,
+                fingerprint,
+            } => {
+                if format_version != WIRE_FORMAT_VERSION {
+                    return Err(WireError::Protocol(format!(
+                        "wire version mismatch: shard speaks v{format_version}, \
+                         client speaks v{WIRE_FORMAT_VERSION}"
+                    )));
+                }
+                if let Some(expected) = expected_fingerprint {
+                    if fingerprint != expected {
+                        return Err(WireError::Protocol(format!(
+                            "fingerprint mismatch: shard serves {fingerprint:?}, \
+                             expected {expected:?}"
+                        )));
+                    }
+                }
+                transport.fingerprint = fingerprint;
+                Ok(transport)
+            }
+            Frame::Err(msg) => Err(WireError::Protocol(format!("shard refused hello: {msg}"))),
+            other => Err(WireError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        write_frame(&mut self.writer, frame).map_err(|err| WireError::Protocol(err.to_string()))
+    }
+
+    fn receive(&mut self) -> Result<Frame, WireError> {
+        match read_frame(&mut self.reader) {
+            Ok(frame) => Ok(frame),
+            Err(FrameError::Eof) => Err(WireError::Protocol("shard closed the connection".into())),
+            Err(err) => Err(WireError::Protocol(err.to_string())),
+        }
+    }
+}
+
+impl Transport for UnixTransport {
+    fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn call(&mut self, request: &RepairRequest) -> Result<WireOutcome, WireError> {
+        self.send(&Frame::Submit(request.clone()))?;
+        match self.receive()? {
+            Frame::Response(outcome) => Ok(outcome),
+            Frame::Busy => Err(WireError::Busy),
+            Frame::Closed => Err(WireError::Closed),
+            Frame::Err(msg) => Err(WireError::Protocol(format!("shard error: {msg}"))),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+}
