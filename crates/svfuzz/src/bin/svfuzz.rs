@@ -1,0 +1,202 @@
+//! `svfuzz` — deterministic differential fuzzing CLI.
+//!
+//! * `run --seed N --iters M [--mine <dir>]` — drive the fuzzing loop and
+//!   print the byte-deterministic finding log; with `--mine`, write every
+//!   novel shrunk case (journal included) under `<dir>/<family>/`.
+//! * `repro <case.json>...` — re-drive checked-in cases: the recorded oracle
+//!   outcome must reproduce and the embedded journal must byte-verify.
+//! * `min <case.json>` — re-shrink an open case's input and print the result.
+//! * `add` — register an externally-found input as a corpus case (used for
+//!   regressions mined outside the loop, e.g. by hand or by CI).
+//!
+//! Exit status is the verdict, so CI can chain
+//! `svfuzz run ... | cmp` and `svfuzz repro fuzz/corpus/**/*.json`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use svfuzz::{
+    compose_case, ddmin_lines, drive_oracle, load_case, load_corpus, repro_case, run_fuzz,
+    write_case, Expectation, FuzzConfig, OracleKind,
+};
+
+const USAGE: &str = "usage:
+  svfuzz run --seed <n> --iters <n> [--mine <dir>]
+  svfuzz repro <case.json|corpus-dir>...
+  svfuzz min <case.json>
+  svfuzz add --oracle <tag> --family <tag> --expect <pass|fail> \\
+             --source <file> [--base <file>] --detail <text> --out <dir>";
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut seed = 1u64;
+    let mut iters = 1000u64;
+    let mut mine: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => seed = parse_u64(it.next(), "--seed")?,
+            "--iters" => iters = parse_u64(it.next(), "--iters")?,
+            "--mine" => mine = Some(PathBuf::from(it.next().ok_or("--mine needs a directory")?)),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let report = run_fuzz(&FuzzConfig::new(seed, iters));
+    print!("{}", report.log);
+    if let Some(root) = mine {
+        for case in &report.cases {
+            let path = write_case(&root, case)
+                .map_err(|err| format!("cannot write case {}: {err}", case.fingerprint))?;
+            println!("mined {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn collect_case_paths(arg: &str) -> Result<Vec<PathBuf>, String> {
+    let path = Path::new(arg);
+    if path.is_dir() {
+        Ok(load_corpus(path)?.into_iter().map(|(p, _)| p).collect())
+    } else {
+        Ok(vec![path.to_path_buf()])
+    }
+}
+
+fn cmd_repro(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err(format!(
+            "repro needs at least one case or corpus dir\n{USAGE}"
+        ));
+    }
+    let mut failures = 0usize;
+    let mut total = 0usize;
+    for arg in args {
+        for path in collect_case_paths(arg)? {
+            total += 1;
+            let case = load_case(&path)?;
+            match repro_case(&case) {
+                Ok(()) => println!("repro OK {}", path.display()),
+                Err(err) => {
+                    failures += 1;
+                    println!("repro FAIL {}: {err}", path.display());
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {total} cases failed to reproduce"));
+    }
+    println!("svfuzz: {total} cases reproduced");
+    Ok(())
+}
+
+fn cmd_min(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("min needs exactly one case\n{USAGE}"));
+    };
+    let case = load_case(Path::new(path))?;
+    if case.expect == Expectation::Passes {
+        println!("{}", case.source);
+        return Ok(());
+    }
+    let shrunk = ddmin_lines(
+        &case.source,
+        |candidate| {
+            drive_oracle(case.oracle, candidate)
+                .detail()
+                .map(|d| {
+                    format!("{:016x}", svfuzz::class_fingerprint(case.oracle, d)) == case.class
+                })
+                .unwrap_or(false)
+        },
+        512,
+    );
+    println!("{shrunk}");
+    Ok(())
+}
+
+fn cmd_add(args: &[String]) -> Result<(), String> {
+    let mut oracle: Option<OracleKind> = None;
+    let mut family: Option<String> = None;
+    let mut expect = Expectation::Passes;
+    let mut source: Option<String> = None;
+    let mut base: Option<String> = None;
+    let mut detail = String::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--oracle" => {
+                let tag = it.next().ok_or("--oracle needs a tag")?;
+                oracle = Some(
+                    OracleKind::from_tag(tag).ok_or_else(|| format!("unknown oracle {tag:?}"))?,
+                );
+            }
+            "--family" => family = it.next().cloned(),
+            "--expect" => {
+                let tag = it.next().ok_or("--expect needs pass|fail")?;
+                expect = Expectation::from_tag(tag)
+                    .ok_or_else(|| format!("unknown expectation {tag:?}"))?;
+            }
+            "--source" => source = Some(read_file(it.next(), "--source")?),
+            "--base" => base = Some(read_file(it.next(), "--base")?),
+            "--detail" => detail = it.next().cloned().unwrap_or_default(),
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let oracle = oracle.ok_or(format!("add needs --oracle\n{USAGE}"))?;
+    let family = family.ok_or(format!("add needs --family\n{USAGE}"))?;
+    let source = source.ok_or(format!("add needs --source <file>\n{USAGE}"))?;
+    let out = out.ok_or(format!("add needs --out <dir>\n{USAGE}"))?;
+    // Without --base the journal derives from the family's canonical golden.
+    let base = match base {
+        Some(text) => text,
+        None => {
+            let fam = svgen::Family::all()
+                .iter()
+                .copied()
+                .find(|f| f.tag() == family)
+                .ok_or_else(|| format!("unknown family {family:?} (needed to default --base)"))?;
+            svgen::instantiate(fam, svgen::FamilyParams::default(), 0).source
+        }
+    };
+
+    let case = compose_case(oracle, &family, &source, &base, &detail, expect, 0, 0)?;
+    repro_case(&case).map_err(|err| format!("freshly composed case does not repro: {err}"))?;
+    let path = write_case(&out, &case).map_err(|err| format!("cannot write case: {err}"))?;
+    println!("added {}", path.display());
+    Ok(())
+}
+
+fn read_file(arg: Option<&String>, flag: &str) -> Result<String, String> {
+    let path = arg.ok_or_else(|| format!("{flag} needs a file"))?;
+    std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))
+}
+
+fn parse_u64(arg: Option<&String>, flag: &str) -> Result<u64, String> {
+    arg.and_then(|raw| raw.parse::<u64>().ok())
+        .ok_or_else(|| format!("{flag} needs an unsigned integer"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "run" => cmd_run(rest),
+            "repro" => cmd_repro(rest),
+            "min" => cmd_min(rest),
+            "add" => cmd_add(rest),
+            _ => Err(USAGE.to_string()),
+        },
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("svfuzz: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Differential oracles.
+//!
+//! Every oracle is a pure function of the input source: internal seeds (bug
+//! injection, item permutation) are derived from a content hash of the text, so
+//! an outcome can be reproduced from a corpus case alone — no run state needed.
+//!
+//! * [`OracleKind::ParserEnvelope`] — parsing never panics, and on malformed
+//!   input the reported error span stays within the source (line 0 is the
+//!   documented "unknown" value and is accepted).
+//! * [`OracleKind::Roundtrip`] — `emit_file ∘ parse` is idempotent and
+//!   structure-preserving for any input that parses.
+//! * [`OracleKind::MutateClosure`] — every `svmutate` operator applied to a
+//!   parseable module yields a mutant that reparses, compile-checks, emits
+//!   canonically, reports the requested [`BugKind`], and is re-locatable as a
+//!   single differing site.
+//! * [`OracleKind::BmcPermutation`] — permuting a module's concurrent items
+//!   (`assign` / `always`) must not change the bounded-check verdict or the
+//!   set of failing assertion names.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use svmutate::{collect_sites, replace_site, BugInjector, BugKind};
+use svparse::ast::Item;
+use svparse::pretty::emit_expr;
+use svparse::{emit_file, emit_module, parse, parse_module, Module};
+use svserve::persist::fnv64;
+use svverify::{BoundedChecker, CheckConfig, Verdict};
+
+/// The differential property an input is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// No panic; error spans within the source.
+    ParserEnvelope,
+    /// `parse ↔ emit_file` structural roundtrip.
+    Roundtrip,
+    /// Mutation-operator closure.
+    MutateClosure,
+    /// Bounded-check verdict invariance under concurrent-item permutation.
+    BmcPermutation,
+}
+
+impl OracleKind {
+    /// Every oracle, in the order the miner drives them.
+    pub fn all() -> [OracleKind; 4] {
+        [
+            OracleKind::ParserEnvelope,
+            OracleKind::Roundtrip,
+            OracleKind::MutateClosure,
+            OracleKind::BmcPermutation,
+        ]
+    }
+
+    /// Stable tag used in filenames, logs and the CLI.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OracleKind::ParserEnvelope => "parser-envelope",
+            OracleKind::Roundtrip => "roundtrip",
+            OracleKind::MutateClosure => "mutate-closure",
+            OracleKind::BmcPermutation => "bmc-permutation",
+        }
+    }
+
+    /// Parses a tag back into the kind.
+    pub fn from_tag(tag: &str) -> Option<OracleKind> {
+        OracleKind::all().into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Result of driving one oracle over one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleOutcome {
+    /// The property holds (or is vacuous for this input).
+    Pass,
+    /// The property is violated; `detail` describes how.
+    Fail {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl OracleOutcome {
+    fn fail(detail: impl Into<String>) -> Self {
+        OracleOutcome::Fail {
+            detail: detail.into(),
+        }
+    }
+
+    /// Returns the failure detail, if any.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            OracleOutcome::Pass => None,
+            OracleOutcome::Fail { detail } => Some(detail),
+        }
+    }
+}
+
+/// The cheap bounded-check protocol the permutation oracle uses on both sides
+/// of the diff. Small and fixed so a 1-core CI smoke run stays fast.
+fn permutation_check_config() -> CheckConfig {
+    CheckConfig {
+        depth: 6,
+        max_exhaustive_bits: 8,
+        random_cases: 4,
+        seed: 0xF522_0001,
+    }
+}
+
+/// Drives one oracle over one source text. Pure: outcome depends only on
+/// `(kind, source)`.
+pub fn drive_oracle(kind: OracleKind, source: &str) -> OracleOutcome {
+    match kind {
+        OracleKind::ParserEnvelope => parser_envelope(source),
+        OracleKind::Roundtrip => roundtrip(source),
+        OracleKind::MutateClosure => mutate_closure(source),
+        OracleKind::BmcPermutation => bmc_permutation(source),
+    }
+}
+
+fn parser_envelope(source: &str) -> OracleOutcome {
+    let parsed = match catch_unwind(AssertUnwindSafe(|| parse(source))) {
+        Err(_) => return OracleOutcome::fail("parser panicked"),
+        Ok(result) => result,
+    };
+    match parsed {
+        Err(err) => {
+            let lines = source.lines().count().max(1);
+            if err.line() as usize > lines {
+                OracleOutcome::fail(format!(
+                    "error span out of range: line {} of {} ({err})",
+                    err.line(),
+                    lines
+                ))
+            } else {
+                OracleOutcome::Pass
+            }
+        }
+        Ok(_) => match catch_unwind(AssertUnwindSafe(|| svparse::compile_check(source))) {
+            Err(_) => OracleOutcome::fail("compile_check panicked"),
+            Ok(_) => OracleOutcome::Pass,
+        },
+    }
+}
+
+fn roundtrip(source: &str) -> OracleOutcome {
+    let Ok(file) = parse(source) else {
+        return OracleOutcome::Pass; // vacuous: envelope owns invalid inputs
+    };
+    let once = emit_file(&file);
+    let refile = match parse(&once) {
+        Ok(refile) => refile,
+        Err(err) => return OracleOutcome::fail(format!("canonical text does not re-parse: {err}")),
+    };
+    let twice = emit_file(&refile);
+    if once != twice {
+        return OracleOutcome::fail("emission is not idempotent");
+    }
+    if file.modules.len() != refile.modules.len() {
+        return OracleOutcome::fail("module count drifted across the roundtrip");
+    }
+    for (a, b) in file.modules.iter().zip(refile.modules.iter()) {
+        if a.name != b.name {
+            return OracleOutcome::fail(format!("module name drifted: {} vs {}", a.name, b.name));
+        }
+        if a.ports.len() != b.ports.len() || a.items.len() != b.items.len() {
+            return OracleOutcome::fail(format!("structure of {} drifted", a.name));
+        }
+    }
+    OracleOutcome::Pass
+}
+
+fn mutate_closure(source: &str) -> OracleOutcome {
+    let Ok(golden) = parse_module(source) else {
+        return OracleOutcome::Pass;
+    };
+    let mut injector = BugInjector::new(fnv64(source.as_bytes()) ^ 0x3A7);
+    for kind in BugKind::all() {
+        let Some(bug) = injector.inject_with_kind(&golden, kind) else {
+            continue;
+        };
+        let buggy_text = emit_module(&bug.buggy);
+        let reparsed = match parse_module(&buggy_text) {
+            Ok(m) => m,
+            Err(err) => {
+                return OracleOutcome::fail(format!("{kind} mutant does not reparse: {err}"))
+            }
+        };
+        if svparse::compile_check(&buggy_text).is_err() {
+            return OracleOutcome::fail(format!("{kind} mutant does not compile-check"));
+        }
+        if emit_module(&reparsed) != buggy_text {
+            return OracleOutcome::fail(format!("{kind} mutant emission is not canonical"));
+        }
+        if bug.kind != kind {
+            return OracleOutcome::fail(format!(
+                "injector reported kind {} for a requested {kind}",
+                bug.kind
+            ));
+        }
+        let Some(site_index) = locate_single_site(&golden, &bug.buggy) else {
+            return OracleOutcome::fail(format!(
+                "{kind} mutant is not re-locatable as a single differing site"
+            ));
+        };
+        let buggy_sites = collect_sites(&bug.buggy);
+        let rebuilt = replace_site(&golden, site_index, buggy_sites[site_index].expr.clone());
+        if emit_module(&rebuilt) != buggy_text {
+            return OracleOutcome::fail(format!(
+                "replaying the located {kind} site does not reproduce the mutant"
+            ));
+        }
+    }
+    OracleOutcome::Pass
+}
+
+/// Index of the single site whose expression differs, if exactly one does and
+/// both modules enumerate the same number of sites.
+fn locate_single_site(golden: &Module, buggy: &Module) -> Option<usize> {
+    let golden_sites = collect_sites(golden);
+    let buggy_sites = collect_sites(buggy);
+    if golden_sites.len() != buggy_sites.len() {
+        return None;
+    }
+    let differing: Vec<usize> = golden_sites
+        .iter()
+        .zip(buggy_sites.iter())
+        .enumerate()
+        .filter(|(_, (g, b))| emit_expr(&g.expr) != emit_expr(&b.expr))
+        .map(|(i, _)| i)
+        .collect();
+    match differing.as_slice() {
+        [index] => Some(*index),
+        _ => None,
+    }
+}
+
+fn bmc_permutation(source: &str) -> OracleOutcome {
+    let Ok(module) = parse_module(source) else {
+        return OracleOutcome::Pass;
+    };
+    // Deterministic cost cap: very large modules are covered by the other
+    // oracles; the bounded check would dominate the iteration budget.
+    if source.lines().count() > 160 {
+        return OracleOutcome::Pass;
+    }
+    let checker = BoundedChecker::new(permutation_check_config());
+    let baseline = checker.check_module(&module);
+    let permuted = permute_concurrent_items(&module, fnv64(source.as_bytes()) ^ 0xB3C);
+    let permuted_text = emit_module(&permuted);
+    let reparsed = match parse_module(&permuted_text) {
+        Ok(m) => m,
+        Err(err) => return OracleOutcome::fail(format!("permuted module does not reparse: {err}")),
+    };
+    let diffed = checker.check_module(&reparsed);
+    let (base_sig, perm_sig) = (verdict_signature(&baseline), verdict_signature(&diffed));
+    if base_sig != perm_sig {
+        return OracleOutcome::fail(format!(
+            "verdict changed under item permutation: {base_sig:?} vs {perm_sig:?}"
+        ));
+    }
+    OracleOutcome::Pass
+}
+
+/// Shuffles the positions of `assign`/`always` items among themselves, keeping
+/// declarations, parameters, properties and assertions pinned in place. The
+/// permutation preserves concurrent semantics, so the verdict must not move.
+fn permute_concurrent_items(module: &Module, seed: u64) -> Module {
+    let mut permuted = module.clone();
+    let slots: Vec<usize> = module
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(_, item)| matches!(item, Item::Assign(_) | Item::Always(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = slots.clone();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    for (&slot, &from) in slots.iter().zip(order.iter()) {
+        permuted.items[slot] = module.items[from].clone();
+    }
+    permuted
+}
+
+/// The order-invariant part of a verdict: its status plus the sorted failing
+/// assertion names. Witness stimuli and sequence counts may legally differ.
+fn verdict_signature(verdict: &Verdict) -> (u8, Vec<String>) {
+    match verdict {
+        Verdict::Pass { .. } => (0, Vec::new()),
+        Verdict::Fail { failures, .. } => {
+            let mut names: Vec<String> = failures.iter().map(|f| f.assertion.clone()).collect();
+            names.sort();
+            names.dedup();
+            (1, names)
+        }
+        Verdict::Unverifiable { .. } => (2, Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svgen::{instantiate, Family, FamilyParams};
+
+    fn golden(family: Family) -> String {
+        instantiate(family, FamilyParams::default(), 0).source
+    }
+
+    #[test]
+    fn all_oracles_pass_on_golden_designs() {
+        for family in [Family::Counter, Family::Parity, Family::EdgeDetector] {
+            let source = golden(family);
+            for kind in OracleKind::all() {
+                assert_eq!(
+                    drive_oracle(kind, &source),
+                    OracleOutcome::Pass,
+                    "{kind} fails on golden {family}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_accepts_clean_errors_and_flags_nothing_on_them() {
+        // Malformed inputs with in-range spans are a PASS for the envelope.
+        for source in ["module m(", "module m();\nassign\n", "", "module"] {
+            assert_eq!(
+                drive_oracle(OracleKind::ParserEnvelope, source),
+                OracleOutcome::Pass,
+                "{source:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_clean_envelope_pass_after_the_depth_limit_fix() {
+        let nested = format!(
+            "module m(input a, output y); assign y = {}a{}; endmodule",
+            "(".repeat(1000),
+            ")".repeat(1000)
+        );
+        assert_eq!(
+            drive_oracle(OracleKind::ParserEnvelope, &nested),
+            OracleOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn permutation_keeps_concurrent_item_multiset() {
+        let source = golden(Family::Alu);
+        let module = parse_module(&source).unwrap();
+        let permuted = permute_concurrent_items(&module, 42);
+        assert_eq!(module.items.len(), permuted.items.len());
+        let mut a: Vec<String> = Vec::new();
+        let mut b: Vec<String> = Vec::new();
+        for (x, y) in module.items.iter().zip(permuted.items.iter()) {
+            // Pinned kinds stay identical in place.
+            if !matches!(x, Item::Assign(_) | Item::Always(_)) {
+                assert_eq!(
+                    format!("{x:?}"),
+                    format!("{y:?}"),
+                    "non-concurrent item moved"
+                );
+            } else {
+                a.push(format!("{x:?}"));
+                b.push(format!("{y:?}"));
+            }
+        }
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "concurrent items must be a permutation");
+    }
+
+    #[test]
+    fn oracle_tags_roundtrip() {
+        for kind in OracleKind::all() {
+            assert_eq!(OracleKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(OracleKind::from_tag("nope"), None);
+    }
+}

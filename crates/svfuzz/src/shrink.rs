@@ -1,0 +1,157 @@
+//! Delta-debugging minimizer.
+//!
+//! Classic ddmin over source lines, followed by a per-line tail-trim pass. The
+//! predicate receives a candidate and returns `true` when the failure of
+//! interest still reproduces; the minimizer only ever returns candidates the
+//! predicate accepted, so the shrunk case is guaranteed to still fail. A
+//! predicate-evaluation budget bounds worst-case cost; when it runs out the
+//! best candidate so far is returned.
+
+/// Minimizes `source` line-wise while `still_fails` keeps returning `true`.
+///
+/// `budget` caps the number of predicate evaluations (256 is plenty for the
+/// module sizes the generators produce).
+pub fn ddmin_lines(source: &str, still_fails: impl Fn(&str) -> bool, budget: usize) -> String {
+    let mut remaining = budget;
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    if lines.is_empty() || !check(&lines, &still_fails, &mut remaining) {
+        return source.to_string();
+    }
+
+    let mut chunks = 2usize;
+    while lines.len() >= 2 && remaining > 0 {
+        let chunk_len = lines.len().div_ceil(chunks);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < lines.len() && remaining > 0 {
+            let end = (start + chunk_len).min(lines.len());
+            let candidate: Vec<String> = lines[..start]
+                .iter()
+                .chain(lines[end..].iter())
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && check(&candidate, &still_fails, &mut remaining) {
+                lines = candidate;
+                chunks = chunks.saturating_sub(1).max(2);
+                reduced = true;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunks >= lines.len() {
+                break;
+            }
+            chunks = (chunks * 2).min(lines.len());
+        }
+    }
+
+    let joined = lines.join("\n");
+    trim_line_tails(&joined, still_fails, &mut remaining)
+}
+
+/// Tries to shorten each line from the right (dropping trailing fragments)
+/// while the failure persists.
+fn trim_line_tails(
+    source: &str,
+    still_fails: impl Fn(&str) -> bool,
+    remaining: &mut usize,
+) -> String {
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    for index in 0..lines.len() {
+        // Halve the line's tail repeatedly.
+        loop {
+            if *remaining == 0 {
+                return lines.join("\n");
+            }
+            let line = &lines[index];
+            if line.len() < 2 {
+                break;
+            }
+            let cut = line.len() / 2;
+            let mut candidate = lines.clone();
+            candidate[index] = line[..cut].trim_end().to_string();
+            if check(&candidate, &still_fails, remaining) {
+                lines = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+fn check(lines: &[String], still_fails: &impl Fn(&str) -> bool, remaining: &mut usize) -> bool {
+    if *remaining == 0 {
+        return false;
+    }
+    *remaining -= 1;
+    still_fails(&lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_relevant_line() {
+        let source = (0..40)
+            .map(|i| format!("line {i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let shrunk = ddmin_lines(&source, |cand| cand.contains("line 17"), 256);
+        assert!(shrunk.contains("line 17"));
+        assert!(
+            shrunk.lines().count() <= 2,
+            "expected near-minimal output, got:\n{shrunk}"
+        );
+    }
+
+    #[test]
+    fn returns_input_when_predicate_never_fires() {
+        let shrunk = ddmin_lines("a\nb\nc", |_| false, 64);
+        assert_eq!(shrunk, "a\nb\nc");
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let source = (0..64)
+            .map(|i| format!("l{i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let calls = std::cell::Cell::new(0usize);
+        let _ = ddmin_lines(
+            &source,
+            |_| {
+                calls.set(calls.get() + 1);
+                true
+            },
+            10,
+        );
+        assert!(calls.get() <= 10);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let source = (0..30)
+            .map(|i| format!("x {i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let pred = |cand: &str| cand.contains("x 3") && cand.contains("x 21");
+        assert_eq!(
+            ddmin_lines(&source, pred, 256),
+            ddmin_lines(&source, pred, 256)
+        );
+    }
+
+    #[test]
+    fn trims_line_tails() {
+        let shrunk = ddmin_lines(
+            "needle plus a very long irrelevant tail of text",
+            |cand| cand.contains("needle"),
+            256,
+        );
+        assert!(shrunk.contains("needle"));
+        assert!(shrunk.len() < "needle plus a very long irrelevant tail of text".len());
+    }
+}

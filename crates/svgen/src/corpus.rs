@@ -52,6 +52,9 @@ pub enum SampleOrigin {
     Corrupted(CorruptionKind),
     /// A byte-for-byte duplicate of an earlier sample.
     Duplicate,
+    /// A case mined by the `svfuzz` differential fuzzer and fed back as corpus
+    /// material.
+    Mined,
 }
 
 /// One raw corpus sample before Stage-1 filtering.
@@ -65,6 +68,21 @@ pub struct RawSample {
     pub family: Family,
     /// Provenance label (used only by tests; Stage 1 must rediscover the problems).
     pub origin: SampleOrigin,
+}
+
+impl RawSample {
+    /// Wraps a fuzz-mined source as a corpus sample. `svfuzz` uses this to feed
+    /// its shrunk findings back into the corpus stream; Stage 1 treats them like
+    /// any other raw sample (healthy ones become designs, broken ones become
+    /// Verilog-PT material with a failure analysis).
+    pub fn mined(source: String, function: String, family: Family) -> Self {
+        Self {
+            source,
+            function,
+            family,
+            origin: SampleOrigin::Mined,
+        }
+    }
 }
 
 /// Configuration of corpus generation.
@@ -163,14 +181,28 @@ impl CorpusGenerator {
         }
 
         // Deterministic interleave so corrupted samples are not all at the end.
+        Self::interleave(&mut samples, self.config.seed);
+        samples
+    }
+
+    /// Like [`CorpusGenerator::generate`], but with fuzz-mined samples folded into
+    /// the same deterministic interleave, so downstream stages see them as ordinary
+    /// corpus material rather than a trailing block.
+    pub fn generate_with_mined(&self, mined: Vec<RawSample>) -> Vec<RawSample> {
+        let mut samples = self.generate();
+        samples.extend(mined);
+        Self::interleave(&mut samples, self.config.seed);
+        samples
+    }
+
+    fn interleave(samples: &mut [RawSample], seed: u64) {
         samples.sort_by_key(|s| {
             let mut hash = 0u64;
             for b in s.source.bytes() {
                 hash = hash.wrapping_mul(31).wrapping_add(u64::from(b));
             }
-            hash ^ self.config.seed
+            hash ^ seed
         });
-        samples
     }
 }
 
@@ -273,6 +305,41 @@ mod tests {
             .map(|d| d.module_name)
             .collect();
         assert_eq!(names.len(), 48);
+    }
+
+    #[test]
+    fn mined_samples_are_interleaved_not_appended() {
+        let generator = CorpusGenerator::new(CorpusConfig {
+            golden_designs: 24,
+            ..CorpusConfig::default()
+        });
+        let mined = vec![
+            RawSample::mined(
+                "module fuzz_case(input a, output y);\nassign y = !a;\nendmodule\n".to_string(),
+                "fuzz-mined inverter".to_string(),
+                Family::Counter,
+            ),
+            RawSample::mined(
+                "module m(".to_string(),
+                "fuzz-mined malformed input".to_string(),
+                Family::Alu,
+            ),
+        ];
+        let a = generator.generate_with_mined(mined.clone());
+        let b = generator.generate_with_mined(mined.clone());
+        assert_eq!(a, b, "mined interleave must be deterministic");
+        assert_eq!(a.len(), generator.generate().len() + mined.len());
+        let positions: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.origin == SampleOrigin::Mined)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 2);
+        assert!(
+            positions[0] < a.len() - 2,
+            "mined samples should be interleaved, got positions {positions:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property test: the mutation operators are *closed* over the quick corpus.
+//!
+//! For every `BugKind` applied to every quick-corpus golden module, the mutant must:
+//!
+//! 1. re-emit to canonical text that parses and compile-checks (the Stage-2
+//!    "eliminate syntax errors" invariant);
+//! 2. classify to the operator's declared taxonomy class: the injected bug reports
+//!    exactly the requested [`BugKind`], and its `Cond`/`Non_cond` label agrees with
+//!    the mutated site's context;
+//! 3. be re-locatable by `sites`: the golden and buggy modules enumerate the same
+//!    number of sites, exactly one site's expression differs, and replacing that
+//!    site in the golden module with the buggy expression reproduces the mutant
+//!    byte-for-byte.
+//!
+//! This is the in-tree twin of the `svfuzz` mutate-closure oracle; a divergence the
+//! fuzzer mines should reproduce here by adding its seed.
+
+use svgen::{CorpusConfig, CorpusGenerator};
+use svmutate::{collect_sites, replace_site, BugInjector, Structural};
+use svmutate::{BugKind, Site};
+use svparse::{emit_module, parse_module, Module};
+
+/// The quick corpus: enough designs to cover every family at two parameter points.
+fn quick_corpus() -> Vec<Module> {
+    let generator = CorpusGenerator::new(CorpusConfig {
+        golden_designs: 32,
+        ..CorpusConfig::default()
+    });
+    generator
+        .golden_designs()
+        .iter()
+        .map(|d| parse_module(&d.source).expect("golden designs parse"))
+        .collect()
+}
+
+/// Locates the single differing site between a golden module and its mutant.
+fn locate(golden: &Module, buggy: &Module) -> Option<(Site, Site)> {
+    let golden_sites = collect_sites(golden);
+    let buggy_sites = collect_sites(buggy);
+    if golden_sites.len() != buggy_sites.len() {
+        return None;
+    }
+    let mut differing: Vec<(Site, Site)> = golden_sites
+        .into_iter()
+        .zip(buggy_sites)
+        .filter(|(g, b)| svparse::pretty::emit_expr(&g.expr) != svparse::pretty::emit_expr(&b.expr))
+        .collect();
+    if differing.len() == 1 {
+        differing.pop()
+    } else {
+        None
+    }
+}
+
+#[test]
+fn every_operator_is_closed_over_the_quick_corpus() {
+    let corpus = quick_corpus();
+    let mut injected = 0usize;
+    for (design_index, golden) in corpus.iter().enumerate() {
+        let mut injector = BugInjector::new(0xC105 ^ (design_index as u64));
+        for kind in BugKind::all() {
+            // Not every module offers a site for every kind (e.g. no literal in any
+            // site expression means no Value bug); that is a legal `None`, not a
+            // closure violation.
+            let Some(bug) = injector.inject_with_kind(golden, kind) else {
+                continue;
+            };
+            injected += 1;
+            let buggy_text = emit_module(&bug.buggy);
+
+            // (1) The mutant reparses and compile-checks.
+            let reparsed = parse_module(&buggy_text).unwrap_or_else(|e| {
+                panic!(
+                    "{}/{kind}: mutant does not reparse: {e}\n{buggy_text}",
+                    golden.name
+                )
+            });
+            assert!(
+                svparse::compile_check(&buggy_text).is_ok(),
+                "{}/{kind}: mutant does not compile-check\n{buggy_text}",
+                golden.name
+            );
+            assert_eq!(
+                emit_module(&reparsed),
+                buggy_text,
+                "{}/{kind}: mutant emission is not canonical",
+                golden.name
+            );
+
+            // (2) The bug classifies to the requested taxonomy class.
+            assert_eq!(
+                bug.kind, kind,
+                "{}: injector reported kind {:?} for a requested {kind}",
+                golden.name, bug.kind
+            );
+
+            // (3) The bug is re-locatable by `sites`.
+            let (golden_site, buggy_site) = locate(golden, &bug.buggy).unwrap_or_else(|| {
+                panic!(
+                    "{}/{kind}: mutant is not re-locatable as a single differing site\n{buggy_text}",
+                    golden.name
+                )
+            });
+            assert_eq!(
+                golden_site.index, buggy_site.index,
+                "{}: site indices must align",
+                golden.name
+            );
+            let declared = if golden_site.context.is_conditional() {
+                Structural::Cond
+            } else {
+                Structural::NonCond
+            };
+            assert_eq!(
+                bug.structural, declared,
+                "{}/{kind}: structural label disagrees with the located site context {:?}",
+                golden.name, golden_site.context
+            );
+            let rebuilt = replace_site(golden, golden_site.index, buggy_site.expr.clone());
+            assert_eq!(
+                emit_module(&rebuilt),
+                buggy_text,
+                "{}/{kind}: replaying the located site does not reproduce the mutant",
+                golden.name
+            );
+        }
+    }
+    // The sweep must actually exercise the closure: most designs accept most kinds.
+    assert!(
+        injected >= corpus.len(),
+        "too few injections to call this a property sweep: {injected}"
+    );
+}
+
+/// Affected-signal lists recorded by the injector always name signals the located
+/// site really influences — the classifier's input contract.
+#[test]
+fn affected_signals_match_located_site() {
+    let corpus = quick_corpus();
+    for (design_index, golden) in corpus.iter().enumerate() {
+        let mut injector = BugInjector::new(0xAFFE ^ (design_index as u64));
+        for _ in 0..4 {
+            let Some(bug) = injector.inject(golden) else {
+                continue;
+            };
+            let Some((golden_site, _)) = locate(golden, &bug.buggy) else {
+                continue;
+            };
+            assert_eq!(
+                bug.affected_signals, golden_site.affected,
+                "{}: injector affected-signal list disagrees with the located site",
+                golden.name
+            );
+        }
+    }
+}

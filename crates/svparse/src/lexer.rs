@@ -61,6 +61,13 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
+        // The EOF token reports the last content line: trailing newlines would
+        // otherwise push it past the end of the source, so "found end of input"
+        // diagnostics would point at a line that does not exist.
+        if tokens.len() >= 2 {
+            let last_content_line = tokens[tokens.len() - 2].line;
+            tokens.last_mut().expect("eof token").line = last_content_line;
+        }
         Ok(tokens)
     }
 

@@ -21,7 +21,16 @@ use crate::token::{Keyword, Token, TokenKind};
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
+
+/// Maximum syntactic nesting depth (parenthesised expressions, unary chains,
+/// nested statements, concatenations) before the parser reports an error instead
+/// of exhausting the call stack. Each level costs the full precedence-chain stack
+/// frame budget, so the bound must stay small enough for debug builds on default
+/// 2 MiB test threads. Deeply nested input is adversarial, not real hardware;
+/// hand-written and generated designs stay far below this bound.
+const MAX_NESTING_DEPTH: u32 = 64;
 
 impl Parser {
     /// Lexes the source and prepares a parser.
@@ -33,7 +42,19 @@ impl Parser {
         Ok(Self {
             tokens: Lexer::tokenize(source)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    fn enter_nested(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(ParseError::new(
+                format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                self.line(),
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -357,6 +378,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter_nested()?;
+        let result = self.parse_stmt_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let start = self.line();
         if self.eat_keyword(Keyword::Begin) {
             let mut stmts = Vec::new();
@@ -456,6 +484,13 @@ impl Parser {
     }
 
     fn parse_lvalue(&mut self) -> Result<LValue, ParseError> {
+        self.enter_nested()?;
+        let result = self.parse_lvalue_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_lvalue_inner(&mut self) -> Result<LValue, ParseError> {
         if self.eat_symbol("{") {
             let mut parts = vec![self.parse_lvalue()?];
             while self.eat_symbol(",") {
@@ -487,7 +522,10 @@ impl Parser {
     ///
     /// Returns a [`ParseError`] on malformed expressions.
     pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        self.parse_ternary()
+        self.enter_nested()?;
+        let result = self.parse_ternary();
+        self.depth -= 1;
+        result
     }
 
     fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
@@ -648,7 +686,12 @@ impl Parser {
             None
         };
         match op {
-            Some(op) => Ok(Expr::unary(op, self.parse_unary()?)),
+            Some(op) => {
+                self.enter_nested()?;
+                let inner = self.parse_unary();
+                self.depth -= 1;
+                Ok(Expr::unary(op, inner?))
+            }
             None => self.parse_primary(),
         }
     }
@@ -777,6 +820,13 @@ impl Parser {
     }
 
     fn parse_prop_expr(&mut self) -> Result<PropExpr, ParseError> {
+        self.enter_nested()?;
+        let result = self.parse_prop_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_prop_expr_inner(&mut self) -> Result<PropExpr, ParseError> {
         if self.eat_keyword(Keyword::Not) {
             self.expect_symbol("(")?;
             let inner = self.parse_prop_expr()?;

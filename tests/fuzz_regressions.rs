@@ -1,0 +1,134 @@
+//! Tier-1 guard over the fuzzing subsystem and the defects it mined.
+//!
+//! Three layers of protection:
+//!
+//! * the parser defects found by `svfuzz` stay fixed (clean errors instead of
+//!   stack-overflow aborts; spans that never point past the source);
+//! * every corpus case checked in under `fuzz/corpus/` reproduces: the
+//!   recorded oracle outcome matches and the embedded journal byte-verifies;
+//! * the fuzzing loop itself is byte-deterministic and its mined cases flow
+//!   into the data pipeline as ordinary corpus material.
+
+use std::path::Path;
+use svdata::stage1_filter;
+use svfuzz::{mined_samples, repro_case, run_fuzz, FuzzConfig, OracleKind};
+use svgen::{CorpusConfig, CorpusGenerator};
+
+fn corpus_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fuzz/corpus"))
+}
+
+#[test]
+fn deep_nesting_errors_cleanly_instead_of_overflowing() {
+    // Both recursion paths that used to abort the process: grouped parens on
+    // the expression ladder and stacked prefix operators.
+    let mut rhs = String::from("a");
+    for _ in 0..2000 {
+        rhs = format!("({rhs})");
+    }
+    let paren = format!("module m(input wire a, output wire y);\n  assign y = {rhs};\nendmodule\n");
+    let unary = format!(
+        "module m(input wire a, output wire y);\n  assign y = {}a;\nendmodule\n",
+        "~".repeat(2000)
+    );
+    for source in [paren, unary] {
+        let err = svparse::parse_module(&source).expect_err("over-deep input must be rejected");
+        assert!(
+            err.to_string().contains("nesting deeper"),
+            "expected a clean depth error, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn parser_error_spans_stay_within_the_source() {
+    let malformed = [
+        "module m();\n\n\n\nassign\n",
+        "module m(input wire a;\n",
+        "module m();\n  always @(posedge clk) begin\n",
+        "module m();\n  assign y = ;\nendmodule\n\n\n",
+        "module\n\n\n\n\n\n",
+    ];
+    for source in malformed {
+        let err = svparse::parse_module(source).expect_err("malformed input must not parse");
+        let lines = source.lines().count().max(1);
+        assert!(
+            (err.line() as usize) <= lines,
+            "span out of range: line {} of {lines} for {source:?}",
+            err.line()
+        );
+    }
+}
+
+#[test]
+fn every_checked_in_corpus_case_reproduces() {
+    let cases = svfuzz::load_corpus(corpus_root()).expect("corpus loads");
+    assert!(
+        !cases.is_empty(),
+        "fuzz/corpus must hold the mined regression cases"
+    );
+    for (path, case) in &cases {
+        repro_case(case).unwrap_or_else(|err| panic!("{} does not repro: {err}", path.display()));
+        assert!(
+            !case.journal.is_empty(),
+            "{} carries no journal",
+            path.display()
+        );
+    }
+    // The parser regressions mined during development are among them.
+    assert!(
+        cases
+            .iter()
+            .filter(|(_, c)| c.oracle == OracleKind::ParserEnvelope)
+            .count()
+            >= 3
+    );
+}
+
+#[test]
+fn fuzz_runs_are_byte_deterministic() {
+    let config = FuzzConfig::new(11, 96);
+    let a = run_fuzz(&config);
+    let b = run_fuzz(&config);
+    assert_eq!(a.log, b.log, "finding log must be a pure function of seed");
+    assert_eq!(a.cases, b.cases);
+    let c = run_fuzz(&FuzzConfig::new(12, 96));
+    assert_ne!(
+        a.log, c.log,
+        "different seeds must explore different inputs"
+    );
+}
+
+#[test]
+fn mined_cases_flow_into_the_data_pipeline() {
+    let cases: Vec<_> = svfuzz::load_corpus(corpus_root())
+        .expect("corpus loads")
+        .into_iter()
+        .map(|(_, case)| case)
+        .collect();
+    let mined = mined_samples(&cases);
+    assert_eq!(mined.len(), cases.len());
+
+    let generator = CorpusGenerator::new(CorpusConfig {
+        golden_designs: 8,
+        ..CorpusConfig::default()
+    });
+    let baseline = generator.generate().len();
+    let corpus = generator.generate_with_mined(mined);
+    assert_eq!(corpus.len(), baseline + cases.len());
+
+    // Stage 1 digests the mined material without panicking; the malformed
+    // parser regressions become verilog-pt entries with failure analysis —
+    // negative examples for learning-from-errors — instead of vanishing.
+    let stage1 = stage1_filter(&corpus);
+    let with_failure = stage1
+        .verilog_pt
+        .iter()
+        .filter(|e| e.failure_analysis.is_some())
+        .count();
+    assert!(
+        with_failure >= cases.len().min(1),
+        "mined malformed inputs must surface as failure-analysis entries"
+    );
+    assert!(!stage1.accepted.is_empty());
+}
