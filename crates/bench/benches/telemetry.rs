@@ -1,0 +1,130 @@
+//! Telemetry-registry overhead on the quick evaluation protocol: off vs on.
+//!
+//! The same quick-protocol evaluation runs twice, best of `PASSES` passes
+//! each way: once through `evaluate_model` with the telemetry handle off
+//! (every instrumented site pays one branch), and once through
+//! `evaluate_model_instrumented` with a live registry — stage timers, pool
+//! latency histograms, rung costs and the dual-clock span wall all recording
+//! into lock-free atomics.  The two evaluations are asserted byte-identical,
+//! and the instrumented wall-clock is asserted within the **5% overhead
+//! budget** the telemetry plane promises.
+//!
+//! Two machine-readable `BENCH_SUMMARY {...}` lines feed the
+//! `BENCH_telemetry.json` trajectory:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"telemetry","mode":"off","cases":8,...}
+//! BENCH_SUMMARY {"bench":"telemetry","mode":"on","cases":8,...,"overhead_pct":0.7}
+//! ```
+//!
+//! Run with `cargo bench --bench telemetry`.
+
+use assertsolver::{evaluate_model_instrumented, EvalConfig};
+use assertsolver_bench::SummaryWriter;
+use criterion::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use svdata::SvaBugEntry;
+use svmodel::AssertSolverModel;
+use svserve::{MetricsRegistry, TelemetryHandle};
+
+const PASSES: usize = 3;
+
+/// Absolute slack (seconds) on top of the 5% budget: at quick-protocol scale
+/// a single scheduler hiccup is bigger than 5% of the run, and the budget is
+/// about asymptotic overhead, not timer noise.
+const NOISE_FLOOR_SECS: f64 = 0.25;
+
+fn corpus() -> Vec<SvaBugEntry> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(31));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(8);
+    entries
+}
+
+fn main() {
+    let mut writer = SummaryWriter::new("telemetry", 2);
+    let entries = corpus();
+    let model = AssertSolverModel::base(9);
+    let config = EvalConfig {
+        workers: 2,
+        verify_workers: 2,
+        ..EvalConfig::quick(37)
+    };
+    println!(
+        "telemetry: {} cases x {} samples, registry off vs on, best of {PASSES} passes",
+        entries.len(),
+        config.samples
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "mode", "wall (s)", "series", "overhead"
+    );
+
+    // --- Registry off: every instrumented site is one cold branch. ---
+    let mut off_secs = f64::INFINITY;
+    let mut baseline = None;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let evaluation = assertsolver::evaluate_model(&model, &entries, &config);
+        off_secs = off_secs.min(start.elapsed().as_secs_f64());
+        baseline = Some(evaluation);
+    }
+    let baseline = baseline.expect("at least one off pass");
+    println!("{:>6} {:>12.3} {:>10} {:>14}", "off", off_secs, 0, "1.00");
+    writer.emit(format!(
+        "{{\"bench\":\"telemetry\",\"mode\":\"off\",\"cases\":{},\"samples\":{},\"secs\":{off_secs:.6}}}",
+        entries.len(),
+        config.samples
+    ));
+
+    // --- Registry on: every latency histogram and stage timer records. ---
+    let mut on_secs = f64::INFINITY;
+    let mut series = 0usize;
+    for _ in 0..PASSES {
+        let telemetry = TelemetryHandle::new(Arc::new(MetricsRegistry::default()));
+        let start = Instant::now();
+        let evaluation = evaluate_model_instrumented(&model, &entries, &config, &telemetry);
+        on_secs = on_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            baseline, evaluation,
+            "instrumented evaluation must be byte-identical to the plain one"
+        );
+        let snapshot = telemetry.snapshot();
+        series = snapshot.len();
+        assert!(
+            snapshot.get("eval.stage.sessions").map(|m| m.count) >= Some(1),
+            "instrumented run must record stage timings"
+        );
+        assert!(
+            snapshot
+                .get("service.repair.solve")
+                .map(|m| m.count > 0)
+                .unwrap_or(false),
+            "instrumented run must record solve latency"
+        );
+        black_box(&snapshot);
+    }
+    let overhead = on_secs / off_secs;
+    let overhead_pct = (overhead - 1.0) * 100.0;
+    println!(
+        "{:>6} {:>12.3} {:>10} {:>13.2}x",
+        "on", on_secs, series, overhead
+    );
+    writer.emit(format!(
+        "{{\"bench\":\"telemetry\",\"mode\":\"on\",\"cases\":{},\"samples\":{},\"secs\":{on_secs:.6},\"series\":{series},\"overhead_pct\":{overhead_pct:.1}}}",
+        entries.len(),
+        config.samples
+    ));
+
+    // The acceptance budget: a live registry must cost < 5% wall-clock on the
+    // quick protocol (plus an absolute floor so timer noise on a sub-second
+    // run cannot flake the gate).
+    assert!(
+        on_secs <= off_secs * 1.05 + NOISE_FLOOR_SECS,
+        "telemetry overhead {overhead_pct:.1}% exceeds the 5% budget \
+         (off {off_secs:.3}s, on {on_secs:.3}s)"
+    );
+    writer.finish();
+}

@@ -1,0 +1,136 @@
+//! `svprof` — dual-clock stage profiler for the quick evaluation protocol.
+//!
+//! ```text
+//! svprof [--seed N] [--limit N] [--profile-dir DIR] [--min-coverage PCT]
+//! ```
+//!
+//! Runs the quick protocol over the human-crafted corpus with the telemetry
+//! plane's stage timers on (`eval.stage.setup` / `.sessions` / `.report`),
+//! prints the collapsed-stack profile to stdout (flamegraph.pl's input
+//! format: `stack value` per line), and reports on stderr how much of the
+//! measured wall-clock the named stages attribute.  The stage timers tile
+//! the evaluation contiguously, so attribution answers "which stage
+//! dominates" directly — `evaluate;sessions` is where `ASSERTSOLVER_SCALE`
+//! buys parallelism; `setup`/`report` are the serial floor.
+//!
+//! With `--profile-dir` (or `ASSERTSOLVER_PROFILE_DIR`) the same profile is
+//! also written as a content-keyed `.folded` artifact.  With
+//! `--min-coverage PCT` the exit status asserts attribution: below the bar
+//! exits 1, so CI can pin "≥95% of wall-clock is named".
+//!
+//! Exit status: 0 ok, 1 below coverage bar or runtime failure, 2 usage.
+
+use assertsolver::{evaluate_model_profiled, human_crafted_cases, EvalConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+use svmodel::AssertSolverModel;
+use svserve::CollapsedProfile;
+
+struct Args {
+    seed: u64,
+    limit: usize,
+    profile_dir: Option<String>,
+    min_coverage: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2025,
+        limit: usize::MAX,
+        profile_dir: None,
+        min_coverage: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|err| format!("--seed: {err}"))?
+            }
+            "--limit" => {
+                args.limit = value("--limit")?
+                    .parse()
+                    .map_err(|err| format!("--limit: {err}"))?
+            }
+            "--profile-dir" => args.profile_dir = Some(value("--profile-dir")?),
+            "--min-coverage" => {
+                args.min_coverage = Some(
+                    value("--min-coverage")?
+                        .parse()
+                        .map_err(|err| format!("--min-coverage: {err}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("svprof: {msg}");
+            eprintln!(
+                "usage: svprof [--seed N] [--limit N] [--profile-dir DIR] [--min-coverage PCT]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut entries = human_crafted_cases();
+    entries.truncate(args.limit);
+    if entries.is_empty() {
+        eprintln!("svprof: empty corpus (--limit 0?)");
+        return ExitCode::FAILURE;
+    }
+    let model = AssertSolverModel::base(args.seed);
+    let config = EvalConfig {
+        profile_dir: args.profile_dir.clone(),
+        ..EvalConfig::quick(args.seed)
+    };
+
+    let wall_start = Instant::now();
+    let (evaluation, profile) = evaluate_model_profiled(&model, &entries, &config);
+    let wall = wall_start.elapsed();
+
+    // The rendered profile must round-trip through the parser — the same
+    // contract CI leans on before feeding it to flamegraph tooling.
+    let rendered = profile.render();
+    let reparsed = match CollapsedProfile::parse(&rendered) {
+        Ok(reparsed) => reparsed,
+        Err(err) => {
+            eprintln!("svprof: rendered profile does not re-parse: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reparsed.total() != profile.total() {
+        eprintln!("svprof: profile render/parse round-trip lost observations");
+        return ExitCode::FAILURE;
+    }
+
+    print!("{rendered}");
+
+    let wall_nanos = wall.as_nanos().max(1) as f64;
+    let coverage = 100.0 * profile.total() as f64 / wall_nanos;
+    eprintln!(
+        "svprof: {} cases, pass@1 {:.1}%, wall {:.3}s, {:.1}% attributed to {} stages",
+        entries.len(),
+        evaluation.passk().pass1_percent(),
+        wall.as_secs_f64(),
+        coverage,
+        profile.frames().count(),
+    );
+    if let Some(bar) = args.min_coverage {
+        if coverage < bar {
+            eprintln!("svprof: attribution {coverage:.1}% is below the {bar:.1}% bar");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

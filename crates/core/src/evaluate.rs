@@ -10,16 +10,18 @@ use serde::{Deserialize, Serialize};
 use std::collections::btree_map::Entry as BTreeEntry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
 use svserve::persist::fnv64;
 use svserve::{
-    env_cache_dir, env_journal_dir, render_journal, serve_scoped, verdict_key, write_journal,
-    BackendSpec, CaseKey, EscalationJudge, JournalHeader, JournalSink, JournalSpec, JudgeReport,
-    ModelRouter, PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
+    env_cache_dir, env_journal_dir, env_profile_dir, render_journal, serve_scoped, verdict_key,
+    write_journal, BackendSpec, CaseKey, CollapsedProfile, EscalationJudge, JournalHeader,
+    JournalSink, JournalSpec, JudgeReport, Metric, MetricClass, MetricsRegistry, ModelRouter,
+    PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
     ServiceConfig, SessionConfig, SessionEngine, SessionPhase, SessionSpan, ShardFleet,
-    TracerHandle, VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool, VerifyRequest, VerifyTicket,
-    DEFAULT_COMPACT_AFTER_RUNS,
+    TelemetryHandle, TracerHandle, VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool,
+    VerifyRequest, VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
 };
 use svverify::{CheckConfig, VerifyOracle};
 
@@ -65,6 +67,12 @@ pub struct EvalConfig {
     /// the shards serve the same model and seed (the `Hello` fingerprint
     /// handshake enforces the model half).  Verification always runs locally.
     pub shards: Option<ShardSpec>,
+    /// Directory for collapsed-stack profile artifacts (`None` = the
+    /// `ASSERTSOLVER_PROFILE_DIR` environment override, else no profile
+    /// write).  When resolved, [`evaluate_model_profiled`] writes its
+    /// flamegraph-compatible `profile-<slug>-<hash>.folded` there (best
+    /// effort, like the cache flush paths).
+    pub profile_dir: Option<String>,
     /// Bounded-check configuration used to decide whether a repair solves the failure.
     pub check: CheckConfig,
 }
@@ -103,6 +111,7 @@ impl Default for EvalConfig {
             cache_dir: None,
             journal_dir: None,
             shards: None,
+            profile_dir: None,
             check: CheckConfig {
                 depth: 12,
                 random_cases: 16,
@@ -149,6 +158,19 @@ impl EvalConfig {
             .filter(|raw| !raw.is_empty())
             .map(std::path::PathBuf::from)
             .or_else(env_journal_dir)
+    }
+
+    /// The profile directory this protocol writes collapsed-stack artifacts
+    /// to, if any: the explicit [`EvalConfig::profile_dir`] field, else the
+    /// `ASSERTSOLVER_PROFILE_DIR` environment override
+    /// (`svserve::PROFILE_DIR_ENV`).
+    pub fn resolved_profile_dir(&self) -> Option<std::path::PathBuf> {
+        self.profile_dir
+            .as_deref()
+            .map(|raw| raw.trim())
+            .filter(|raw| !raw.is_empty())
+            .map(std::path::PathBuf::from)
+            .or_else(env_profile_dir)
     }
 
     /// The remote shard fleet this protocol samples against, if any: the
@@ -446,12 +468,30 @@ impl EvalVerifier {
     /// so admit and cache/panic diagnostics land in the session journal.  With
     /// [`TracerHandle::off`] this is exactly [`EvalVerifier::start`].
     pub fn start_traced(config: &EvalConfig, tracer: TracerHandle) -> Self {
+        Self::start_instrumented(config, tracer, &TelemetryHandle::off())
+    }
+
+    /// Starts the verify workers with both observability hooks installed: the
+    /// journal tracer and a telemetry registry (the pool records its
+    /// `verify.queue_wait` / `verify.verdict.latency` histograms into it).
+    /// With both hooks off this is exactly [`EvalVerifier::start`].
+    pub fn start_instrumented(
+        config: &EvalConfig,
+        tracer: TracerHandle,
+        telemetry: &TelemetryHandle,
+    ) -> Self {
         let oracle = VerifyOracle::new(config.check.clone());
         let judge = move |entry: &SvaBugEntry, response: &Response| {
             response_is_correct(entry, response, &oracle)
         };
         Self {
-            pool: VerifyPool::start(Arc::new(judge), config.verify_config().with_tracer(tracer)),
+            pool: VerifyPool::start(
+                Arc::new(judge),
+                config
+                    .verify_config()
+                    .with_tracer(tracer)
+                    .with_telemetry(telemetry.clone()),
+            ),
             check_fingerprint: config.check.fingerprint(),
         }
     }
@@ -796,13 +836,129 @@ pub fn evaluate_model_traced<M: RepairModel + Sync + ?Sized>(
     verifier: &EvalVerifier,
     tracer: &TracerHandle,
 ) -> ModelEvaluation {
-    let engine = SessionEngine::new(config.session_config().with_tracer(tracer.clone()));
+    evaluate_model_hooked(
+        model,
+        entries,
+        config,
+        verifier,
+        tracer,
+        &TelemetryHandle::off(),
+    )
+}
+
+/// Evaluates a model with a telemetry registry threaded through every serving
+/// layer — the repair pool (`service.repair.*`), the session engine's runtime
+/// (`rt.poll.duration`), the per-case dual-clock spans (`session.span.wall`)
+/// — plus coarse pipeline stage timers: verification telemetry is installed
+/// pool-side at [`EvalVerifier::start_instrumented`], since the pool outlives
+/// single evaluations.  With [`TelemetryHandle::off`] this is exactly
+/// [`evaluate_model_with`].  Starts (and shuts down) a fresh verifier; to
+/// share a warm one, use [`evaluate_model_hooked`].
+pub fn evaluate_model_instrumented<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    telemetry: &TelemetryHandle,
+) -> ModelEvaluation {
+    let verifier = EvalVerifier::start_instrumented(config, TracerHandle::off(), telemetry);
+    let evaluation = evaluate_model_hooked(
+        model,
+        entries,
+        config,
+        &verifier,
+        &TracerHandle::off(),
+        telemetry,
+    );
+    verifier.shutdown();
+    evaluation
+}
+
+/// Evaluates a model under a fresh telemetry registry and folds the pipeline
+/// stage timers into a flamegraph-compatible [`CollapsedProfile`].
+///
+/// The three `evaluate;*` frames tile the evaluation wall-clock end to end —
+/// `setup` (request/span construction and pool spin-up), `sessions` (the
+/// async session engine driving every case through sample → verify), and
+/// `report` (span finish and result assembly) — so the profile attributes
+/// essentially all of the run to a named stage; `svprof` asserts ≥ 95%.  When
+/// [`EvalConfig::profile_dir`] (or `ASSERTSOLVER_PROFILE_DIR`) resolves, the
+/// rendered profile is also written to `profile-<slug>-<hash>.folded` there,
+/// best-effort.
+pub fn evaluate_model_profiled<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+) -> (ModelEvaluation, CollapsedProfile) {
+    let telemetry = TelemetryHandle::new(Arc::new(MetricsRegistry::default()));
+    let evaluation = evaluate_model_instrumented(model, entries, config, &telemetry);
+    let snapshot = telemetry.snapshot();
+    let mut profile = CollapsedProfile::new();
+    for stage in ["setup", "sessions", "report"] {
+        if let Some(metric) = snapshot.get(&format!("eval.stage.{stage}")) {
+            profile.record(&format!("evaluate;{stage}"), metric.sum);
+        }
+    }
+    if let Some(dir) = config.resolved_profile_dir() {
+        let mut keyed = model.identity().as_bytes().to_vec();
+        keyed.push(0);
+        keyed.extend_from_slice(&config.seed.to_le_bytes());
+        keyed.extend_from_slice(&corpus_fingerprint(entries).to_le_bytes());
+        let path = dir.join(format!(
+            "profile-{}-{:08x}.folded",
+            file_slug(&model.identity()),
+            fnv64(&keyed) as u32
+        ));
+        // Best-effort like the journal write: an unwritable profile directory
+        // must not fail the evaluation itself.
+        let _ = svserve::persist::write_atomic(&path, &profile.render());
+    }
+    (evaluation, profile)
+}
+
+/// Observes the time since `*clock` into `metric` (when on) and restarts the
+/// clock — the tiling primitive behind the `eval.stage.*` timers: consecutive
+/// laps cover the wall-clock contiguously, so the stage sums account for the
+/// whole evaluation.
+fn stage_lap(clock: &mut Instant, metric: Option<&Metric>) {
+    let now = Instant::now();
+    if let Some(metric) = metric {
+        metric.observe_duration(now.duration_since(*clock));
+    }
+    *clock = now;
+}
+
+/// [`evaluate_model_traced`] with *both* observability hooks: the journal
+/// tracer and a telemetry registry.  The registry receives the pool and
+/// runtime histograms plus the tiled `eval.stage.{setup,sessions,report}`
+/// stage timers (`stage_lap`); per-case spans are opened in dual-clock form
+/// ([`SessionSpan::with_telemetry`]), so wall time lands in `session.span.wall`
+/// while the journal bytes stay deterministic.  Either hook off costs one
+/// branch per site.
+pub fn evaluate_model_hooked<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    verifier: &EvalVerifier,
+    tracer: &TracerHandle,
+    telemetry: &TelemetryHandle,
+) -> ModelEvaluation {
+    let stage_setup = telemetry.histogram("eval.stage.setup", MetricClass::Volatile);
+    let stage_sessions = telemetry.histogram("eval.stage.sessions", MetricClass::Volatile);
+    let stage_report = telemetry.histogram("eval.stage.report", MetricClass::Volatile);
+    let mut clock = Instant::now();
+    let engine = SessionEngine::new(
+        config
+            .session_config()
+            .with_tracer(tracer.clone())
+            .with_telemetry(telemetry.clone()),
+    );
     let monitor = engine.monitor();
     let results = serve_scoped(
         model,
         config
             .service_config_for(&model.identity())
-            .with_tracer(tracer.clone()),
+            .with_tracer(tracer.clone())
+            .with_telemetry(telemetry.clone()),
         |service| {
             let requests: Vec<RepairRequest> = entries
                 .iter()
@@ -819,7 +975,9 @@ pub fn evaluate_model_traced<M: RepairModel + Sync + ?Sized>(
             // events from the engine outcomes after `run_all` returns.
             let spans: Vec<SessionSpan> = requests
                 .iter()
-                .map(|request| SessionSpan::new(tracer, request.key().fold64()))
+                .map(|request| {
+                    SessionSpan::with_telemetry(tracer, telemetry, request.key().fold64())
+                })
                 .collect();
             let sessions: Vec<_> = entries
                 .iter()
@@ -854,7 +1012,9 @@ pub fn evaluate_model_traced<M: RepairModel + Sync + ?Sized>(
                     }
                 })
                 .collect();
+            stage_lap(&mut clock, stage_setup.as_deref());
             let outcomes = engine.run_all(sessions);
+            stage_lap(&mut clock, stage_sessions.as_deref());
             for (span, outcome) in spans.iter().zip(&outcomes) {
                 span.finish(outcome);
             }
@@ -868,10 +1028,27 @@ pub fn evaluate_model_traced<M: RepairModel + Sync + ?Sized>(
                 .collect::<Vec<_>>()
         },
     );
-    ModelEvaluation {
+    let evaluation = ModelEvaluation {
         model: model.name().to_string(),
         results,
+    };
+    // Workload tallies are pure functions of `(model, corpus, protocol)` —
+    // the registry's deterministic plane, byte-stable at any driver/worker
+    // count and cache temperature (unlike the volatile stage timers above).
+    if telemetry.is_on() {
+        let det = MetricClass::Deterministic;
+        if let Some(metric) = telemetry.counter("eval.cases", det) {
+            metric.add(evaluation.results.len() as u64);
+        }
+        if let Some(metric) = telemetry.counter("eval.samples", det) {
+            metric.add(evaluation.results.iter().map(|r| r.n as u64).sum());
+        }
+        if let Some(metric) = telemetry.counter("eval.correct", det) {
+            metric.add(evaluation.results.iter().map(|r| r.c as u64).sum());
+        }
     }
+    stage_lap(&mut clock, stage_report.as_deref());
+    evaluation
 }
 
 /// Dedups one case's candidates into `(multiplicity, key, response)` triples.

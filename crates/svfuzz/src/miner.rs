@@ -137,7 +137,10 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
 /// structural oracles only make sense on parseable inputs, and the expensive
 /// ones are subsampled.
 fn oracles_for(config: &FuzzConfig, iteration: u64, parses: bool) -> Vec<OracleKind> {
-    let mut kinds = vec![OracleKind::ParserEnvelope];
+    // The wire oracle is content-derived, cheap (one frame codec round plus
+    // bounded corruptions) and meaningful on unparseable inputs too, so it
+    // runs every iteration alongside the envelope.
+    let mut kinds = vec![OracleKind::ParserEnvelope, OracleKind::WireStats];
     if parses {
         kinds.push(OracleKind::Roundtrip);
         if iteration.is_multiple_of(config.mutate_every.max(1)) {

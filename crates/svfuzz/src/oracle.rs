@@ -16,6 +16,11 @@
 //! * [`OracleKind::BmcPermutation`] — permuting a module's concurrent items
 //!   (`assign` / `always`) must not change the bounded-check verdict or the
 //!   set of failing assertion names.
+//! * [`OracleKind::WireStats`] — a source-derived telemetry snapshot
+//!   round-trips through the `StatsReply` wire frame, and every deterministic
+//!   corruption of the encoded bytes (flips, truncations, oversized
+//!   declarations, checksummed-but-mangled JSON) degrades to a decode error —
+//!   never a panic.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -40,16 +45,19 @@ pub enum OracleKind {
     MutateClosure,
     /// Bounded-check verdict invariance under concurrent-item permutation.
     BmcPermutation,
+    /// `StatsReply` wire-frame robustness: corrupt bytes never panic.
+    WireStats,
 }
 
 impl OracleKind {
     /// Every oracle, in the order the miner drives them.
-    pub fn all() -> [OracleKind; 4] {
+    pub fn all() -> [OracleKind; 5] {
         [
             OracleKind::ParserEnvelope,
             OracleKind::Roundtrip,
             OracleKind::MutateClosure,
             OracleKind::BmcPermutation,
+            OracleKind::WireStats,
         ]
     }
 
@@ -60,6 +68,7 @@ impl OracleKind {
             OracleKind::Roundtrip => "roundtrip",
             OracleKind::MutateClosure => "mutate-closure",
             OracleKind::BmcPermutation => "bmc-permutation",
+            OracleKind::WireStats => "wire-stats",
         }
     }
 
@@ -122,6 +131,7 @@ pub fn drive_oracle(kind: OracleKind, source: &str) -> OracleOutcome {
         OracleKind::Roundtrip => roundtrip(source),
         OracleKind::MutateClosure => mutate_closure(source),
         OracleKind::BmcPermutation => bmc_permutation(source),
+        OracleKind::WireStats => wire_stats(source),
     }
 }
 
@@ -265,6 +275,115 @@ fn bmc_permutation(source: &str) -> OracleOutcome {
         return OracleOutcome::fail(format!(
             "verdict changed under item permutation: {base_sig:?} vs {perm_sig:?}"
         ));
+    }
+    OracleOutcome::Pass
+}
+
+fn wire_stats(source: &str) -> OracleOutcome {
+    use svserve::{decode_frame, encode_frame, Frame, MetricClass, MetricsRegistry};
+
+    let seed = fnv64(source.as_bytes()) ^ 0x57A7;
+
+    // A snapshot derived from the source content: one deterministic counter
+    // plus a histogram fed source bytes, so corpus inputs reach different
+    // bucket layouts, value magnitudes and JSON shapes.
+    let registry = MetricsRegistry::default();
+    registry
+        .counter("fuzz.source.bytes", MetricClass::Deterministic)
+        .add(source.len() as u64);
+    let content = registry.histogram("fuzz.source.content", MetricClass::Volatile);
+    for (i, byte) in source.bytes().take(64).enumerate() {
+        content.observe(seed.rotate_left(i as u32) ^ u64::from(byte));
+    }
+    let frame = Frame::StatsReply(registry.snapshot());
+
+    // 1. The well-formed frame round-trips exactly.
+    let bytes = match encode_frame(&frame) {
+        Ok(bytes) => bytes,
+        Err(err) => return OracleOutcome::fail(format!("stats frame does not encode: {err}")),
+    };
+    match catch_unwind(AssertUnwindSafe(|| decode_frame(&bytes))) {
+        Err(_) => return OracleOutcome::fail("decoding a well-formed stats frame panicked"),
+        Ok(Ok(decoded)) if decoded == frame => {}
+        Ok(Ok(_)) => return OracleOutcome::fail("stats frame did not round-trip"),
+        Ok(Err(err)) => {
+            return OracleOutcome::fail(format!("well-formed stats frame rejected: {err}"))
+        }
+    }
+
+    // 2. Single-byte flips and truncations at source-derived positions must
+    //    decode to an error (length mismatch, checksum, codec) — never a
+    //    panic, never a silently accepted frame.
+    for step in 0..8u32 {
+        let flip_at = (seed.rotate_left(step * 7) as usize) % bytes.len();
+        let mut flipped = bytes.clone();
+        flipped[flip_at] ^= 1 << (step % 8);
+        match catch_unwind(AssertUnwindSafe(|| decode_frame(&flipped))) {
+            Err(_) => {
+                return OracleOutcome::fail(format!(
+                    "byte flip at {flip_at} panicked the frame decoder"
+                ))
+            }
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => {
+                return OracleOutcome::fail(format!(
+                    "byte flip at {flip_at} was accepted as a valid frame"
+                ))
+            }
+        }
+        let cut = (seed.rotate_right(step * 5) as usize) % bytes.len();
+        match catch_unwind(AssertUnwindSafe(|| decode_frame(&bytes[..cut]))) {
+            Err(_) => {
+                return OracleOutcome::fail(format!(
+                    "truncation to {cut} bytes panicked the frame decoder"
+                ))
+            }
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => {
+                return OracleOutcome::fail(format!(
+                    "truncation to {cut} bytes was accepted as a valid frame"
+                ))
+            }
+        }
+    }
+
+    // 3. An oversized declaration is refused before any body allocation.
+    let mut oversized = bytes.clone();
+    oversized[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    if !matches!(
+        catch_unwind(AssertUnwindSafe(|| decode_frame(&oversized))),
+        Ok(Err(_))
+    ) {
+        return OracleOutcome::fail("oversized length declaration was not cleanly refused");
+    }
+
+    // 4. A checksummed-but-mangled body — the shape a buggy (not malicious)
+    //    peer produces — must decode to an error or to some other valid
+    //    frame, never panic.  Same for the snapshot JSON parser itself.
+    let body = &bytes[12..];
+    if !body.is_empty() {
+        let drop_at = (seed as usize) % body.len();
+        let mut mangled: Vec<u8> = body.to_vec();
+        mangled.remove(drop_at);
+        let mut reframed = Vec::with_capacity(12 + mangled.len());
+        reframed.extend_from_slice(&(mangled.len() as u32).to_le_bytes());
+        reframed.extend_from_slice(&fnv64(&mangled).to_le_bytes());
+        reframed.extend_from_slice(&mangled);
+        if catch_unwind(AssertUnwindSafe(|| decode_frame(&reframed))).is_err() {
+            return OracleOutcome::fail(format!(
+                "mangled body (byte {drop_at} dropped, checksum fixed) panicked the decoder"
+            ));
+        }
+        if let Ok(text) = std::str::from_utf8(&mangled) {
+            let owned = text.to_string();
+            if catch_unwind(AssertUnwindSafe(|| {
+                svserve::RegistrySnapshot::parse_json(&owned)
+            }))
+            .is_err()
+            {
+                return OracleOutcome::fail("snapshot parser panicked on mangled JSON");
+            }
+        }
     }
     OracleOutcome::Pass
 }

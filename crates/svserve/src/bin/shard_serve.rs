@@ -20,7 +20,9 @@ use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
 use svmodel::{AssertSolverModel, RepairModel};
-use svserve::{PersistSpec, RepairService, ServiceConfig, ShardServer};
+use svserve::{
+    MetricsRegistry, PersistSpec, RepairService, ServiceConfig, ShardServer, TelemetryHandle,
+};
 
 struct Args {
     socket: String,
@@ -111,7 +113,13 @@ fn main() -> ExitCode {
     };
     let fingerprint = model.identity();
 
-    let mut config = ServiceConfig::default();
+    // A serving daemon is always introspectable: the `Stats` wire exchange
+    // answers latency histograms (`service.repair.*`, `wire.frame.bytes`)
+    // only when a registry is installed, and `svstat` is the whole point of
+    // running one, so telemetry is unconditionally on here (unlike library
+    // use, where it defaults off).
+    let mut config = ServiceConfig::default()
+        .with_telemetry(TelemetryHandle::new(Arc::new(MetricsRegistry::default())));
     if let Some(seed) = args.seed {
         config = config.with_seed(seed);
     }

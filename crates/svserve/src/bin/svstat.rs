@@ -1,0 +1,211 @@
+//! `svstat` — live fleet introspection against running `shard-serve` shards.
+//!
+//! ```text
+//! svstat [--sockets a.sock,b.sock] [--socket PATH]... [--timeout-ms N] [--json]
+//! ```
+//!
+//! Connects to every listed shard socket (falling back to the
+//! `ASSERTSOLVER_SHARD_SOCKETS` list when no flag names any), runs the
+//! `Stats` wire exchange against each, and renders the fleet-wide view: a
+//! per-shard liveness line, then the merged registry — counters and gauges
+//! with derived cache hit rates, and latency histograms as exact
+//! p50/p90/p99/max columns.  `--json` prints the merged snapshot's canonical
+//! JSON exposition instead of the table (byte-stable key order, suitable for
+//! scraping).
+//!
+//! Exit status: 0 when at least one shard answered, 1 when none did,
+//! 2 on usage errors.  A dead or corrupt shard is reported inline and
+//! excluded from the merge — one sick peer never hides the fleet.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use svserve::{
+    env_shard_sockets, ratio, FleetStats, MetricKind, MetricSnapshot, RegistrySnapshot, ShardFleet,
+};
+
+struct Args {
+    sockets: Vec<String>,
+    timeout_ms: u64,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sockets: Vec::new(),
+        timeout_ms: 2_000,
+        json: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--socket" => args.sockets.push(value("--socket")?),
+            "--sockets" => args.sockets.extend(
+                value("--sockets")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|socket| !socket.is_empty())
+                    .map(str::to_string),
+            ),
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|err| format!("--timeout-ms: {err}"))?
+            }
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.sockets.is_empty() {
+        args.sockets = env_shard_sockets()
+            .ok_or("no sockets: pass --socket/--sockets or set ASSERTSOLVER_SHARD_SOCKETS")?;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("svstat: {msg}");
+            eprintln!(
+                "usage: svstat [--sockets a.sock,b.sock] [--socket PATH]... \
+                 [--timeout-ms N] [--json]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Fingerprint `None`: introspection should work against any model, so the
+    // handshake's model check is skipped (unlike placement, stats reads don't
+    // depend on which checkpoint a shard serves).
+    let fleet =
+        ShardFleet::connect_unix(&args.sockets, None, Duration::from_millis(args.timeout_ms));
+    let stats = fleet.fleet_stats();
+
+    if args.json {
+        println!("{}", stats.merged.render_json());
+    } else {
+        print!("{}", render_fleet(&stats, &args.sockets));
+    }
+
+    if stats.live() == 0 {
+        eprintln!("svstat: no shard answered the stats exchange");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The human-facing report: shard liveness, derived rates, then the merged
+/// registry as aligned counter/gauge and histogram tables.
+fn render_fleet(stats: &FleetStats, sockets: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet: {}/{} shards live\n",
+        stats.live(),
+        stats.shards.len()
+    ));
+    for shard in &stats.shards {
+        let socket = sockets
+            .get(shard.shard)
+            .map(String::as_str)
+            .unwrap_or("<unknown>");
+        match &shard.result {
+            Ok(snapshot) => out.push_str(&format!(
+                "  shard {} {socket} [{}]: ok, {} metrics\n",
+                shard.shard,
+                short_fingerprint(&shard.fingerprint),
+                snapshot.len()
+            )),
+            Err(reason) => out.push_str(&format!("  shard {} {socket}: {reason}\n", shard.shard)),
+        }
+    }
+    out.push_str(&render_rates(&stats.merged));
+    out.push_str(&render_merged(&stats.merged));
+    out
+}
+
+fn short_fingerprint(fingerprint: &str) -> &str {
+    if fingerprint.is_empty() {
+        "?"
+    } else {
+        &fingerprint[..fingerprint.len().min(24)]
+    }
+}
+
+/// Derived fleet-wide rates from counters that exist whenever any shard has
+/// served traffic; silently absent rows (a fresh fleet) render as 0.
+fn render_rates(merged: &RegistrySnapshot) -> String {
+    let value = |name: &str| merged.get(name).map(|m| m.value).unwrap_or(0);
+    let hits = value("service.cache.hits");
+    let misses = value("service.cache.misses");
+    let verdict_hits = value("service.verify.cache.hits");
+    let verdict_misses = value("service.verify.cache.misses");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  cache: {:.1}% response hit rate ({hits}/{}), \
+         {:.1}% verdict hit rate ({verdict_hits}/{})\n",
+        100.0 * ratio(hits, hits + misses),
+        hits + misses,
+        100.0 * ratio(verdict_hits, verdict_hits + verdict_misses),
+        verdict_hits + verdict_misses,
+    ));
+    out.push_str(&format!(
+        "  pressure: queue depth {}, shed {}, panics {}, journal events {}\n",
+        value("service.queue.depth"),
+        value("service.shed_busy") + value("service.verify.shed_busy"),
+        value("service.panics") + value("service.verify.panics"),
+        value("service.journal.events"),
+    ));
+    out
+}
+
+fn render_merged(merged: &RegistrySnapshot) -> String {
+    let (scalars, histograms): (Vec<&MetricSnapshot>, Vec<&MetricSnapshot>) = merged
+        .metrics
+        .iter()
+        .partition(|metric| metric.kind != MetricKind::Histogram);
+    let name_width = merged
+        .metrics
+        .iter()
+        .map(|metric| metric.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("histogram (ns)".len());
+
+    let mut out = String::new();
+    if !scalars.is_empty() {
+        out.push_str(&format!(
+            "\n{:<name_width$}  {:>12}\n",
+            "counter/gauge", "value"
+        ));
+        for metric in scalars {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>12}\n",
+                metric.name, metric.value
+            ));
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str(&format!(
+            "\n{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "histogram (ns)", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for metric in histograms {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>10.0}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                metric.name,
+                metric.count,
+                metric.mean(),
+                metric.percentile(0.50),
+                metric.percentile(0.90),
+                metric.percentile(0.99),
+                metric.max,
+            ));
+        }
+    }
+    out
+}

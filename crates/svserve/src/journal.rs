@@ -48,10 +48,12 @@ use crate::persist::{self, fnv64};
 use crate::service::splitmix64;
 use crate::session::{SessionOutcome, SessionPhase};
 use crate::sync::lock_recover;
+use crate::telemetry::{Metric, MetricClass, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Journal file layout version (bumped on any incompatible change).
 pub const JOURNAL_FORMAT_VERSION: u32 = 1;
@@ -470,11 +472,20 @@ impl Tracer for JournalSink {
 }
 
 /// Shared state behind a [`SessionSpan`] and its [`SpanHandle`]s.
+///
+/// Spans keep **two clocks**: the journaled [`logical_tick`] (derived from the
+/// per-span sequence counter — byte-deterministic) and a wall clock started at
+/// span open.  The wall clock never enters the journal; it feeds the volatile
+/// `session.span.wall` telemetry histogram at terminal emit, so profile data
+/// and replayable artifacts come from one instrumentation point without the
+/// journal bytes depending on machine speed.
 struct SpanCore {
     tracer: TracerHandle,
     session: u64,
     seq: AtomicU32,
     ended: AtomicBool,
+    started: Instant,
+    wall: Option<Arc<Metric>>,
 }
 
 impl SpanCore {
@@ -495,6 +506,9 @@ impl SpanCore {
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
+            if let Some(metric) = &self.wall {
+                metric.observe_duration(self.started.elapsed());
+            }
             self.tracer.event(
                 self.session,
                 TERMINAL_SEQ,
@@ -518,12 +532,26 @@ pub struct SessionSpan {
 impl SessionSpan {
     /// Opens a span for `session` (the request's 64-bit content-hash fold).
     pub fn new(tracer: &TracerHandle, session: u64) -> Self {
+        Self::with_telemetry(tracer, &TelemetryHandle::off(), session)
+    }
+
+    /// Opens a span that also records its wall-clock lifetime into the
+    /// volatile `session.span.wall` telemetry histogram at terminal emit —
+    /// the dual-clock form: logical ticks in the journal, wall time in the
+    /// registry.
+    pub fn with_telemetry(
+        tracer: &TracerHandle,
+        telemetry: &TelemetryHandle,
+        session: u64,
+    ) -> Self {
         Self {
             core: Arc::new(SpanCore {
                 tracer: tracer.clone(),
                 session,
                 seq: AtomicU32::new(0),
                 ended: AtomicBool::new(false),
+                started: Instant::now(),
+                wall: telemetry.histogram("session.span.wall", MetricClass::Volatile),
             }),
         }
     }
@@ -531,6 +559,19 @@ impl SessionSpan {
     /// The session id the span journals under.
     pub fn session(&self) -> u64 {
         self.core.session
+    }
+
+    /// Wall-clock time since the span opened — the volatile half of the dual
+    /// clock.  Never journaled; compare with [`SessionSpan::logical_now`].
+    pub fn elapsed(&self) -> Duration {
+        self.core.started.elapsed()
+    }
+
+    /// The [`logical_tick`] the span's *next* event would journal under — the
+    /// deterministic half of the dual clock (a pure function of content and
+    /// event count, identical at any driver count).
+    pub fn logical_now(&self) -> u64 {
+        logical_tick(self.core.session, self.core.seq.load(Ordering::Relaxed))
     }
 
     /// A clonable handle for emitting events from inside the session future.
@@ -914,6 +955,48 @@ mod tests {
                 outcome: SessionEnd::Shed
             }
         );
+    }
+
+    #[test]
+    fn dual_clock_span_keeps_wall_time_out_of_the_journal() {
+        use crate::telemetry::MetricsRegistry;
+        let sink = sink();
+        let telemetry = TelemetryHandle::new(std::sync::Arc::new(MetricsRegistry::default()));
+
+        // Render the same event sequence through a plain span and a dual-clock
+        // span: the journal bytes must be identical — wall time lives only in
+        // the registry.
+        let plain = SessionSpan::new(&sink.handle(), 21);
+        plain.handle().phase(SessionPhase::Submitted);
+        plain.finish(&SessionOutcome::Completed(()));
+        let plain_records = sink.drain_sorted();
+
+        let dual = SessionSpan::with_telemetry(&sink.handle(), &telemetry, 21);
+        assert!(dual.elapsed() >= Duration::ZERO);
+        let before = dual.logical_now();
+        dual.handle().phase(SessionPhase::Submitted);
+        assert!(
+            dual.logical_now() > before,
+            "logical clock advances with events"
+        );
+        dual.finish(&SessionOutcome::Completed(()));
+        let dual_records = sink.drain_sorted();
+
+        let render = |records: &[JournalRecord]| {
+            records
+                .iter()
+                .map(JournalRecord::render)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&plain_records), render(&dual_records));
+
+        // The wall clock landed in telemetry instead.
+        let wall = telemetry
+            .snapshot()
+            .get("session.span.wall")
+            .cloned()
+            .expect("dual-clock span records session.span.wall");
+        assert_eq!(wall.count, 1);
     }
 
     #[test]

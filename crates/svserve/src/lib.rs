@@ -86,6 +86,7 @@ pub mod rt;
 pub mod service;
 pub mod session;
 pub(crate) mod sync;
+pub mod telemetry;
 mod ticket;
 pub mod verify;
 pub mod wire;
@@ -117,15 +118,20 @@ pub use session::{
     SessionConfig, SessionEngine, SessionHandle, SessionMetrics, SessionMonitor, SessionOutcome,
     SessionPhase, DEFAULT_DRIVERS,
 };
+pub use telemetry::{
+    env_profile_dir, env_telemetry, ratio, CollapsedProfile, Metric, MetricClass, MetricKind,
+    MetricSnapshot, MetricsRegistry, RegistrySnapshot, TelemetryHandle, HISTOGRAM_BUCKETS,
+    PROFILE_DIR_ENV, TELEMETRY_ENV,
+};
 pub use verify::{
     env_verify_workers, verify_scoped, ResponseJudge, ScopedVerifier, VerdictOutcome, VerifyConfig,
     VerifyPool, VerifyRequest, VerifySubmitFuture, VerifyTicket, VERIFY_WORKERS_ENV,
 };
 pub use wire::{
     decode_frame, encode_frame, env_shard_sockets, read_frame, shard_for_key, write_frame,
-    FleetMetrics, Frame, FrameError, LoopbackTransport, RemoteShard, ShardFleet, ShardServer,
-    Transport, UnixTransport, WireError, WireOutcome, MAX_FRAME_LEN, SHARD_SOCKETS_ENV,
-    WIRE_FORMAT_VERSION,
+    FleetMetrics, FleetStats, Frame, FrameError, LoopbackTransport, RemoteShard, ShardFleet,
+    ShardServer, ShardStats, Transport, UnixTransport, WireError, WireOutcome, MAX_FRAME_LEN,
+    SHARD_SOCKETS_ENV, WIRE_FORMAT_VERSION,
 };
 
 #[cfg(test)]
@@ -144,6 +150,9 @@ mod tests {
         assert_send_sync::<super::VerdictOutcome>();
         assert_send_sync::<super::VerifyTicket>();
         assert_send_sync::<super::TracerHandle>();
+        assert_send_sync::<super::TelemetryHandle>();
+        assert_send_sync::<super::MetricsRegistry>();
+        assert_send_sync::<super::RegistrySnapshot>();
         assert_send_sync::<super::JournalSink>();
         assert_send_sync::<super::SessionSpan>();
         assert_send_sync::<super::SpanHandle>();

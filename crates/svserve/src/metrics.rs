@@ -6,6 +6,8 @@
 //! verdict tallies) as [`VerifyMetrics`], and a combined view is available through
 //! [`ServiceMetrics::with_verify`].
 
+use crate::telemetry::{MetricClass, RegistrySnapshot};
+use crate::wire::FleetMetrics;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -298,6 +300,7 @@ impl MetricsRecorder {
             uptime_secs: stage.uptime_secs,
             throughput_per_sec: stage.throughput_per_sec,
             verify: None,
+            fleet: None,
         }
     }
 
@@ -450,6 +453,9 @@ pub struct ServiceMetrics {
     /// Verification-stage metrics, when the service runs in tandem with a verify
     /// pool (see [`ServiceMetrics::with_verify`]); `None` for a sampling-only pool.
     pub verify: Option<VerifyMetrics>,
+    /// Shard-fleet wire metrics, when sampling ran over a distributed fleet
+    /// (see [`ServiceMetrics::with_fleet`]); `None` for in-process serving.
+    pub fleet: Option<FleetMetrics>,
 }
 
 /// A point-in-time view of the verification offload pool.
@@ -554,6 +560,51 @@ pub fn indent_block(block: &str, spaces: usize) -> String {
 }
 
 impl VerifyMetrics {
+    /// Exports the snapshot's fields as registry series under `prefix` (see
+    /// [`ServiceMetrics::export`]).  Verdict tallies are deterministic — a
+    /// verdict is a pure function of `(case, response, checker config)`.
+    pub fn export(&self, prefix: &str, out: &mut RegistrySnapshot) {
+        let det = MetricClass::Deterministic;
+        let vol = MetricClass::Volatile;
+        out.upsert_counter(&format!("{prefix}.submitted"), det, self.submitted);
+        out.upsert_counter(&format!("{prefix}.completed"), det, self.completed);
+        out.upsert_counter(
+            &format!("{prefix}.verdicts.accepted"),
+            det,
+            self.verdicts_true,
+        );
+        out.upsert_counter(
+            &format!("{prefix}.verdicts.rejected"),
+            det,
+            self.verdicts_false,
+        );
+        out.upsert_counter(&format!("{prefix}.cache.hits"), vol, self.cache_hits);
+        out.upsert_counter(&format!("{prefix}.cache.misses"), vol, self.cache_misses);
+        out.upsert_counter(&format!("{prefix}.cache.warm_hits"), vol, self.warm_hits);
+        out.upsert_gauge(
+            &format!("{prefix}.cache.entries"),
+            vol,
+            self.cache_entries as u64,
+        );
+        out.upsert_gauge(
+            &format!("{prefix}.queue.depth"),
+            vol,
+            self.queue_depth as u64,
+        );
+        out.upsert_gauge(
+            &format!("{prefix}.queue.peak_depth"),
+            vol,
+            self.peak_queue_depth as u64,
+        );
+        out.upsert_counter(&format!("{prefix}.shed_busy"), vol, self.shed_busy);
+        out.upsert_counter(&format!("{prefix}.panics"), vol, self.verdict_panics);
+        out.upsert_counter(
+            &format!("{prefix}.journal.events"),
+            vol,
+            self.journal_events,
+        );
+    }
+
     /// The aligned rows behind [`VerifyMetrics::render`], exposed so composite
     /// views (e.g. a router's per-backend listing) can re-title or nest them.
     pub fn rows(&self) -> Vec<(&'static str, String)> {
@@ -643,6 +694,64 @@ impl ServiceMetrics {
         self
     }
 
+    /// Attaches a shard-fleet snapshot, producing the combined sharded view.
+    ///
+    /// Before this existed, a sharded evaluation's top-level summary silently
+    /// omitted wire errors and per-shard sheds — the fleet counters were
+    /// snapshotted and dropped on the floor.
+    pub fn with_fleet(mut self, fleet: FleetMetrics) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Exports the snapshot's fields as registry series under `prefix`
+    /// (`<prefix>.submitted`, `<prefix>.cache.hits`, …), so the bespoke view
+    /// and the unified telemetry plane expose one set of numbers.  Request and
+    /// verdict totals are deterministic (pure functions of the workload);
+    /// queue/cache/scheduling counters are volatile.
+    pub fn export(&self, prefix: &str, out: &mut RegistrySnapshot) {
+        let det = MetricClass::Deterministic;
+        let vol = MetricClass::Volatile;
+        out.upsert_counter(&format!("{prefix}.submitted"), det, self.submitted);
+        out.upsert_counter(&format!("{prefix}.completed"), det, self.completed);
+        out.upsert_counter(&format!("{prefix}.cache.hits"), vol, self.cache_hits);
+        out.upsert_counter(&format!("{prefix}.cache.misses"), vol, self.cache_misses);
+        out.upsert_counter(&format!("{prefix}.cache.warm_hits"), vol, self.warm_hits);
+        out.upsert_gauge(
+            &format!("{prefix}.cache.entries"),
+            vol,
+            self.cache_entries as u64,
+        );
+        out.upsert_gauge(
+            &format!("{prefix}.queue.depth"),
+            vol,
+            self.queue_depth as u64,
+        );
+        out.upsert_gauge(
+            &format!("{prefix}.queue.peak_depth"),
+            vol,
+            self.peak_queue_depth as u64,
+        );
+        out.upsert_gauge(
+            &format!("{prefix}.in_flight"),
+            vol,
+            self.in_flight_sessions as u64,
+        );
+        out.upsert_counter(&format!("{prefix}.shed_busy"), vol, self.shed_busy);
+        out.upsert_counter(&format!("{prefix}.panics"), vol, self.solve_panics);
+        out.upsert_counter(
+            &format!("{prefix}.journal.events"),
+            vol,
+            self.journal_events,
+        );
+        if let Some(verify) = &self.verify {
+            verify.export(&format!("{prefix}.verify"), out);
+        }
+        if let Some(fleet) = &self.fleet {
+            fleet.export(&format!("{prefix}.fleet"), out);
+        }
+    }
+
     /// The aligned rows behind [`ServiceMetrics::render`], exposed so composite
     /// views (e.g. a router's per-backend listing) can re-title or nest them.
     /// The attached verify stage, if any, is not part of the rows; `render`
@@ -716,13 +825,19 @@ impl ServiceMetrics {
     }
 
     /// Renders the snapshot as an aligned text block for logs and examples; a
-    /// combined snapshot appends the verification stage as its own block.
+    /// combined snapshot appends the verification stage — and, for sharded
+    /// runs, the fleet stage — as their own blocks.
     pub fn render(&self) -> String {
-        let base = render_block("service metrics", &self.rows());
-        match &self.verify {
-            Some(verify) => format!("{base}\n{}", verify.render()),
-            None => base,
+        let mut out = render_block("service metrics", &self.rows());
+        if let Some(verify) = &self.verify {
+            out.push('\n');
+            out.push_str(&verify.render());
         }
+        if let Some(fleet) = &self.fleet {
+            out.push('\n');
+            out.push_str(&fleet.render());
+        }
+        out
     }
 }
 
@@ -832,6 +947,96 @@ mod tests {
         let recorder = MetricsRecorder::new();
         let snap = recorder.snapshot(1, 0, 0);
         assert_eq!(snap.render(), render_block("service metrics", &snap.rows()));
+    }
+
+    #[test]
+    fn zero_request_rates_are_zero_not_nan() {
+        // An idle pool must report 0 rates, not NaN (0/0) — a `NaN%` hit rate
+        // in a summary poisons downstream comparisons and JSON consumers.
+        let recorder = MetricsRecorder::new();
+        let snap = recorder.snapshot(1, 0, 0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.warm_hit_rate, 0.0);
+        assert_eq!(snap.mean_batch_size, 0.0);
+        assert_eq!(snap.mean_queue_wait_us, 0.0);
+        assert!(!snap.throughput_per_sec.is_nan());
+        assert!(snap.render().contains("(0.0% hit rate)"));
+        let verify = recorder.snapshot_verify(1, 0, 0);
+        assert_eq!(verify.cache_hit_rate, 0.0);
+        assert!(!verify.mean_verdict_us.is_nan());
+        assert!(verify.render().contains("(0.0% hit rate)"));
+    }
+
+    #[test]
+    fn sharded_summary_includes_fleet_wire_errors_and_sheds() {
+        // Regression: before `with_fleet`, a sharded evaluation's top-level
+        // summary dropped the fleet counters entirely — wire errors and
+        // per-shard sheds were invisible in the rendered report.
+        let fleet = FleetMetrics {
+            shards: 2,
+            dead_shards: 1,
+            submitted: 10,
+            completed: 7,
+            remote_cache_hits: 3,
+            shed_busy: 1,
+            wire_errors: 2,
+            journal_events: 0,
+        };
+        let recorder = MetricsRecorder::new();
+        let plain = recorder.snapshot(2, 0, 0);
+        assert!(
+            !plain.render().contains("fleet metrics"),
+            "in-process runs must not grow a fleet block"
+        );
+        let combined = recorder.snapshot(2, 0, 0).with_fleet(fleet.clone());
+        let text = combined.render();
+        assert!(text.contains("fleet metrics"));
+        assert!(text.contains("wire errors"));
+        assert!(text.contains("shed busy"));
+        assert_eq!(combined.fleet.as_ref().unwrap(), &fleet);
+    }
+
+    #[test]
+    fn export_mirrors_the_bespoke_snapshot() {
+        let recorder = MetricsRecorder::new();
+        recorder.record_submit(1);
+        recorder.record_job(
+            Duration::from_micros(10),
+            Duration::from_micros(1),
+            Some(Duration::from_micros(100)),
+        );
+        let verify = MetricsRecorder::new();
+        let fleet = FleetMetrics {
+            shards: 2,
+            dead_shards: 0,
+            submitted: 1,
+            completed: 1,
+            remote_cache_hits: 0,
+            shed_busy: 0,
+            wire_errors: 0,
+            journal_events: 0,
+        };
+        let snap = recorder
+            .snapshot(1, 0, 1)
+            .with_verify(verify.snapshot_verify(1, 0, 0))
+            .with_fleet(fleet);
+        let mut out = RegistrySnapshot::new();
+        snap.export("service", &mut out);
+        // One namespace for all three stages, stable names.
+        let submitted = out.get("service.submitted").expect("service.submitted");
+        assert_eq!(submitted.class, MetricClass::Deterministic);
+        assert_eq!(submitted.value, 1);
+        assert!(out.get("service.verify.submitted").is_some());
+        assert!(out.get("service.fleet.wire_errors").is_some());
+        assert_eq!(
+            out.get("service.cache.misses").map(|m| m.value),
+            Some(1),
+            "cache counters export verbatim"
+        );
+        // Deterministic-only filtering keeps workload counters, drops timing.
+        let det = out.deterministic_only();
+        assert!(det.get("service.submitted").is_some());
+        assert!(det.get("service.cache.misses").is_none());
     }
 
     #[test]

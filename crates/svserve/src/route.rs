@@ -43,6 +43,7 @@ use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::{indent_block, render_block, ServiceMetrics, VerifyMetrics};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::service::{splitmix64, worker_loop, RepairRequest, ServiceConfig, ServiceCore};
+use crate::telemetry::{Metric, MetricClass, TelemetryHandle};
 use crate::ticket::TicketState;
 use serde::{Deserialize, Serialize};
 use std::future::Future;
@@ -50,6 +51,7 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
+use std::time::Instant;
 use svmodel::{RepairModel, Response};
 
 /// Salt mixed into the A/B arm hash so arm assignment decorrelates from the
@@ -174,6 +176,11 @@ pub struct RouterConfig {
     /// pure functions of request content (backend name, judge tallies), so
     /// they land in the deterministic journal.
     pub tracer: TracerHandle,
+    /// Telemetry registry the escalation ladder records into: per-rung
+    /// `route.rung.<n>.cost` (deterministic — backend cost is a pure function
+    /// of ladder order) and `route.rung.<n>.latency` (volatile wall-clock per
+    /// leg) histograms.  Off by default — one branch per leg.
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for RouterConfig {
@@ -182,6 +189,7 @@ impl Default for RouterConfig {
             escalation_workers: 2,
             escalation_capacity: 64,
             tracer: TracerHandle::off(),
+            telemetry: TelemetryHandle::off(),
         }
     }
 }
@@ -190,6 +198,12 @@ impl RouterConfig {
     /// Returns the config with the journal tracer replaced.
     pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Returns the config with the telemetry handle replaced.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -493,10 +507,33 @@ impl EscalationRecorder {
     }
 }
 
+/// Pre-resolved telemetry handles for one ladder position, so an escalation
+/// leg pays lock-free atomics (or one branch, telemetry off) — never a
+/// registry lock.
+struct RungMetrics {
+    cost: Option<Arc<Metric>>,
+    latency: Option<Arc<Metric>>,
+}
+
+impl RungMetrics {
+    fn new(telemetry: &TelemetryHandle, rung: usize) -> Self {
+        Self {
+            cost: telemetry.histogram(
+                &format!("route.rung.{rung}.cost"),
+                MetricClass::Deterministic,
+            ),
+            latency: telemetry
+                .histogram(&format!("route.rung.{rung}.latency"), MetricClass::Volatile),
+        }
+    }
+}
+
 struct RouterCore {
     backends: Vec<Backend>,
     /// Backend indices sorted by `(cost, index)` — the escalation order.
     ladder: Vec<usize>,
+    /// One telemetry handle pair per ladder position (`route.rung.<n>.*`).
+    rung_metrics: Vec<RungMetrics>,
     queue: Shard<EscalateJob>,
     judge: Arc<dyn EscalationJudge>,
     recorder: EscalationRecorder,
@@ -513,6 +550,8 @@ impl RouterCore {
         let session = self.tracer.is_on().then(|| request.key().fold64());
         for (rung, &idx) in self.ladder.iter().enumerate() {
             let backend = &self.backends[idx];
+            let rung_metrics = &self.rung_metrics[rung];
+            let leg_start = rung_metrics.latency.as_ref().map(|_| Instant::now());
             // Internal ladder legs bypass per-backend admission: shedding a
             // request halfway up an already-admitted escalation would turn one
             // accepted session into a spurious failure.
@@ -537,6 +576,12 @@ impl RouterCore {
                 }
             });
             let terminal = report.accepted() || rung + 1 == rungs;
+            if let Some(metric) = &rung_metrics.cost {
+                metric.observe(u64::from(backend.cost));
+            }
+            if let (Some(metric), Some(start)) = (&rung_metrics.latency, leg_start) {
+                metric.observe_duration(start.elapsed());
+            }
             if let Some(session) = session {
                 // Deterministic event: every field is a pure function of
                 // request content, sequenced by ladder position.
@@ -664,6 +709,9 @@ impl ModelRouter {
         let mut ladder: Vec<usize> = (0..backends.len()).collect();
         ladder.sort_by_key(|&idx| (backends[idx].cost, idx));
         let recorder = EscalationRecorder::new(backends.len());
+        let rung_metrics = (0..ladder.len())
+            .map(|rung| RungMetrics::new(&config.telemetry, rung))
+            .collect();
         let core = Arc::new(RouterCore {
             queue: Shard::new(config.escalation_capacity),
             judge,
@@ -671,6 +719,7 @@ impl ModelRouter {
             tracer: config.tracer.clone(),
             closed: AtomicBool::new(false),
             ladder,
+            rung_metrics,
             backends,
         });
         let mut backend_handles = Vec::new();

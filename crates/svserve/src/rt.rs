@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 
 use crate::journal::{JournalEvent, TracerHandle};
 use crate::sync::{lock_recover, wait_timeout_recover};
+use crate::telemetry::{Metric, MetricClass, TelemetryHandle};
 
 /// Environment variable overriding the default session-driver count
 /// (see [`crate::session::SessionConfig`]); CI runs the async suite at 1 and 4.
@@ -128,6 +129,10 @@ struct RtShared {
     tracer: TracerHandle,
     /// Monotone pseudo-id source for spawn diagnostics.
     spawn_seq: AtomicU64,
+    /// `rt.poll.duration` histogram: wall-clock of every task poll, resolved
+    /// once at runtime construction.  `None` (telemetry off) costs one branch
+    /// per poll.
+    poll_timer: Option<Arc<Metric>>,
 }
 
 /// Pending timers: a min-heap of deadlines plus the live wakers by timer id.
@@ -245,9 +250,13 @@ fn run_task(task: Arc<Task>) {
     };
     let waker = Waker::from(Arc::clone(&task));
     let mut cx = Context::from_waker(&waker);
+    let poll_start = task.shared.poll_timer.as_ref().map(|_| Instant::now());
     let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         future.as_mut().poll(&mut cx)
     }));
+    if let (Some(metric), Some(start)) = (&task.shared.poll_timer, poll_start) {
+        metric.observe_duration(start.elapsed());
+    }
     match polled {
         Ok(Poll::Pending) => {
             if task.cancelled.load(Ordering::Acquire) {
@@ -539,6 +548,14 @@ impl Runtime {
     /// scheduler emits volatile spawn/timer diagnostics to it.  With
     /// [`TracerHandle::off`] this is exactly [`Runtime::new`].
     pub fn with_tracer(drivers: usize, tracer: TracerHandle) -> Self {
+        Self::with_hooks(drivers, tracer, &TelemetryHandle::off())
+    }
+
+    /// Starts `drivers` driver threads with both observability hooks
+    /// installed: the journal tracer for scheduler diagnostics and the
+    /// telemetry registry for the `rt.poll.duration` histogram.  Either hook
+    /// may be off.
+    pub fn with_hooks(drivers: usize, tracer: TracerHandle, telemetry: &TelemetryHandle) -> Self {
         let shared = Arc::new(RtShared {
             ready: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
@@ -548,6 +565,7 @@ impl Runtime {
             tasks: Mutex::new(Vec::new()),
             tracer,
             spawn_seq: AtomicU64::new(0),
+            poll_timer: telemetry.histogram("rt.poll.duration", MetricClass::Volatile),
         });
         let drivers = (0..drivers.max(1))
             .map(|idx| {

@@ -25,6 +25,7 @@ use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::sync::lock_recover;
+use crate::telemetry::{Metric, MetricClass, RegistrySnapshot, TelemetryHandle};
 use crate::ticket::TicketState;
 use std::future::Future;
 use std::pin::Pin;
@@ -61,6 +62,10 @@ pub struct ServiceConfig {
     /// Journal tracer admit/shed and cache/panic diagnostics are emitted to;
     /// off by default, in which case each instrumented site costs one branch.
     pub tracer: TracerHandle,
+    /// Telemetry registry the pool's latency histograms
+    /// (`service.repair.queue_wait` / `.cache_lookup` / `.solve`) record into;
+    /// off by default, in which case each instrumented site costs one branch.
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +79,7 @@ impl Default for ServiceConfig {
             max_in_flight: 0,
             persist: None,
             tracer: TracerHandle::off(),
+            telemetry: TelemetryHandle::off(),
         }
     }
 }
@@ -107,6 +113,12 @@ impl ServiceConfig {
     /// Returns the config with the journal tracer replaced.
     pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Returns the config with the telemetry handle replaced.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -258,10 +270,30 @@ pub(crate) struct ServiceCore {
     shards: Vec<Shard<Job>>,
     caches: Vec<Mutex<LruCache>>,
     metrics: MetricsRecorder,
+    timers: PoolTimers,
     closed: AtomicBool,
     /// Generation of the snapshot this core preloaded (0 when cold); the next
     /// flush writes generation + 1 and ages entries against it.
     snapshot_generation: AtomicU64,
+}
+
+/// Latency histograms resolved once at pool start; `None` (telemetry off)
+/// costs one branch per job at each record site.
+struct PoolTimers {
+    queue_wait: Option<Arc<Metric>>,
+    cache_lookup: Option<Arc<Metric>>,
+    solve: Option<Arc<Metric>>,
+}
+
+impl PoolTimers {
+    fn new(telemetry: &TelemetryHandle) -> Self {
+        let vol = MetricClass::Volatile;
+        Self {
+            queue_wait: telemetry.histogram("service.repair.queue_wait", vol),
+            cache_lookup: telemetry.histogram("service.repair.cache_lookup", vol),
+            solve: telemetry.histogram("service.repair.solve", vol),
+        }
+    }
 }
 
 pub(crate) fn splitmix64(mut z: u64) -> u64 {
@@ -283,6 +315,7 @@ impl ServiceCore {
                 .map(|_| Mutex::new(LruCache::new(per_shard_cache)))
                 .collect(),
             metrics: MetricsRecorder::new(),
+            timers: PoolTimers::new(&config.telemetry),
             closed: AtomicBool::new(false),
             snapshot_generation: AtomicU64::new(0),
             config,
@@ -513,6 +546,17 @@ impl ServiceCore {
         )
     }
 
+    /// The introspection snapshot served over the wire (`Stats` exchange):
+    /// the exported [`ServiceMetrics`] under the `service.` prefix, merged
+    /// over the live telemetry registry (latency histograms, wire frame
+    /// sizes) when one is installed.  Works with telemetry off — the
+    /// counters and gauges come from the always-on metrics recorder.
+    pub(crate) fn stats_snapshot(&self) -> RegistrySnapshot {
+        let mut out = self.config.telemetry.snapshot();
+        self.snapshot().export("service", &mut out);
+        out
+    }
+
     pub(crate) fn close(&self) {
         self.closed.store(true, Ordering::Release);
         for shard in &self.shards {
@@ -606,6 +650,15 @@ pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
             };
             core.metrics
                 .record_job(queue_wait, cache_lookup, solve_time);
+            if let Some(metric) = &core.timers.queue_wait {
+                metric.observe_duration(queue_wait);
+            }
+            if let Some(metric) = &core.timers.cache_lookup {
+                metric.observe_duration(cache_lookup);
+            }
+            if let (Some(metric), Some(solve)) = (&core.timers.solve, solve_time) {
+                metric.observe_duration(solve);
+            }
             job.ticket.fulfill(RepairOutcome {
                 responses,
                 from_cache: solve_time.is_none(),
@@ -667,6 +720,13 @@ impl<M: RepairModel + Send + Sync + 'static> RepairService<M> {
     /// Takes a metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         self.core.snapshot()
+    }
+
+    /// The introspection snapshot the wire layer serves for a
+    /// [`crate::wire::Frame::Stats`] request: exported service metrics merged
+    /// over the live telemetry registry (when one is installed).
+    pub fn stats_snapshot(&self) -> RegistrySnapshot {
+        self.core.stats_snapshot()
     }
 
     /// Writes the current response cache to the configured snapshot path
@@ -731,6 +791,13 @@ impl ScopedService<'_> {
     /// Takes a metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         self.core.snapshot()
+    }
+
+    /// The introspection snapshot the wire layer serves for a
+    /// [`crate::wire::Frame::Stats`] request: exported service metrics merged
+    /// over the live telemetry registry (when one is installed).
+    pub fn stats_snapshot(&self) -> RegistrySnapshot {
+        self.core.stats_snapshot()
     }
 }
 

@@ -42,6 +42,7 @@
 use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::render_block;
 use crate::rt::{env_drivers, with_deadline, Expiry, Runtime, Scope, TaskHandle};
+use crate::telemetry::TelemetryHandle;
 use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,6 +69,10 @@ pub struct SessionConfig {
     /// *content* events come from [`crate::SessionSpan`]s the caller owns —
     /// the engine itself only emits volatile scheduling diagnostics.
     pub tracer: TracerHandle,
+    /// Telemetry registry the engine's runtime records into (the
+    /// `rt.poll.duration` histogram); off by default, in which case the poll
+    /// loop pays one branch per task poll.
+    pub telemetry: TelemetryHandle,
 }
 
 impl SessionConfig {
@@ -86,6 +91,12 @@ impl SessionConfig {
     /// Returns the config with the journal tracer replaced.
     pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Returns the config with the telemetry handle replaced.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -385,10 +396,16 @@ pub struct SessionEngine {
 }
 
 impl SessionEngine {
-    /// Starts the driver threads, handing the runtime the configured tracer so
-    /// scheduling diagnostics land in the same journal as session events.
+    /// Starts the driver threads, handing the runtime the configured tracer
+    /// (so scheduling diagnostics land in the same journal as session events)
+    /// and the configured telemetry handle (so task polls time themselves into
+    /// the `rt.poll.duration` histogram).
     pub fn new(config: SessionConfig) -> Self {
-        let runtime = Runtime::with_tracer(config.resolved_drivers(), config.tracer.clone());
+        let runtime = Runtime::with_hooks(
+            config.resolved_drivers(),
+            config.tracer.clone(),
+            &config.telemetry,
+        );
         Self {
             runtime,
             recorder: Arc::new(SessionRecorder::new()),

@@ -39,6 +39,7 @@ use crate::metrics::{MetricsRecorder, VerifyMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::sync::lock_recover;
+use crate::telemetry::{Metric, MetricClass, TelemetryHandle};
 use crate::ticket::TicketState;
 use std::future::Future;
 use std::pin::Pin;
@@ -83,6 +84,10 @@ pub struct VerifyConfig {
     /// Journal tracer admit and cache/panic diagnostics are emitted to; off by
     /// default, in which case each instrumented site costs one branch.
     pub tracer: TracerHandle,
+    /// Telemetry registry the pool's latency histograms
+    /// (`verify.verdict.latency` / `verify.queue_wait`) record into; off by
+    /// default, in which case each instrumented site costs one branch.
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for VerifyConfig {
@@ -97,6 +102,7 @@ impl Default for VerifyConfig {
             cache_capacity: 4096,
             persist: None,
             tracer: TracerHandle::off(),
+            telemetry: TelemetryHandle::off(),
         }
     }
 }
@@ -123,6 +129,12 @@ impl VerifyConfig {
     /// Returns the config with the journal tracer replaced.
     pub fn with_tracer(mut self, tracer: TracerHandle) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Returns the config with the telemetry handle replaced.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -239,10 +251,28 @@ pub(crate) struct VerifyCore<C> {
     shards: Vec<Shard<VerifyJob<C>>>,
     caches: Vec<Mutex<LruCache<VerdictKey, bool>>>,
     metrics: MetricsRecorder,
+    timers: VerifyTimers,
     closed: AtomicBool,
     /// Generation of the snapshot this core preloaded (0 when cold); the next
     /// flush writes generation + 1 and ages entries against it.
     snapshot_generation: AtomicU64,
+}
+
+/// Latency histograms resolved once at pool start; `None` (telemetry off)
+/// costs one branch per job at each record site.
+struct VerifyTimers {
+    queue_wait: Option<Arc<Metric>>,
+    verdict: Option<Arc<Metric>>,
+}
+
+impl VerifyTimers {
+    fn new(telemetry: &TelemetryHandle) -> Self {
+        let vol = MetricClass::Volatile;
+        Self {
+            queue_wait: telemetry.histogram("verify.queue_wait", vol),
+            verdict: telemetry.histogram("verify.verdict.latency", vol),
+        }
+    }
 }
 
 impl<C> VerifyCore<C> {
@@ -257,6 +287,7 @@ impl<C> VerifyCore<C> {
                 .map(|_| Mutex::new(LruCache::new(per_shard_cache)))
                 .collect(),
             metrics: MetricsRecorder::new(),
+            timers: VerifyTimers::new(&config.telemetry),
             closed: AtomicBool::new(false),
             snapshot_generation: AtomicU64::new(0),
             config,
@@ -544,6 +575,12 @@ fn verify_worker_loop<C, J: ResponseJudge<C> + ?Sized>(
             };
             core.metrics
                 .record_job(queue_wait, cache_lookup, verdict_time);
+            if let Some(metric) = &core.timers.queue_wait {
+                metric.observe_duration(queue_wait);
+            }
+            if let (Some(metric), Some(verdict_time)) = (&core.timers.verdict, verdict_time) {
+                metric.observe_duration(verdict_time);
+            }
             job.ticket.fulfill(VerdictOutcome {
                 verdict,
                 from_cache: verdict_time.is_none(),

@@ -20,13 +20,17 @@
 
 use crate::persist::fnv64;
 use crate::service::RepairRequest;
+use crate::telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use svmodel::Response;
 
 /// Version of the wire format; peers with different versions refuse to talk
 /// (the mismatch is reported in the [`Frame::Hello`] exchange).
-pub const WIRE_FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 added the [`Frame::Stats`] / [`Frame::StatsReply`] introspection
+/// exchange.
+pub const WIRE_FORMAT_VERSION: u32 = 2;
 
 /// Hard cap on a frame body's declared length.  Larger declarations are
 /// rejected before allocation: a corrupt peer must never drive the process
@@ -64,6 +68,13 @@ pub enum Frame {
     Response(WireOutcome),
     /// Admission control shed the request (`SubmitError::Busy` over the wire).
     Busy,
+    /// Live-introspection request, client → shard: ask the shard for a
+    /// telemetry snapshot.  Carries no payload.
+    Stats,
+    /// The shard's telemetry snapshot (service counters exported into registry
+    /// form, merged with the live registry when the shard runs with telemetry
+    /// on), shard → client.
+    StatsReply(RegistrySnapshot),
     /// The shard's service has shut down.
     Closed,
     /// Protocol-level failure (version mismatch, undecodable frame, …); the
@@ -225,6 +236,23 @@ mod tests {
         )
     }
 
+    fn stats_snapshot() -> RegistrySnapshot {
+        let registry = crate::telemetry::MetricsRegistry::new();
+        registry
+            .counter(
+                "service.submitted",
+                crate::telemetry::MetricClass::Deterministic,
+            )
+            .add(12);
+        registry
+            .histogram(
+                "service.repair.solve",
+                crate::telemetry::MetricClass::Volatile,
+            )
+            .observe(123_456);
+        registry.snapshot()
+    }
+
     #[test]
     fn every_frame_variant_round_trips() {
         let frames = vec![
@@ -243,6 +271,9 @@ mod tests {
                 from_cache: true,
             }),
             Frame::Busy,
+            Frame::Stats,
+            Frame::StatsReply(stats_snapshot()),
+            Frame::StatsReply(RegistrySnapshot::new()),
             Frame::Closed,
             Frame::Err("boom".into()),
         ];

@@ -8,7 +8,10 @@
 //! opens with a `Hello{format_version, fingerprint}` exchange — version skew
 //! or a model-identity mismatch refuses the connection instead of silently
 //! serving different answers — then runs `Submit` → `Response`/`Busy`/
-//! `Closed`/`Err` request-reply.  The declared length is capped
+//! `Closed`/`Err` request-reply.  A `Stats` request answers with a
+//! `StatsReply` carrying the shard's live telemetry snapshot
+//! ([`crate::RegistrySnapshot`]), which [`ShardFleet::fleet_stats`] merges
+//! fleet-wide.  The declared length is capped
 //! ([`MAX_FRAME_LEN`]) *before* allocation and the checksum is verified
 //! *before* parsing, so a corrupt peer degrades to a counted error, never a
 //! panic or an unbounded allocation.
@@ -40,7 +43,7 @@ pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, WireOutcome,
     MAX_FRAME_LEN, WIRE_FORMAT_VERSION,
 };
-pub use remote::{shard_for_key, FleetMetrics, RemoteShard, ShardFleet};
+pub use remote::{shard_for_key, FleetMetrics, FleetStats, RemoteShard, ShardFleet, ShardStats};
 pub use server::ShardServer;
 pub use transport::{LoopbackTransport, Transport, UnixTransport, WireError};
 

@@ -25,6 +25,7 @@ use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::render_block;
 use crate::service::{splitmix64, RepairRequest};
 use crate::sync::lock_recover;
+use crate::telemetry::{MetricClass, RegistrySnapshot};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -79,6 +80,34 @@ impl RemoteShard {
         if let Err(WireError::Protocol(reason)) = &result {
             // Busy/Closed leave the stream consistent; a protocol failure may
             // not (half-read frame, dead peer), so retire the connection.
+            inner.dead = Some(reason.clone());
+        }
+        result
+    }
+
+    /// The shard's model fingerprint, learned at the `Hello` handshake.
+    pub fn fingerprint(&self) -> String {
+        lock_recover(&self.inner)
+            .transport
+            .fingerprint()
+            .to_string()
+    }
+
+    /// Requests the shard's telemetry snapshot, blocking for the answer.
+    ///
+    /// Same retirement discipline as [`RemoteShard::submit`]: a protocol
+    /// failure (which includes a corrupt `StatsReply` frame) poisons the
+    /// connection so later calls fail fast instead of reading desynchronized
+    /// bytes.
+    pub fn stats(&self) -> Result<RegistrySnapshot, WireError> {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(reason) = &inner.dead {
+            return Err(WireError::Protocol(format!(
+                "shard connection failed earlier: {reason}"
+            )));
+        }
+        let result = inner.transport.stats();
+        if let Err(WireError::Protocol(reason)) = &result {
             inner.dead = Some(reason.clone());
         }
         result
@@ -212,6 +241,46 @@ impl ShardFleet {
         result
     }
 
+    /// Asks every live shard for its telemetry snapshot and merges them into
+    /// one fleet-wide view (the `Stats` wire exchange per shard).
+    ///
+    /// A shard that fails the exchange contributes an error string instead of
+    /// a snapshot — and a counted wire error — so one sick peer never hides
+    /// the rest of the fleet's numbers.
+    pub fn fleet_stats(&self) -> FleetStats {
+        let mut merged = RegistrySnapshot::new();
+        let shards = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                let (fingerprint, result) = match slot {
+                    ShardSlot::Connected(remote) => {
+                        let fingerprint = remote.fingerprint();
+                        let result = remote.stats().map_err(|err| {
+                            self.recorder.wire_errors.fetch_add(1, Ordering::Relaxed);
+                            err.to_string()
+                        });
+                        (fingerprint, result)
+                    }
+                    ShardSlot::Dead(reason) => (
+                        String::new(),
+                        Err(format!("shard {index} is down: {reason}")),
+                    ),
+                };
+                if let Ok(snapshot) = &result {
+                    merged.merge(snapshot);
+                }
+                ShardStats {
+                    shard: index,
+                    fingerprint,
+                    result,
+                }
+            })
+            .collect();
+        FleetStats { shards, merged }
+    }
+
     /// Takes a metrics snapshot.
     pub fn metrics(&self) -> FleetMetrics {
         FleetMetrics {
@@ -281,6 +350,70 @@ impl FleetMetrics {
     pub fn render(&self) -> String {
         render_block("fleet metrics", &self.rows())
     }
+
+    /// Exports the counters into a registry snapshot under `prefix`
+    /// (e.g. `service.fleet`).
+    ///
+    /// Submission and completion totals are content-derived for a fixed
+    /// workload, so they carry [`MetricClass::Deterministic`]; everything
+    /// timing- or failure-dependent (cache warmth, sheds, wire errors) is
+    /// [`MetricClass::Volatile`].
+    pub fn export(&self, prefix: &str, out: &mut RegistrySnapshot) {
+        let det = MetricClass::Deterministic;
+        let vol = MetricClass::Volatile;
+        out.upsert_gauge(&format!("{prefix}.shards"), vol, self.shards as u64);
+        out.upsert_gauge(
+            &format!("{prefix}.dead_shards"),
+            vol,
+            self.dead_shards as u64,
+        );
+        out.upsert_counter(&format!("{prefix}.submitted"), det, self.submitted);
+        out.upsert_counter(&format!("{prefix}.completed"), det, self.completed);
+        out.upsert_counter(
+            &format!("{prefix}.remote_cache_hits"),
+            vol,
+            self.remote_cache_hits,
+        );
+        out.upsert_counter(&format!("{prefix}.shed_busy"), vol, self.shed_busy);
+        out.upsert_counter(&format!("{prefix}.wire_errors"), vol, self.wire_errors);
+        out.upsert_counter(
+            &format!("{prefix}.journal.events"),
+            vol,
+            self.journal_events,
+        );
+    }
+}
+
+/// Live introspection of a whole fleet: every shard's telemetry snapshot plus
+/// their merged fleet-wide view.  Built by [`ShardFleet::fleet_stats`].
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// One entry per fleet slot, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// All successful snapshots merged: counters and gauges sum, histograms
+    /// pool their buckets, so percentiles read fleet-wide.
+    pub merged: RegistrySnapshot,
+}
+
+impl FleetStats {
+    /// Shards that answered the exchange.
+    pub fn live(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|shard| shard.result.is_ok())
+            .count()
+    }
+}
+
+/// One shard's answer to the `Stats` exchange.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Fleet slot index (also the placement index).
+    pub shard: usize,
+    /// The shard's model fingerprint; empty for slots that never connected.
+    pub fingerprint: String,
+    /// The snapshot, or why the exchange failed.
+    pub result: Result<RegistrySnapshot, String>,
 }
 
 #[cfg(test)]

@@ -193,6 +193,7 @@ fn serve_connection<M: RepairModel + Send + Sync + 'static>(
                 Err(SubmitError::Busy) => Frame::Busy,
                 Err(SubmitError::Closed) => Frame::Closed,
             },
+            Ok(Frame::Stats) => Frame::StatsReply(service.stats_snapshot()),
             Ok(other) => {
                 protocol_errors.fetch_add(1, Ordering::Relaxed);
                 Frame::Err(format!("unexpected frame {other:?}"))

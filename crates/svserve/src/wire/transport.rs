@@ -7,10 +7,11 @@
 //! encodes and decodes each frame in memory — so a test passing over loopback
 //! exercises byte-for-byte the protocol a socket peer would see.
 
-use super::frame::{read_frame, write_frame, Frame, FrameError, WireOutcome, WIRE_FORMAT_VERSION};
+use super::frame::{read_frame, Frame, FrameError, WireOutcome, WIRE_FORMAT_VERSION};
 use crate::queue::SubmitError;
 use crate::service::{RepairRequest, RepairService};
-use std::io::{BufReader, BufWriter};
+use crate::telemetry::{Metric, MetricClass, RegistrySnapshot, TelemetryHandle};
+use std::io::{BufReader, BufWriter, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::Arc;
@@ -50,6 +51,15 @@ pub trait Transport: Send {
 
     /// Submits one request and blocks for the shard's answer.
     fn call(&mut self, request: &RepairRequest) -> Result<WireOutcome, WireError>;
+
+    /// Asks the shard for a live telemetry snapshot (the `Stats` /
+    /// `StatsReply` exchange).  The default refuses, so transports that
+    /// predate the exchange degrade to a counted protocol error.
+    fn stats(&mut self) -> Result<RegistrySnapshot, WireError> {
+        Err(WireError::Protocol(
+            "transport does not support the Stats exchange".into(),
+        ))
+    }
 }
 
 /// In-process transport over a local [`RepairService`].
@@ -60,6 +70,7 @@ pub trait Transport: Send {
 pub struct LoopbackTransport<M: RepairModel + Send + Sync + 'static> {
     service: Arc<RepairService<M>>,
     fingerprint: String,
+    frame_bytes: Option<Arc<Metric>>,
 }
 
 impl<M: RepairModel + Send + Sync + 'static> LoopbackTransport<M> {
@@ -69,7 +80,15 @@ impl<M: RepairModel + Send + Sync + 'static> LoopbackTransport<M> {
         Self {
             service,
             fingerprint: fingerprint.into(),
+            frame_bytes: None,
         }
+    }
+
+    /// Records every encoded frame's byte length into the registry's
+    /// `wire.frame.bytes` histogram when `telemetry` is on.
+    pub fn with_telemetry(mut self, telemetry: &TelemetryHandle) -> Self {
+        self.frame_bytes = telemetry.histogram("wire.frame.bytes", MetricClass::Volatile);
+        self
     }
 }
 
@@ -81,7 +100,8 @@ impl<M: RepairModel + Send + Sync + 'static> Transport for LoopbackTransport<M> 
     fn call(&mut self, request: &RepairRequest) -> Result<WireOutcome, WireError> {
         // Round-trip the submission through the codec: what the shard "hears"
         // is what a socket peer would have decoded.
-        let submit = codec_round_trip(&Frame::Submit(request.clone()))?;
+        let submit =
+            codec_round_trip(&Frame::Submit(request.clone()), self.frame_bytes.as_deref())?;
         let Frame::Submit(request) = submit else {
             return Err(WireError::Protocol("submit frame changed shape".into()));
         };
@@ -96,18 +116,35 @@ impl<M: RepairModel + Send + Sync + 'static> Transport for LoopbackTransport<M> 
             Err(SubmitError::Busy) => Frame::Busy,
             Err(SubmitError::Closed) => Frame::Closed,
         };
-        match codec_round_trip(&reply)? {
+        match codec_round_trip(&reply, self.frame_bytes.as_deref())? {
             Frame::Response(outcome) => Ok(outcome),
             Frame::Busy => Err(WireError::Busy),
             Frame::Closed => Err(WireError::Closed),
             other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
         }
     }
+
+    fn stats(&mut self) -> Result<RegistrySnapshot, WireError> {
+        // Same codec discipline as `call`: the request and the reply both
+        // round-trip through the frame encoder.
+        match codec_round_trip(&Frame::Stats, self.frame_bytes.as_deref())? {
+            Frame::Stats => {}
+            other => return Err(WireError::Protocol(format!("stats frame became {other:?}"))),
+        }
+        let reply = Frame::StatsReply(self.service.stats_snapshot());
+        match codec_round_trip(&reply, self.frame_bytes.as_deref())? {
+            Frame::StatsReply(snapshot) => Ok(snapshot),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
 }
 
-fn codec_round_trip(frame: &Frame) -> Result<Frame, WireError> {
+fn codec_round_trip(frame: &Frame, frame_bytes: Option<&Metric>) -> Result<Frame, WireError> {
     let bytes =
         super::frame::encode_frame(frame).map_err(|err| WireError::Protocol(err.to_string()))?;
+    if let Some(metric) = frame_bytes {
+        metric.observe(bytes.len() as u64);
+    }
     super::frame::decode_frame(&bytes).map_err(|err| WireError::Protocol(err.to_string()))
 }
 
@@ -120,6 +157,7 @@ pub struct UnixTransport {
     reader: BufReader<UnixStream>,
     writer: BufWriter<UnixStream>,
     fingerprint: String,
+    frame_bytes: Option<Arc<Metric>>,
 }
 
 impl UnixTransport {
@@ -150,6 +188,7 @@ impl UnixTransport {
             reader,
             writer: BufWriter::new(stream),
             fingerprint: String::new(),
+            frame_bytes: None,
         };
         transport.send(&Frame::Hello {
             format_version: WIRE_FORMAT_VERSION,
@@ -184,8 +223,23 @@ impl UnixTransport {
         }
     }
 
+    /// Records every sent frame's encoded byte length into the registry's
+    /// `wire.frame.bytes` histogram when `telemetry` is on.
+    pub fn with_telemetry(mut self, telemetry: &TelemetryHandle) -> Self {
+        self.frame_bytes = telemetry.histogram("wire.frame.bytes", MetricClass::Volatile);
+        self
+    }
+
     fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
-        write_frame(&mut self.writer, frame).map_err(|err| WireError::Protocol(err.to_string()))
+        let bytes = super::frame::encode_frame(frame)
+            .map_err(|err| WireError::Protocol(err.to_string()))?;
+        if let Some(metric) = &self.frame_bytes {
+            metric.observe(bytes.len() as u64);
+        }
+        self.writer
+            .write_all(&bytes)
+            .and_then(|()| self.writer.flush())
+            .map_err(|err| WireError::Protocol(format!("write frame: {err}")))
     }
 
     fn receive(&mut self) -> Result<Frame, WireError> {
@@ -206,6 +260,17 @@ impl Transport for UnixTransport {
         self.send(&Frame::Submit(request.clone()))?;
         match self.receive()? {
             Frame::Response(outcome) => Ok(outcome),
+            Frame::Busy => Err(WireError::Busy),
+            Frame::Closed => Err(WireError::Closed),
+            Frame::Err(msg) => Err(WireError::Protocol(format!("shard error: {msg}"))),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+
+    fn stats(&mut self) -> Result<RegistrySnapshot, WireError> {
+        self.send(&Frame::Stats)?;
+        match self.receive()? {
+            Frame::StatsReply(snapshot) => Ok(snapshot),
             Frame::Busy => Err(WireError::Busy),
             Frame::Closed => Err(WireError::Closed),
             Frame::Err(msg) => Err(WireError::Protocol(format!("shard error: {msg}"))),

@@ -1,0 +1,237 @@
+//! Determinism of the unified telemetry plane: the **deterministic-class**
+//! subset of a registry snapshot renders to byte-identical text at any
+//! driver count, any worker count, warm or cold caches, and over either
+//! transport — while the volatile subset (latency histograms, cache
+//! temperature, poll timings) is free to differ and is provably present.
+//!
+//! The split mirrors the journal's event classes: metrics fed by request
+//! *content* (submitted/completed counters, verdict tallies, rung costs)
+//! are `MetricClass::Deterministic`; metrics fed by *scheduling* (wall
+//! clocks, queue depths, cache hits) are `MetricClass::Volatile` and never
+//! enter the compared bytes.
+
+use assertsolver::{evaluate_model_instrumented, EvalConfig};
+use std::sync::Arc;
+use svdata::SvaBugEntry;
+use svmodel::{AssertSolverModel, CaseInput, RepairModel, Response};
+use svserve::{
+    LoopbackTransport, MetricsRegistry, RegistrySnapshot, RepairRequest, RepairService,
+    ServiceConfig, ShardFleet, ShardServer, TelemetryHandle, Transport,
+};
+
+fn corpus(limit: usize) -> Vec<SvaBugEntry> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(31));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(limit);
+    assert!(!entries.is_empty());
+    entries
+}
+
+fn config(drivers: usize, workers: usize) -> EvalConfig {
+    EvalConfig {
+        workers,
+        verify_workers: workers,
+        drivers,
+        ..EvalConfig::quick(37)
+    }
+}
+
+/// Runs the instrumented evaluation and returns the full registry snapshot
+/// (deterministic + volatile series).
+fn instrumented_snapshot(config: &EvalConfig, entries: &[SvaBugEntry]) -> RegistrySnapshot {
+    let model = AssertSolverModel::base(9);
+    let telemetry = TelemetryHandle::new(Arc::new(MetricsRegistry::default()));
+    let _ = evaluate_model_instrumented(&model, entries, config, &telemetry);
+    telemetry.snapshot()
+}
+
+#[test]
+fn deterministic_snapshot_bytes_are_identical_at_1_2_4_8_drivers() {
+    let entries = corpus(5);
+    let baseline = instrumented_snapshot(&config(1, 2), &entries);
+    let baseline_det = baseline.deterministic_only().render_text();
+    assert!(
+        !baseline_det.is_empty(),
+        "the deterministic subset is non-empty"
+    );
+    // The volatile plane is live (stage timers observed wall-clock) but
+    // excluded from the compared bytes.
+    let sessions = baseline.get("eval.stage.sessions").expect("stage timer");
+    assert!(sessions.count > 0 && sessions.sum > 0);
+    assert!(
+        baseline
+            .deterministic_only()
+            .get("eval.stage.sessions")
+            .is_none(),
+        "wall-clock stages are volatile"
+    );
+
+    for drivers in [2usize, 4, 8] {
+        let run = instrumented_snapshot(&config(drivers, 2), &entries);
+        assert_eq!(
+            baseline_det,
+            run.deterministic_only().render_text(),
+            "driver count {drivers} changed the deterministic telemetry bytes"
+        );
+        assert_eq!(
+            baseline.deterministic_only().render_json(),
+            run.deterministic_only().render_json(),
+            "driver count {drivers} changed the JSON exposition"
+        );
+    }
+}
+
+#[test]
+fn deterministic_snapshot_bytes_are_identical_at_any_worker_count() {
+    let entries = corpus(5);
+    let baseline = instrumented_snapshot(&config(2, 1), &entries).deterministic_only();
+    for workers in [2usize, 4, 8] {
+        let run = instrumented_snapshot(&config(2, workers), &entries).deterministic_only();
+        assert_eq!(
+            baseline.render_text(),
+            run.render_text(),
+            "worker count {workers} changed the deterministic telemetry bytes"
+        );
+    }
+}
+
+#[test]
+fn warm_and_cold_caches_expose_identical_deterministic_bytes() {
+    let dir = std::env::temp_dir().join(format!(
+        "svserve-telemetry-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let entries = corpus(4);
+    let with_dir = |drivers: usize| EvalConfig {
+        cache_dir: Some(dir.display().to_string()),
+        ..config(drivers, 2)
+    };
+
+    // Cold run populates the response + verdict snapshots; warm runs replay
+    // from disk.  Cache temperature shows up only in volatile series.
+    let cold = instrumented_snapshot(&with_dir(1), &entries);
+    let warm = instrumented_snapshot(&with_dir(4), &entries);
+    assert_eq!(
+        cold.deterministic_only().render_text(),
+        warm.deterministic_only().render_text(),
+        "cache temperature leaked into the deterministic telemetry bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic model for the transport comparison: answers are a pure
+/// function of `(case, samples, seed)`.
+struct EchoModel;
+
+impl RepairModel for EchoModel {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn solve(
+        &self,
+        case: &CaseInput,
+        samples: usize,
+        _temperature: f64,
+        seed: u64,
+    ) -> Vec<Response> {
+        (0..samples)
+            .map(|i| Response {
+                bug_line_number: (case.spec.len() as u32) + i as u32,
+                buggy_line: case.buggy_source.clone(),
+                fixed_line: format!("seed-{seed}-sample-{i}"),
+                cot: None,
+            })
+            .collect()
+    }
+}
+
+fn request(tag: usize) -> RepairRequest {
+    RepairRequest::new(
+        CaseInput {
+            spec: format!("spec {tag}"),
+            buggy_source: format!("module m{tag}(); endmodule"),
+            logs: format!("assertion a{tag} failed"),
+        },
+        3,
+        0.2,
+    )
+}
+
+fn telemetry_service() -> Arc<RepairService<EchoModel>> {
+    Arc::new(RepairService::start(
+        Arc::new(EchoModel),
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_seed(42)
+            .with_telemetry(TelemetryHandle::new(Arc::new(MetricsRegistry::default()))),
+    ))
+}
+
+#[test]
+fn loopback_and_unix_fleets_merge_identical_deterministic_stats() {
+    // The same 12-case workload through a 2-shard loopback fleet and a
+    // 2-shard unix-socket fleet: `fleet_stats().merged` must agree on every
+    // deterministic series (placement is content-derived, so per-shard
+    // workloads match shard for shard).
+    let loopback_services: Vec<_> = (0..2).map(|_| telemetry_service()).collect();
+    let loopback = ShardFleet::new(
+        loopback_services
+            .iter()
+            .map(|service| {
+                Box::new(LoopbackTransport::new(Arc::clone(service), "echo")) as Box<dyn Transport>
+            })
+            .collect(),
+    );
+
+    let unix_services: Vec<_> = (0..2).map(|_| telemetry_service()).collect();
+    let sockets: Vec<_> = (0..2)
+        .map(|i| {
+            std::env::temp_dir().join(format!("svserve-telemetry-{}-{i}.sock", std::process::id()))
+        })
+        .collect();
+    let servers: Vec<_> = unix_services
+        .iter()
+        .zip(&sockets)
+        .map(|(service, socket)| {
+            ShardServer::bind(socket, Arc::clone(service), "echo").expect("bind shard server")
+        })
+        .collect();
+    let unix = ShardFleet::connect_unix(&sockets, Some("echo"), std::time::Duration::from_secs(10));
+
+    for tag in 0..12 {
+        let a = loopback.submit(&request(tag)).expect("loopback healthy");
+        let b = unix.submit(&request(tag)).expect("unix fleet healthy");
+        assert_eq!(a.responses, b.responses, "case {tag} answers diverged");
+    }
+
+    let loopback_stats = loopback.fleet_stats();
+    let unix_stats = unix.fleet_stats();
+    assert_eq!(loopback_stats.live(), 2);
+    assert_eq!(unix_stats.live(), 2);
+    assert_eq!(
+        loopback_stats.merged.deterministic_only().render_text(),
+        unix_stats.merged.deterministic_only().render_text(),
+        "transport choice changed the deterministic fleet stats"
+    );
+    // Both transports actually measured latency; the unix side also recorded
+    // wire frame sizes — volatile series, present but uncompared.
+    for stats in [&loopback_stats, &unix_stats] {
+        let solve = stats.merged.get("service.repair.solve").expect("histogram");
+        assert!(solve.count > 0, "solve latency observed over the wire");
+    }
+
+    drop(loopback);
+    drop(unix);
+    for server in servers {
+        server.shutdown();
+    }
+    for service in loopback_services.into_iter().chain(unix_services) {
+        Arc::try_unwrap(service)
+            .ok()
+            .expect("sole owner")
+            .shutdown();
+    }
+}
