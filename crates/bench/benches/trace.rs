@@ -1,0 +1,154 @@
+//! Causal-tracing overhead on the quick evaluation protocol: off vs on.
+//!
+//! The same quick-protocol evaluation runs twice, best of `PASSES` passes
+//! each way: once through `evaluate_model` with the trace handle off (every
+//! span site pays one branch), and once through `evaluate_model_observed`
+//! with a live [`svserve::TraceHandle`] — five spans per session derived,
+//! timed and recorded into the shared collector.  The two evaluations are
+//! asserted byte-identical, the collected forest is asserted complete (one
+//! root per case, ≥95% wall-clock attribution on every session), and the
+//! traced wall-clock is asserted within the **5% overhead budget** the
+//! tracing plane promises.
+//!
+//! Two machine-readable `BENCH_SUMMARY {...}` lines feed the
+//! `BENCH_trace.json` trajectory:
+//!
+//! ```text
+//! BENCH_SUMMARY {"bench":"trace","mode":"off","cases":8,...}
+//! BENCH_SUMMARY {"bench":"trace","mode":"on","cases":8,...,"overhead_pct":0.4}
+//! ```
+//!
+//! Run with `cargo bench --bench trace`.
+
+use assertsolver::{evaluate_model_observed, EvalConfig, EvalVerifier};
+use assertsolver_bench::SummaryWriter;
+use criterion::black_box;
+use std::time::Instant;
+use svdata::SvaBugEntry;
+use svmodel::AssertSolverModel;
+use svserve::{TelemetryHandle, TraceForest, TraceHandle, TracerHandle};
+
+const PASSES: usize = 3;
+
+/// Absolute slack (seconds) on top of the 5% budget: at quick-protocol scale
+/// a single scheduler hiccup is bigger than 5% of the run, and the budget is
+/// about asymptotic overhead, not timer noise.
+const NOISE_FLOOR_SECS: f64 = 0.25;
+
+fn corpus() -> Vec<SvaBugEntry> {
+    let pipeline = svdata::run_pipeline(&svdata::PipelineConfig::tiny(31));
+    let mut entries = pipeline.datasets.sva_bug;
+    entries.extend(assertsolver::human_crafted_cases());
+    entries.truncate(8);
+    entries
+}
+
+fn main() {
+    let mut writer = SummaryWriter::new("trace", 2);
+    let entries = corpus();
+    let model = AssertSolverModel::base(9);
+    let config = EvalConfig {
+        workers: 2,
+        verify_workers: 2,
+        ..EvalConfig::quick(37)
+    };
+    println!(
+        "trace: {} cases x {} samples, tracing off vs on, best of {PASSES} passes",
+        entries.len(),
+        config.samples
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "mode", "wall (s)", "spans", "overhead"
+    );
+
+    // --- Tracing off: every span site is one cold branch. ---
+    let mut off_secs = f64::INFINITY;
+    let mut baseline = None;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let evaluation = assertsolver::evaluate_model(&model, &entries, &config);
+        off_secs = off_secs.min(start.elapsed().as_secs_f64());
+        baseline = Some(evaluation);
+    }
+    let baseline = baseline.expect("at least one off pass");
+    println!("{:>6} {:>12.3} {:>10} {:>14}", "off", off_secs, 0, "1.00");
+    writer.emit(format!(
+        "{{\"bench\":\"trace\",\"mode\":\"off\",\"cases\":{},\"samples\":{},\"secs\":{off_secs:.6}}}",
+        entries.len(),
+        config.samples
+    ));
+
+    // --- Tracing on: every session derives, times and records its tree. ---
+    let mut on_secs = f64::INFINITY;
+    let mut spans = 0usize;
+    let mut deterministic: Option<String> = None;
+    for _ in 0..PASSES {
+        let trace = TraceHandle::new(0);
+        let verifier = EvalVerifier::start(&config);
+        let start = Instant::now();
+        let evaluation = evaluate_model_observed(
+            &model,
+            &entries,
+            &config,
+            &verifier,
+            &TracerHandle::off(),
+            &TelemetryHandle::off(),
+            &trace,
+        );
+        on_secs = on_secs.min(start.elapsed().as_secs_f64());
+        verifier.shutdown();
+        assert_eq!(
+            baseline, evaluation,
+            "traced evaluation must be byte-identical to the plain one"
+        );
+        let forest = TraceForest::from_spans(trace.drain());
+        spans = forest.len();
+        let sessions = forest.sessions();
+        assert_eq!(
+            sessions.len(),
+            entries.len(),
+            "one trace root per evaluated case"
+        );
+        for session in &sessions {
+            assert!(
+                session.coverage() >= 0.95,
+                "session {:016x} attributes only {:.1}% of its wall-clock",
+                session.trace,
+                100.0 * session.coverage()
+            );
+        }
+        // The deterministic projection is identical across passes — warm
+        // caches change wall clocks only.
+        let rendered = forest.render_deterministic();
+        match &deterministic {
+            Some(previous) => assert_eq!(
+                previous, &rendered,
+                "deterministic projection drifted between passes"
+            ),
+            None => deterministic = Some(rendered),
+        }
+        black_box(&forest);
+    }
+    let overhead = on_secs / off_secs;
+    let overhead_pct = (overhead - 1.0) * 100.0;
+    println!(
+        "{:>6} {:>12.3} {:>10} {:>13.2}x",
+        "on", on_secs, spans, overhead
+    );
+    writer.emit(format!(
+        "{{\"bench\":\"trace\",\"mode\":\"on\",\"cases\":{},\"samples\":{},\"secs\":{on_secs:.6},\"spans\":{spans},\"overhead_pct\":{overhead_pct:.1}}}",
+        entries.len(),
+        config.samples
+    ));
+
+    // The acceptance budget: live tracing must cost < 5% wall-clock on the
+    // quick protocol (plus an absolute floor so timer noise on a sub-second
+    // run cannot flake the gate).
+    assert!(
+        on_secs <= off_secs * 1.05 + NOISE_FLOOR_SECS,
+        "tracing overhead {overhead_pct:.1}% exceeds the 5% budget \
+         (off {off_secs:.3}s, on {on_secs:.3}s)"
+    );
+    writer.finish();
+}

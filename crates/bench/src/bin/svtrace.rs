@@ -1,0 +1,251 @@
+//! `svtrace` — render the distributed causal trace tree of an evaluation.
+//!
+//! ```text
+//! svtrace [--seed N] [--limit N] [--sockets a.sock,b.sock] [--timeout-ms N]
+//!         [--deterministic] [--flame] [--slowest N] [--min-coverage PCT]
+//!         [--out PATH]
+//! ```
+//!
+//! Runs the quick protocol over the human-crafted corpus with the trace
+//! plane on and prints the reconstructed trace forest: one tree per repair
+//! session, `session` at the root, `submit`/`sample`/`verify`/`evaluate`
+//! (and `rung.N` under a router) below it, each line carrying the span's
+//! logical start tick, content-derived units and wall-clock nanoseconds.
+//! With `--sockets` the same evaluation runs against a live `shard-serve`
+//! fleet instead: the shard-side `sample` spans travel back in `TraceReply`
+//! frames and merge into the driver's tree, so the printed forest is the
+//! full cross-process reconstruction — byte-identical (in its
+//! `--deterministic` projection) to the in-process run.
+//!
+//! * `--deterministic` prints only the content-derived fields (the
+//!   byte-comparison projection; wall clocks omitted).
+//! * `--flame` prints collapsed stacks (`session;verify 1234` per line) —
+//!   the format `svprof`, `flamegraph.pl` and `inferno` consume; the root
+//!   frame carries the unattributed residual so totals tile.
+//! * `--slowest N` prints the N slowest sessions by root wall-clock with
+//!   their attribution coverage (how much of each session's wall the named
+//!   child spans explain).
+//! * `--min-coverage PCT` exits 1 unless every listed session attributes at
+//!   least PCT% of its wall-clock to named spans (CI pins 95).
+//! * `--out PATH` additionally writes the forest as JSONL (the same artifact
+//!   form `ASSERTSOLVER_TRACE=1` evaluations drop in the profile dir).
+//!
+//! Exit status: 0 ok, 1 below the coverage bar or runtime failure, 2 usage.
+
+use assertsolver::{
+    evaluate_model_observed, evaluate_model_over_fleet_traced, human_crafted_cases, EvalConfig,
+    EvalVerifier,
+};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use svmodel::{AssertSolverModel, RepairModel};
+use svserve::{ShardFleet, TelemetryHandle, TraceForest, TraceHandle, TracerHandle};
+
+struct Args {
+    seed: u64,
+    limit: usize,
+    sockets: Vec<String>,
+    timeout_ms: u64,
+    deterministic: bool,
+    flame: bool,
+    slowest: Option<usize>,
+    min_coverage: Option<f64>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2025,
+        limit: usize::MAX,
+        sockets: Vec::new(),
+        timeout_ms: 5_000,
+        deterministic: false,
+        flame: false,
+        slowest: None,
+        min_coverage: None,
+        out: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|err| format!("--seed: {err}"))?
+            }
+            "--limit" => {
+                args.limit = value("--limit")?
+                    .parse()
+                    .map_err(|err| format!("--limit: {err}"))?
+            }
+            "--sockets" => args.sockets.extend(
+                value("--sockets")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|socket| !socket.is_empty())
+                    .map(str::to_string),
+            ),
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|err| format!("--timeout-ms: {err}"))?
+            }
+            "--deterministic" => args.deterministic = true,
+            "--flame" => args.flame = true,
+            "--slowest" => {
+                args.slowest = Some(
+                    value("--slowest")?
+                        .parse()
+                        .map_err(|err| format!("--slowest: {err}"))?,
+                )
+            }
+            "--min-coverage" => {
+                args.min_coverage = Some(
+                    value("--min-coverage")?
+                        .parse()
+                        .map_err(|err| format!("--min-coverage: {err}"))?,
+                )
+            }
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("svtrace: {msg}");
+            eprintln!(
+                "usage: svtrace [--seed N] [--limit N] [--sockets a.sock,b.sock] \
+                 [--timeout-ms N] [--deterministic] [--flame] [--slowest N] \
+                 [--min-coverage PCT] [--out PATH]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut entries = human_crafted_cases();
+    entries.truncate(args.limit);
+    if entries.is_empty() {
+        eprintln!("svtrace: empty corpus (--limit 0?)");
+        return ExitCode::FAILURE;
+    }
+    let model = AssertSolverModel::base(args.seed);
+    let config = EvalConfig::quick(args.seed);
+    // Salt 0: the salt keys multi-tenant separation, not privacy; a fixed
+    // salt keeps `svtrace` output comparable across invocations and against
+    // the `ASSERTSOLVER_TRACE=1` artifact of the same corpus.
+    let trace = TraceHandle::new(0);
+
+    let wall_start = Instant::now();
+    let evaluation = if args.sockets.is_empty() {
+        evaluate_model_observed(
+            &model,
+            &entries,
+            &config,
+            &EvalVerifier::start(&config),
+            &TracerHandle::off(),
+            &TelemetryHandle::off(),
+            &trace,
+        )
+    } else {
+        let fleet = ShardFleet::connect_unix(
+            &args.sockets,
+            Some(&model.identity()),
+            Duration::from_millis(args.timeout_ms.max(1)),
+        );
+        let verifier = EvalVerifier::start(&config);
+        let evaluation =
+            evaluate_model_over_fleet_traced(&model, &entries, &config, &fleet, &verifier, &trace);
+        verifier.shutdown();
+        if fleet.metrics().wire_errors > 0 {
+            eprintln!(
+                "svtrace: {} wire errors against the fleet — trace is partial",
+                fleet.metrics().wire_errors
+            );
+            return ExitCode::FAILURE;
+        }
+        evaluation
+    };
+    let wall = wall_start.elapsed();
+
+    let forest = TraceForest::from_spans(trace.drain());
+    if forest.is_empty() {
+        eprintln!("svtrace: no spans collected");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &args.out {
+        if let Err(err) = std::fs::write(path, forest.render_jsonl()) {
+            eprintln!("svtrace: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.flame {
+        print!("{}", forest.collapsed().render());
+    } else if let Some(n) = args.slowest {
+        print!("{}", render_slowest(&forest, n));
+    } else if args.deterministic {
+        print!("{}", forest.render_deterministic());
+    } else {
+        print!("{}", forest.render());
+    }
+
+    eprintln!(
+        "svtrace: {} cases, pass@1 {:.1}%, wall {:.3}s, {} spans in {} sessions",
+        entries.len(),
+        evaluation.passk().pass1_percent(),
+        wall.as_secs_f64(),
+        forest.len(),
+        forest.sessions().len(),
+    );
+
+    if let Some(bar) = args.min_coverage {
+        let listed = match args.slowest {
+            Some(n) => forest.slowest(n),
+            None => forest.sessions(),
+        };
+        for session in &listed {
+            let coverage = 100.0 * session.coverage();
+            if coverage < bar {
+                eprintln!(
+                    "svtrace: session {:016x} attributes only {coverage:.1}% \
+                     of its wall-clock (bar {bar:.1}%)",
+                    session.trace
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--slowest` listing: rank, trace id, wall, attribution coverage and
+/// the root's content-derived units.
+fn render_slowest(forest: &TraceForest, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4}  {:>16}  {:>12}  {:>10}  {:>9}  {:>6}\n",
+        "rank", "trace", "wall_ns", "attrib_ns", "coverage", "units"
+    ));
+    for (rank, session) in forest.slowest(n).iter().enumerate() {
+        out.push_str(&format!(
+            "{:>4}  {:016x}  {:>12}  {:>10}  {:>8.1}%  {:>6}\n",
+            rank + 1,
+            session.trace,
+            session.wall_ns,
+            session.attributed_ns,
+            100.0 * session.coverage(),
+            session.units,
+        ));
+    }
+    out
+}

@@ -14,14 +14,15 @@ use std::time::Instant;
 use svdata::SvaBugEntry;
 use svmodel::{CaseInput, RepairModel, Response};
 use svserve::persist::fnv64;
+use svserve::stage as trace_stage;
 use svserve::{
     env_cache_dir, env_journal_dir, env_profile_dir, render_journal, serve_scoped, verdict_key,
     write_journal, BackendSpec, CaseKey, CollapsedProfile, EscalationJudge, JournalHeader,
     JournalSink, JournalSpec, JudgeReport, Metric, MetricClass, MetricsRegistry, ModelRouter,
     PersistSpec, RepairRequest, RouteAttempt, RouteMetrics, RoutePolicy, RouterConfig,
     ServiceConfig, SessionConfig, SessionEngine, SessionPhase, SessionSpan, ShardFleet,
-    TelemetryHandle, TracerHandle, VerdictKey, VerifyConfig, VerifyMetrics, VerifyPool,
-    VerifyRequest, VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
+    TelemetryHandle, TraceHandle, TraceSpan, TracerHandle, VerdictKey, VerifyConfig, VerifyMetrics,
+    VerifyPool, VerifyRequest, VerifyTicket, DEFAULT_COMPACT_AFTER_RUNS,
 };
 use svverify::{CheckConfig, VerifyOracle};
 
@@ -677,8 +678,22 @@ pub fn evaluate_model<M: RepairModel + Sync + ?Sized>(
     }
     let Some(dir) = config.resolved_journal_dir() else {
         let verifier = EvalVerifier::start(config);
-        let evaluation = evaluate_model_with(model, entries, config, &verifier);
+        // `ASSERTSOLVER_TRACE` turns on span collection; the drained tree is
+        // written as a `trace-*.jsonl` artifact when a profile directory
+        // resolves (dropped otherwise — collection is cheap, and `svtrace`
+        // renders in-memory).
+        let trace = TraceHandle::from_env();
+        let evaluation = evaluate_model_observed(
+            model,
+            entries,
+            config,
+            &verifier,
+            &TracerHandle::off(),
+            &TelemetryHandle::off(),
+            &trace,
+        );
         verifier.shutdown();
+        write_trace_artifact(model, entries, config, &trace);
         return evaluation;
     };
     let manifest = JournalManifest::for_protocol("", "", &model.identity(), entries, config);
@@ -753,9 +768,44 @@ pub fn evaluate_model_sharded<M: RepairModel + Sync + ?Sized>(
         std::time::Duration::from_millis(spec.timeout_ms.max(1)),
     );
     let verifier = EvalVerifier::start(config);
-    let evaluation = evaluate_model_over_fleet(model, entries, config, &fleet, &verifier);
+    let trace = TraceHandle::from_env();
+    let evaluation =
+        evaluate_model_over_fleet_traced(model, entries, config, &fleet, &verifier, &trace);
     verifier.shutdown();
+    write_trace_artifact(model, entries, config, &trace);
     evaluation
+}
+
+/// Writes the drained trace tree as a `trace-<slug>-<hash>.jsonl` artifact
+/// into the resolved profile directory, best-effort (like the cache flush
+/// and journal writes — an unwritable directory must not fail the
+/// evaluation).  No-op while tracing is off or nothing was collected.
+fn write_trace_artifact<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    trace: &TraceHandle,
+) {
+    if !trace.is_on() {
+        return;
+    }
+    let forest = svserve::TraceForest::from_spans(trace.drain());
+    if forest.is_empty() {
+        return;
+    }
+    let Some(dir) = config.resolved_profile_dir() else {
+        return;
+    };
+    let mut keyed = model.identity().as_bytes().to_vec();
+    keyed.push(0);
+    keyed.extend_from_slice(&config.seed.to_le_bytes());
+    keyed.extend_from_slice(&corpus_fingerprint(entries).to_le_bytes());
+    let path = dir.join(format!(
+        "trace-{}-{:08x}.jsonl",
+        file_slug(&model.identity()),
+        fnv64(&keyed) as u32
+    ));
+    let _ = svserve::persist::write_atomic(&path, &forest.render_jsonl());
 }
 
 /// [`evaluate_model_sharded`] with externally managed fleet and verifier, so
@@ -768,6 +818,31 @@ pub fn evaluate_model_over_fleet<M: RepairModel + Sync + ?Sized>(
     fleet: &ShardFleet,
     verifier: &EvalVerifier,
 ) -> ModelEvaluation {
+    evaluate_model_over_fleet_traced(model, entries, config, fleet, verifier, &TraceHandle::off())
+}
+
+/// [`evaluate_model_over_fleet`] with a [`TraceHandle`] collecting the
+/// cross-process trace tree.
+///
+/// The driver derives each case's root context (a pure function of request
+/// content + salt), sends it over the wire inside `SubmitTraced`, and records
+/// the same five-span tree the in-process run builds: `session` root with
+/// `submit` / `sample` / `verify` / `evaluate` children.  The shard — which
+/// adopted the remote parent — answers with its own `sample` span; because
+/// its deterministic fields are derived from the identical context, it merges
+/// byte-for-byte with the driver's (keeping the shard-measured wall via
+/// max-merge).  The drained deterministic tree is therefore byte-identical to
+/// the in-process and loopback trees for the same corpus — the acceptance bar
+/// `tests/trace_determinism.rs` pins.  A degraded case (dead shard, busy,
+/// wire failure) contributes no spans, exactly as it contributes no samples.
+pub fn evaluate_model_over_fleet_traced<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    fleet: &ShardFleet,
+    verifier: &EvalVerifier,
+    trace: &TraceHandle,
+) -> ModelEvaluation {
     let results = entries
         .iter()
         .map(|entry| {
@@ -776,15 +851,77 @@ pub fn evaluate_model_over_fleet<M: RepairModel + Sync + ?Sized>(
                 config.samples,
                 config.temperature,
             );
-            match fleet.submit(&request) {
+            let tctx = if trace.is_on() {
+                trace.root(request.key())
+            } else {
+                None
+            };
+            let session_start = Instant::now();
+            let mut lap = session_start;
+            let submit_span = tctx.as_ref().map(|ctx| {
+                span_lap(
+                    ctx,
+                    "submit",
+                    trace_stage::SUBMIT,
+                    request.samples as u64,
+                    &mut lap,
+                )
+            });
+            let wire_result = match &tctx {
+                Some(ctx) => fleet.submit_traced(&request, ctx).map(|(outcome, spans)| {
+                    trace.extend(spans);
+                    outcome
+                }),
+                None => fleet.submit(&request),
+            };
+            match wire_result {
                 Ok(outcome) => {
+                    if let (Some(ctx), Some(submit_span)) = (&tctx, submit_span) {
+                        trace.record(submit_span);
+                        // The driver's own copy of the sample span: identical
+                        // deterministic fields to the shard's, wall measured
+                        // driver-side (wire time included) so the tree tiles
+                        // even against a v2 shard that returned no spans.
+                        trace.record(span_lap(
+                            ctx,
+                            "sample",
+                            trace_stage::SAMPLE,
+                            outcome.responses.len() as u64,
+                            &mut lap,
+                        ));
+                    }
                     let case = Arc::new(entry.clone());
                     let submitted = fan_out_candidates(verifier, &case, &outcome.responses);
+                    if let Some(ctx) = &tctx {
+                        trace.record(span_lap(
+                            ctx,
+                            "verify",
+                            trace_stage::VERIFY,
+                            submitted.len() as u64,
+                            &mut lap,
+                        ));
+                    }
                     let mut c = 0;
                     for (count, ticket) in submitted {
                         if ticket.wait().verdict {
                             c += count;
                         }
+                    }
+                    if let Some(ctx) = &tctx {
+                        trace.record(span_lap(
+                            ctx,
+                            "evaluate",
+                            trace_stage::EVALUATE,
+                            c as u64,
+                            &mut lap,
+                        ));
+                        trace.record(TraceSpan::new(
+                            ctx,
+                            "session",
+                            trace_stage::SESSION,
+                            outcome.responses.len() as u64,
+                            session_start.elapsed().as_nanos() as u64,
+                        ));
                     }
                     build_case_result(entry, outcome.responses.len(), c)
                 }
@@ -927,6 +1064,24 @@ fn stage_lap(clock: &mut Instant, metric: Option<&Metric>) {
     *clock = now;
 }
 
+/// Builds one child [`TraceSpan`] under `root` covering the time since
+/// `*lap`, then restarts the lap — the same tiling discipline as
+/// [`stage_lap`], applied per session: consecutive child spans cover the
+/// session wall contiguously, which is what lets `svtrace` attribute ≥ 95%
+/// of each session to named stages.
+fn span_lap(
+    root: &svserve::TraceContext,
+    label: &str,
+    seq: u32,
+    units: u64,
+    lap: &mut Instant,
+) -> TraceSpan {
+    let now = Instant::now();
+    let wall = now.duration_since(*lap).as_nanos() as u64;
+    *lap = now;
+    TraceSpan::new(&root.child(label), label, seq, units, wall)
+}
+
 /// [`evaluate_model_traced`] with *both* observability hooks: the journal
 /// tracer and a telemetry registry.  The registry receives the pool and
 /// runtime histograms plus the tiled `eval.stage.{setup,sessions,report}`
@@ -941,6 +1096,41 @@ pub fn evaluate_model_hooked<M: RepairModel + Sync + ?Sized>(
     verifier: &EvalVerifier,
     tracer: &TracerHandle,
     telemetry: &TelemetryHandle,
+) -> ModelEvaluation {
+    evaluate_model_observed(
+        model,
+        entries,
+        config,
+        verifier,
+        tracer,
+        telemetry,
+        &TraceHandle::off(),
+    )
+}
+
+/// [`evaluate_model_hooked`] with the full observability triple: journal
+/// tracer, telemetry registry, *and* a [`TraceHandle`] collecting causal
+/// spans ([`svserve::trace`]).
+///
+/// When tracing is on, every case grows a deterministic five-span tree —
+/// a `session` root with `submit` → `sample` → `verify` → `evaluate`
+/// children whose ids derive from the request's content hash and whose
+/// lap-measured walls tile the session end to end (the ≥95% attribution
+/// `svtrace` asserts).  Every deterministic span field is a pure function of
+/// `(case content, salt, stage)`, so the drained tree is byte-identical at
+/// any worker/driver count, warm or cold — and identical to the tree a
+/// remote fleet run produces for the same corpus
+/// ([`evaluate_model_over_fleet_traced`]).  With [`TraceHandle::off`] each
+/// instrumented site costs one branch.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_model_observed<M: RepairModel + Sync + ?Sized>(
+    model: &M,
+    entries: &[SvaBugEntry],
+    config: &EvalConfig,
+    verifier: &EvalVerifier,
+    tracer: &TracerHandle,
+    telemetry: &TelemetryHandle,
+    trace: &TraceHandle,
 ) -> ModelEvaluation {
     let stage_setup = telemetry.histogram("eval.stage.setup", MetricClass::Volatile);
     let stage_sessions = telemetry.histogram("eval.stage.sessions", MetricClass::Volatile);
@@ -986,7 +1176,18 @@ pub fn evaluate_model_hooked<M: RepairModel + Sync + ?Sized>(
                 .map(|((entry, request), span)| {
                     let monitor = monitor.clone();
                     let span = span.handle();
+                    // Root trace context: a pure function of request content
+                    // and the handle's salt, never of scheduling.  `None`
+                    // (tracing off) keeps the future span-free for one branch.
+                    let tctx = if trace.is_on() {
+                        trace.root(request.key())
+                    } else {
+                        None
+                    };
+                    let samples_requested = request.samples as u64;
                     async move {
+                        let session_start = Instant::now();
+                        let mut lap = session_start;
                         let ticket = service
                             .submit_async(request)
                             .expect("service open during evaluation")
@@ -994,20 +1195,65 @@ pub fn evaluate_model_hooked<M: RepairModel + Sync + ?Sized>(
                             .expect("service open during evaluation");
                         monitor.phase(SessionPhase::Submitted);
                         span.phase(SessionPhase::Submitted);
+                        if let Some(ctx) = &tctx {
+                            trace.record(span_lap(
+                                ctx,
+                                "submit",
+                                trace_stage::SUBMIT,
+                                samples_requested,
+                                &mut lap,
+                            ));
+                        }
                         let outcome = ticket.await;
                         monitor.phase(SessionPhase::Sampled);
                         span.phase(SessionPhase::Sampled);
                         span.timing("samples", outcome.responses.len() as u64);
+                        if let Some(ctx) = &tctx {
+                            trace.record(span_lap(
+                                ctx,
+                                "sample",
+                                trace_stage::SAMPLE,
+                                outcome.responses.len() as u64,
+                                &mut lap,
+                            ));
+                        }
                         let case = Arc::new(entry.clone());
                         let submitted =
                             fan_out_candidates_async(verifier, &case, &outcome.responses).await;
                         monitor.phase(SessionPhase::Verifying);
                         span.phase(SessionPhase::Verifying);
                         span.timing("distinct-candidates", submitted.len() as u64);
+                        if let Some(ctx) = &tctx {
+                            trace.record(span_lap(
+                                ctx,
+                                "verify",
+                                trace_stage::VERIFY,
+                                submitted.len() as u64,
+                                &mut lap,
+                            ));
+                        }
                         let c = judge_submitted(submitted).await;
                         span.verdict(c as u64, outcome.responses.len().saturating_sub(c) as u64);
                         monitor.phase(SessionPhase::Done);
                         span.phase(SessionPhase::Done);
+                        if let Some(ctx) = &tctx {
+                            trace.record(span_lap(
+                                ctx,
+                                "evaluate",
+                                trace_stage::EVALUATE,
+                                c as u64,
+                                &mut lap,
+                            ));
+                            // The root span last: its wall is the whole
+                            // session, which the four child laps tile.
+                            trace.record(TraceSpan::new(
+                                ctx,
+                                "session",
+                                trace_stage::SESSION,
+                                outcome.responses.len() as u64,
+                                session_start.elapsed().as_nanos() as u64,
+                            ));
+                        }
                         (outcome.responses.len(), c)
                     }
                 })

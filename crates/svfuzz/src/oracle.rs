@@ -16,11 +16,12 @@
 //! * [`OracleKind::BmcPermutation`] — permuting a module's concurrent items
 //!   (`assign` / `always`) must not change the bounded-check verdict or the
 //!   set of failing assertion names.
-//! * [`OracleKind::WireStats`] — a source-derived telemetry snapshot
-//!   round-trips through the `StatsReply` wire frame, and every deterministic
-//!   corruption of the encoded bytes (flips, truncations, oversized
-//!   declarations, checksummed-but-mangled JSON) degrades to a decode error —
-//!   never a panic.
+//! * [`OracleKind::WireStats`] — source-derived stats-plane payloads
+//!   round-trip through their wire frames (`StatsReply`, `TraceReply`,
+//!   `StatsWindowReply`), and every deterministic corruption of the encoded
+//!   bytes (flips, truncations, oversized declarations,
+//!   checksummed-but-mangled JSON) degrades to a decode error — never a
+//!   panic.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -45,7 +46,8 @@ pub enum OracleKind {
     MutateClosure,
     /// Bounded-check verdict invariance under concurrent-item permutation.
     BmcPermutation,
-    /// `StatsReply` wire-frame robustness: corrupt bytes never panic.
+    /// Stats-plane wire-frame robustness (`StatsReply` / `TraceReply` /
+    /// `StatsWindowReply`): corrupt bytes never panic.
     WireStats,
 }
 
@@ -280,7 +282,11 @@ fn bmc_permutation(source: &str) -> OracleOutcome {
 }
 
 fn wire_stats(source: &str) -> OracleOutcome {
-    use svserve::{decode_frame, encode_frame, Frame, MetricClass, MetricsRegistry};
+    use svmodel::CaseInput;
+    use svserve::{
+        Frame, MetricClass, MetricsRegistry, RepairRequest, TelemetryWindows, TraceContext,
+        TraceSpan, WireOutcome,
+    };
 
     let seed = fnv64(source.as_bytes()) ^ 0x57A7;
 
@@ -295,71 +301,156 @@ fn wire_stats(source: &str) -> OracleOutcome {
     for (i, byte) in source.bytes().take(64).enumerate() {
         content.observe(seed.rotate_left(i as u32) ^ u64::from(byte));
     }
-    let frame = Frame::StatsReply(registry.snapshot());
 
-    // 1. The well-formed frame round-trips exactly.
-    let bytes = match encode_frame(&frame) {
+    // A source-derived trace tree (the `TraceReply` payload): one root with a
+    // child per leading source byte, ids flowing from the real derivation.
+    let request = RepairRequest::new(
+        CaseInput {
+            spec: source.chars().take(48).collect(),
+            buggy_source: source.to_string(),
+            logs: format!("fuzz {seed:016x}"),
+        },
+        1 + (seed as usize) % 7,
+        0.2,
+    );
+    let root = TraceContext::root(request.key(), seed);
+    let mut spans = vec![TraceSpan::new(&root, "session", 0, 1, seed & 0xFFFF)];
+    for (i, byte) in source.bytes().take(6).enumerate() {
+        spans.push(TraceSpan::new(
+            &root.child(&format!("stage.{byte}")),
+            format!("stage.{byte}"),
+            1 + i as u32,
+            u64::from(byte),
+            seed.rotate_left(i as u32) & 0xFFF,
+        ));
+    }
+
+    // A source-derived window ring (the `StatsWindowReply` payload).
+    let windows = TelemetryWindows::new(1 + seed % 16);
+    for byte in source.bytes().take(32) {
+        windows.record_submit();
+        windows.record_complete(seed ^ u64::from(byte));
+    }
+    windows.record_shed();
+
+    // Every stats-plane reply frame — cumulative registry, trace tree, time
+    // window — faces the same corruption battery: a corrupt peer must always
+    // degrade to a counted decode error, never a panic.
+    let frames = [
+        ("stats", Frame::StatsReply(registry.snapshot())),
+        (
+            "trace reply",
+            Frame::TraceReply {
+                outcome: WireOutcome {
+                    responses: Vec::new(),
+                    from_cache: seed & 1 == 0,
+                },
+                spans,
+            },
+        ),
+        (
+            "stats window",
+            Frame::StatsWindowReply(windows.snapshot(seed % 5)),
+        ),
+    ];
+    for (label, frame) in &frames {
+        if let Some(outcome) = frame_corruption_battery(frame, seed, label) {
+            return outcome;
+        }
+    }
+    OracleOutcome::Pass
+}
+
+/// Runs one frame through the corruption battery; `Some` is a finding.
+///
+/// 1. the well-formed frame round-trips exactly;
+/// 2. single-byte flips and truncations at seed-derived positions decode to
+///    an error (length mismatch, checksum, codec) — never a panic, never a
+///    silently accepted frame;
+/// 3. an oversized length declaration is refused before any body allocation;
+/// 4. a checksummed-but-mangled body — the shape a buggy (not malicious)
+///    peer produces — decodes to an error or some other valid frame without
+///    panicking, and the typed JSON parsers behind the stats plane
+///    (registry snapshot, window snapshot, trace forest) absorb the mangled
+///    text without panicking too.
+fn frame_corruption_battery(
+    frame: &svserve::Frame,
+    seed: u64,
+    label: &str,
+) -> Option<OracleOutcome> {
+    use svserve::{decode_frame, encode_frame};
+
+    let bytes = match encode_frame(frame) {
         Ok(bytes) => bytes,
-        Err(err) => return OracleOutcome::fail(format!("stats frame does not encode: {err}")),
+        Err(err) => {
+            return Some(OracleOutcome::fail(format!(
+                "{label} frame does not encode: {err}"
+            )))
+        }
     };
     match catch_unwind(AssertUnwindSafe(|| decode_frame(&bytes))) {
-        Err(_) => return OracleOutcome::fail("decoding a well-formed stats frame panicked"),
-        Ok(Ok(decoded)) if decoded == frame => {}
-        Ok(Ok(_)) => return OracleOutcome::fail("stats frame did not round-trip"),
+        Err(_) => {
+            return Some(OracleOutcome::fail(format!(
+                "decoding a well-formed {label} frame panicked"
+            )))
+        }
+        Ok(Ok(decoded)) if decoded == *frame => {}
+        Ok(Ok(_)) => {
+            return Some(OracleOutcome::fail(format!(
+                "{label} frame did not round-trip"
+            )))
+        }
         Ok(Err(err)) => {
-            return OracleOutcome::fail(format!("well-formed stats frame rejected: {err}"))
+            return Some(OracleOutcome::fail(format!(
+                "well-formed {label} frame rejected: {err}"
+            )))
         }
     }
 
-    // 2. Single-byte flips and truncations at source-derived positions must
-    //    decode to an error (length mismatch, checksum, codec) — never a
-    //    panic, never a silently accepted frame.
     for step in 0..8u32 {
         let flip_at = (seed.rotate_left(step * 7) as usize) % bytes.len();
         let mut flipped = bytes.clone();
         flipped[flip_at] ^= 1 << (step % 8);
         match catch_unwind(AssertUnwindSafe(|| decode_frame(&flipped))) {
             Err(_) => {
-                return OracleOutcome::fail(format!(
-                    "byte flip at {flip_at} panicked the frame decoder"
-                ))
+                return Some(OracleOutcome::fail(format!(
+                    "{label}: byte flip at {flip_at} panicked the frame decoder"
+                )))
             }
             Ok(Err(_)) => {}
             Ok(Ok(_)) => {
-                return OracleOutcome::fail(format!(
-                    "byte flip at {flip_at} was accepted as a valid frame"
-                ))
+                return Some(OracleOutcome::fail(format!(
+                    "{label}: byte flip at {flip_at} was accepted as a valid frame"
+                )))
             }
         }
         let cut = (seed.rotate_right(step * 5) as usize) % bytes.len();
         match catch_unwind(AssertUnwindSafe(|| decode_frame(&bytes[..cut]))) {
             Err(_) => {
-                return OracleOutcome::fail(format!(
-                    "truncation to {cut} bytes panicked the frame decoder"
-                ))
+                return Some(OracleOutcome::fail(format!(
+                    "{label}: truncation to {cut} bytes panicked the frame decoder"
+                )))
             }
             Ok(Err(_)) => {}
             Ok(Ok(_)) => {
-                return OracleOutcome::fail(format!(
-                    "truncation to {cut} bytes was accepted as a valid frame"
-                ))
+                return Some(OracleOutcome::fail(format!(
+                    "{label}: truncation to {cut} bytes was accepted as a valid frame"
+                )))
             }
         }
     }
 
-    // 3. An oversized declaration is refused before any body allocation.
     let mut oversized = bytes.clone();
     oversized[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
     if !matches!(
         catch_unwind(AssertUnwindSafe(|| decode_frame(&oversized))),
         Ok(Err(_))
     ) {
-        return OracleOutcome::fail("oversized length declaration was not cleanly refused");
+        return Some(OracleOutcome::fail(format!(
+            "{label}: oversized length declaration was not cleanly refused"
+        )));
     }
 
-    // 4. A checksummed-but-mangled body — the shape a buggy (not malicious)
-    //    peer produces — must decode to an error or to some other valid
-    //    frame, never panic.  Same for the snapshot JSON parser itself.
     let body = &bytes[12..];
     if !body.is_empty() {
         let drop_at = (seed as usize) % body.len();
@@ -370,22 +461,35 @@ fn wire_stats(source: &str) -> OracleOutcome {
         reframed.extend_from_slice(&fnv64(&mangled).to_le_bytes());
         reframed.extend_from_slice(&mangled);
         if catch_unwind(AssertUnwindSafe(|| decode_frame(&reframed))).is_err() {
-            return OracleOutcome::fail(format!(
-                "mangled body (byte {drop_at} dropped, checksum fixed) panicked the decoder"
-            ));
+            return Some(OracleOutcome::fail(format!(
+                "{label}: mangled body (byte {drop_at} dropped, checksum fixed) \
+                 panicked the decoder"
+            )));
         }
         if let Ok(text) = std::str::from_utf8(&mangled) {
             let owned = text.to_string();
-            if catch_unwind(AssertUnwindSafe(|| {
-                svserve::RegistrySnapshot::parse_json(&owned)
-            }))
-            .is_err()
-            {
-                return OracleOutcome::fail("snapshot parser panicked on mangled JSON");
+            type TextParser = fn(&str);
+            let parsers: [(&str, TextParser); 3] = [
+                ("registry snapshot", |t| {
+                    let _ = svserve::RegistrySnapshot::parse_json(t);
+                }),
+                ("window snapshot", |t| {
+                    let _ = svserve::WindowSnapshot::parse_json(t);
+                }),
+                ("trace forest", |t| {
+                    let _ = svserve::TraceForest::parse_jsonl(t);
+                }),
+            ];
+            for (parser_label, parser) in parsers {
+                if catch_unwind(AssertUnwindSafe(|| parser(&owned))).is_err() {
+                    return Some(OracleOutcome::fail(format!(
+                        "{label}: {parser_label} parser panicked on mangled JSON"
+                    )));
+                }
             }
         }
     }
-    OracleOutcome::Pass
+    None
 }
 
 /// Shuffles the positions of `assign`/`always` items among themselves, keeping

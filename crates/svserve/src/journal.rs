@@ -179,6 +179,14 @@ pub enum JournalEvent {
     Span {
         /// Span name.
         name: String,
+        /// The parent span id in the trace tree ([`crate::trace`]), when the
+        /// emitter runs under a trace context; `None` for an unlinked span.
+        ///
+        /// Versioned for back-compat: journals written before the field
+        /// existed omit it, and the vendored serde treats a missing struct
+        /// field holding an `Option` as `None` — old replay artifacts keep
+        /// parsing unchanged.
+        parent: Option<u64>,
     },
 }
 
@@ -842,6 +850,34 @@ mod tests {
         assert_ne!(on, TracerHandle::off());
         assert_eq!(on, on.clone(), "clones compare equal by identity");
         assert_ne!(on, JournalSink::shared(JournalSpec::default()).handle());
+    }
+
+    #[test]
+    fn span_events_without_a_parent_field_still_parse() {
+        // Journals written before `Span.parent` existed omit the field; they
+        // must keep parsing as `parent: None` so old replay artifacts stay
+        // valid.  This line is the exact shape a pre-PR-10 journal carried.
+        let old_line = r#"{"session":7,"seq":0,"tick":1,"event":{"Span":{"name":"task-spawn"}}}"#;
+        let record: JournalRecord = serde_json::from_str(old_line).expect("old span line parses");
+        assert_eq!(
+            record.event,
+            JournalEvent::Span {
+                name: "task-spawn".to_string(),
+                parent: None,
+            }
+        );
+        // And the new shape round-trips with linkage intact.
+        let linked = JournalRecord::new(
+            7,
+            1,
+            JournalEvent::Span {
+                name: "sample".to_string(),
+                parent: Some(0xABCD),
+            },
+        );
+        let reparsed: JournalRecord =
+            serde_json::from_str(&linked.render()).expect("new span line parses");
+        assert_eq!(reparsed, linked);
     }
 
     #[test]

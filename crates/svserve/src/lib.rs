@@ -88,6 +88,7 @@ pub mod session;
 pub(crate) mod sync;
 pub mod telemetry;
 mod ticket;
+pub mod trace;
 pub mod verify;
 pub mod wire;
 
@@ -119,9 +120,15 @@ pub use session::{
     SessionPhase, DEFAULT_DRIVERS,
 };
 pub use telemetry::{
-    env_profile_dir, env_telemetry, ratio, CollapsedProfile, Metric, MetricClass, MetricKind,
-    MetricSnapshot, MetricsRegistry, RegistrySnapshot, TelemetryHandle, HISTOGRAM_BUCKETS,
-    PROFILE_DIR_ENV, TELEMETRY_ENV,
+    env_profile_dir, env_telemetry, env_window_width, percentile_from_buckets, ratio,
+    CollapsedProfile, Metric, MetricClass, MetricKind, MetricSnapshot, MetricsRegistry,
+    RegistrySnapshot, TelemetryHandle, TelemetryWindows, WindowBucketSnapshot, WindowSnapshot,
+    DEFAULT_WINDOW_WIDTH, HISTOGRAM_BUCKETS, PROFILE_DIR_ENV, TELEMETRY_ENV, WINDOW_RING_BUCKETS,
+    WINDOW_WIDTH_ENV,
+};
+pub use trace::{
+    env_trace, stage, TraceContext, TraceForest, TraceHandle, TraceSessionSummary, TraceSpan,
+    TRACE_ENV,
 };
 pub use verify::{
     env_verify_workers, verify_scoped, ResponseJudge, ScopedVerifier, VerdictOutcome, VerifyConfig,
@@ -130,8 +137,8 @@ pub use verify::{
 pub use wire::{
     decode_frame, encode_frame, env_shard_sockets, read_frame, shard_for_key, write_frame,
     FleetMetrics, FleetStats, Frame, FrameError, LoopbackTransport, RemoteShard, ShardFleet,
-    ShardServer, ShardStats, Transport, UnixTransport, WireError, WireOutcome, MAX_FRAME_LEN,
-    SHARD_SOCKETS_ENV, WIRE_FORMAT_VERSION,
+    ShardServer, ShardStats, ShardWindow, Transport, UnixTransport, WireError, WireOutcome,
+    MAX_FRAME_LEN, MIN_WIRE_FORMAT_VERSION, SHARD_SOCKETS_ENV, WIRE_FORMAT_VERSION,
 };
 
 #[cfg(test)]
@@ -156,5 +163,10 @@ mod tests {
         assert_send_sync::<super::JournalSink>();
         assert_send_sync::<super::SessionSpan>();
         assert_send_sync::<super::SpanHandle>();
+        assert_send_sync::<super::TraceHandle>();
+        assert_send_sync::<super::TraceSpan>();
+        assert_send_sync::<super::TraceForest>();
+        assert_send_sync::<super::TelemetryWindows>();
+        assert_send_sync::<super::WindowSnapshot>();
     }
 }

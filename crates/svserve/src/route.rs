@@ -45,6 +45,7 @@ use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::service::{splitmix64, worker_loop, RepairRequest, ServiceConfig, ServiceCore};
 use crate::telemetry::{Metric, MetricClass, TelemetryHandle};
 use crate::ticket::TicketState;
+use crate::trace::{stage, TraceHandle, TraceSpan};
 use serde::{Deserialize, Serialize};
 use std::future::Future;
 use std::pin::Pin;
@@ -181,6 +182,12 @@ pub struct RouterConfig {
     /// of ladder order) and `route.rung.<n>.latency` (volatile wall-clock per
     /// leg) histograms.  Off by default — one branch per leg.
     pub telemetry: TelemetryHandle,
+    /// Trace collector ([`crate::trace`]) the escalation ladder records
+    /// per-rung spans into: each leg becomes a `rung.<n>` child of the
+    /// request's root context, sequenced at [`stage::RUNG_BASE`]` + n` so
+    /// rung spans interleave deterministically with the session stages.
+    /// Off by default — one branch per leg.
+    pub trace: TraceHandle,
 }
 
 impl Default for RouterConfig {
@@ -190,6 +197,7 @@ impl Default for RouterConfig {
             escalation_capacity: 64,
             tracer: TracerHandle::off(),
             telemetry: TelemetryHandle::off(),
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -204,6 +212,12 @@ impl RouterConfig {
     /// Returns the config with the telemetry handle replaced.
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Returns the config with the trace collector replaced.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -538,6 +552,7 @@ struct RouterCore {
     judge: Arc<dyn EscalationJudge>,
     recorder: EscalationRecorder,
     tracer: TracerHandle,
+    trace: TraceHandle,
     closed: AtomicBool,
 }
 
@@ -548,10 +563,17 @@ impl RouterCore {
         // The journal session id is the request's content hash — computed only
         // when a tracer is installed, so the off path never pays the hash.
         let session = self.tracer.is_on().then(|| request.key().fold64());
+        // The trace root is content-derived too — only computed when tracing.
+        let trace_root = if self.trace.is_on() {
+            self.trace.root(request.key())
+        } else {
+            None
+        };
         for (rung, &idx) in self.ladder.iter().enumerate() {
             let backend = &self.backends[idx];
             let rung_metrics = &self.rung_metrics[rung];
-            let leg_start = rung_metrics.latency.as_ref().map(|_| Instant::now());
+            let leg_start =
+                (rung_metrics.latency.is_some() || trace_root.is_some()).then(Instant::now);
             // Internal ladder legs bypass per-backend admission: shedding a
             // request halfway up an already-admitted escalation would turn one
             // accepted session into a spurious failure.
@@ -581,6 +603,20 @@ impl RouterCore {
             }
             if let (Some(metric), Some(start)) = (&rung_metrics.latency, leg_start) {
                 metric.observe_duration(start.elapsed());
+            }
+            if let (Some(root), Some(start)) = (&trace_root, leg_start) {
+                // One span per leg, a child of the request's root context:
+                // every deterministic field is a pure function of request
+                // content and ladder position, so rung spans merge
+                // byte-identically across coordinator counts.
+                let label = format!("rung.{rung}");
+                self.trace.record(TraceSpan::new(
+                    &root.child(&label),
+                    label.clone(),
+                    stage::RUNG_BASE + rung as u32,
+                    report.distinct as u64,
+                    start.elapsed().as_nanos() as u64,
+                ));
             }
             if let Some(session) = session {
                 // Deterministic event: every field is a pure function of
@@ -717,6 +753,7 @@ impl ModelRouter {
             judge,
             recorder,
             tracer: config.tracer.clone(),
+            trace: config.trace.clone(),
             closed: AtomicBool::new(false),
             ladder,
             rung_metrics,

@@ -168,6 +168,7 @@ impl RtShared {
                     self.spawn_seq.load(Ordering::Relaxed),
                     JournalEvent::Span {
                         name: "timer-fire".to_string(),
+                        parent: None,
                     },
                 );
             }
@@ -591,6 +592,7 @@ impl Runtime {
                 id,
                 JournalEvent::Span {
                     name: "task-spawn".to_string(),
+                    parent: None,
                 },
             );
         }

@@ -25,7 +25,9 @@ use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::persist::{self, PersistSpec, SnapshotLoad};
 use crate::queue::{ServiceClosed, Shard, SubmitError};
 use crate::sync::lock_recover;
-use crate::telemetry::{Metric, MetricClass, RegistrySnapshot, TelemetryHandle};
+use crate::telemetry::{
+    Metric, MetricClass, RegistrySnapshot, TelemetryHandle, TelemetryWindows, WindowSnapshot,
+};
 use crate::ticket::TicketState;
 use std::future::Future;
 use std::pin::Pin;
@@ -271,6 +273,9 @@ pub(crate) struct ServiceCore {
     caches: Vec<Mutex<LruCache>>,
     metrics: MetricsRecorder,
     timers: PoolTimers,
+    /// Time-windowed rates/latencies (the `StatsWindow` exchange); installed
+    /// with telemetry, `None` otherwise — the hot path pays one branch.
+    windows: Option<Arc<TelemetryWindows>>,
     closed: AtomicBool,
     /// Generation of the snapshot this core preloaded (0 when cold); the next
     /// flush writes generation + 1 and ages entries against it.
@@ -316,6 +321,10 @@ impl ServiceCore {
                 .collect(),
             metrics: MetricsRecorder::new(),
             timers: PoolTimers::new(&config.telemetry),
+            windows: config
+                .telemetry
+                .is_on()
+                .then(|| Arc::new(TelemetryWindows::from_env())),
             closed: AtomicBool::new(false),
             snapshot_generation: AtomicU64::new(0),
             config,
@@ -453,6 +462,9 @@ impl ServiceCore {
         };
         if !self.metrics.try_admit(limit) {
             self.metrics.record_shed();
+            if let Some(windows) = &self.windows {
+                windows.record_shed();
+            }
             if self.config.tracer.is_on() {
                 // The key is only needed for the diagnostic; don't hash the
                 // request content on the shed fast-path while journaling is off.
@@ -475,6 +487,9 @@ impl ServiceCore {
                     pool: "repair".to_string(),
                 },
             );
+        }
+        if let Some(windows) = &self.windows {
+            windows.record_submit();
         }
         let state = TicketState::new();
         let job = Job {
@@ -555,6 +570,17 @@ impl ServiceCore {
         let mut out = self.config.telemetry.snapshot();
         self.snapshot().export("service", &mut out);
         out
+    }
+
+    /// The time-windowed snapshot served over the wire (`StatsWindow`
+    /// exchange).  With telemetry off the windows are not maintained and
+    /// this returns an empty default — a counted degradation, never an
+    /// error, so `svtop` can poll a mixed fleet.
+    pub(crate) fn stats_window(&self) -> WindowSnapshot {
+        match &self.windows {
+            Some(windows) => windows.snapshot(self.snapshot().in_flight_sessions as u64),
+            None => WindowSnapshot::default(),
+        }
     }
 
     pub(crate) fn close(&self) {
@@ -659,12 +685,16 @@ pub(crate) fn worker_loop<M: RepairModel + ?Sized>(
             if let (Some(metric), Some(solve)) = (&core.timers.solve, solve_time) {
                 metric.observe_duration(solve);
             }
+            let service_time = service_start.elapsed();
+            if let Some(windows) = &core.windows {
+                windows.record_complete(service_time.as_nanos() as u64);
+            }
             job.ticket.fulfill(RepairOutcome {
                 responses,
                 from_cache: solve_time.is_none(),
                 worker: shard_idx,
                 queue_wait,
-                service_time: service_start.elapsed(),
+                service_time,
             });
         }
     }
@@ -727,6 +757,13 @@ impl<M: RepairModel + Send + Sync + 'static> RepairService<M> {
     /// over the live telemetry registry (when one is installed).
     pub fn stats_snapshot(&self) -> RegistrySnapshot {
         self.core.stats_snapshot()
+    }
+
+    /// The time-windowed snapshot the wire layer serves for a
+    /// [`crate::wire::Frame::StatsWindow`] request; empty when telemetry
+    /// is off.
+    pub fn stats_window(&self) -> WindowSnapshot {
+        self.core.stats_window()
     }
 
     /// Writes the current response cache to the configured snapshot path
@@ -798,6 +835,13 @@ impl ScopedService<'_> {
     /// over the live telemetry registry (when one is installed).
     pub fn stats_snapshot(&self) -> RegistrySnapshot {
         self.core.stats_snapshot()
+    }
+
+    /// The time-windowed snapshot the wire layer serves for a
+    /// [`crate::wire::Frame::StatsWindow`] request; empty when telemetry
+    /// is off.
+    pub fn stats_window(&self) -> WindowSnapshot {
+        self.core.stats_window()
     }
 }
 

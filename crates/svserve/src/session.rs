@@ -472,6 +472,7 @@ impl SessionEngine {
                 self.recorder.spawned.load(Ordering::Relaxed),
                 JournalEvent::Span {
                     name: "session-spawn".to_string(),
+                    parent: None,
                 },
             );
         }

@@ -169,6 +169,37 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
     }
 }
 
+/// The shared quantile kernel over log-2 bucket counts: the inclusive upper
+/// bound of the bucket where the cumulative count crosses
+/// `ceil(q * count)` (at least 1), clamped to the exact recorded `max`.
+///
+/// ## Error bound
+///
+/// Resolution is **bucket-granular**.  Bucket `i` holds observations in
+/// `[2^(i-1), 2^i)` and the kernel reports its inclusive upper bound
+/// `2^i - 1`, so for an actual quantile value `a` the reported value `r`
+/// satisfies `a <= r <= 2a - 1`: the result **never under-reports**, and the
+/// worst-case relative error `(r - a) / a` is `(2^(i-1) - 1) / 2^(i-1)`,
+/// approaching (but never reaching) **100%** as `a` sits on a bucket's lower
+/// edge.  Two exact anchors tighten this in practice: the zero bucket reports
+/// exactly 0, and any quantile landing in the top populated bucket is clamped
+/// to the exact `max`.  `tests::percentile_error_bound_is_pinned` pins the
+/// worst case for p50/p90/p99 across bucket boundaries.
+pub fn percentile_from_buckets(count: u64, max: u64, buckets: &[u64], q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (index, bucket) in buckets.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= rank {
+            return bucket_upper_bound(index).min(max);
+        }
+    }
+    max
+}
+
 /// One registered metric: lock-free atomics written by the hot path.
 ///
 /// All three kinds share the storage; the [`MetricKind`] decides which fields
@@ -356,23 +387,16 @@ impl MetricSnapshot {
         ratio(self.sum, self.count)
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) with bucket-granular resolution: the
+    /// The `q`-quantile (`0.0..=1.0`) with **bucket-granular** resolution: the
     /// inclusive upper bound of the bucket where the cumulative count crosses
     /// `q * count`, clamped to the exact recorded max (so the top of the
     /// distribution reports exactly).
+    ///
+    /// The reported value never under-reports the true quantile, and
+    /// over-reports by strictly less than 2× — see [`percentile_from_buckets`]
+    /// for the precise bound and the test pinning it.
     pub fn percentile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut cumulative = 0u64;
-        for (index, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket;
-            if cumulative >= rank {
-                return bucket_upper_bound(index).min(self.max);
-            }
-        }
-        self.max
+        percentile_from_buckets(self.count, self.max, &self.buckets, q)
     }
 
     fn render_line(&self) -> String {
@@ -694,6 +718,242 @@ impl CollapsedProfile {
     }
 }
 
+/// Environment knob setting the time-window bucket width in logical ticks
+/// (one tick per recorded service event); invalid or zero values fall back to
+/// [`DEFAULT_WINDOW_WIDTH`] with a warning.
+pub const WINDOW_WIDTH_ENV: &str = "ASSERTSOLVER_WINDOW_WIDTH";
+
+/// Default window bucket width in logical ticks.
+pub const DEFAULT_WINDOW_WIDTH: u64 = 64;
+
+/// How many window buckets the ring retains (the observable horizon is
+/// `WINDOW_RING_BUCKETS * width` ticks).
+pub const WINDOW_RING_BUCKETS: usize = 8;
+
+/// Reads [`WINDOW_WIDTH_ENV`], clamping to at least 1 and warning on
+/// unparseable values instead of silently ignoring them.
+pub fn env_window_width() -> u64 {
+    match std::env::var(WINDOW_WIDTH_ENV) {
+        Err(_) => DEFAULT_WINDOW_WIDTH,
+        Ok(raw) => {
+            let value = raw.trim();
+            if value.is_empty() {
+                return DEFAULT_WINDOW_WIDTH;
+            }
+            match value.parse::<u64>() {
+                Ok(width) if width > 0 => width,
+                _ => {
+                    eprintln!(
+                        "warning: {WINDOW_WIDTH_ENV}={value:?} is not a positive tick count; \
+                         using {DEFAULT_WINDOW_WIDTH}"
+                    );
+                    DEFAULT_WINDOW_WIDTH
+                }
+            }
+        }
+    }
+}
+
+/// One bucket of a time window: event tallies plus a log-2 latency histogram
+/// covering `[start_tick, start_tick + width)` logical ticks.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WindowBucketSnapshot {
+    /// First logical tick this bucket covers.
+    pub start_tick: u64,
+    /// Requests admitted during the bucket.
+    pub submitted: u64,
+    /// Requests completed during the bucket.
+    pub completed: u64,
+    /// Requests shed by admission control during the bucket.
+    pub shed: u64,
+    /// Latency observations recorded during the bucket.
+    pub count: u64,
+    /// Sum of latency observations (nanoseconds).
+    pub sum: u64,
+    /// Exact maximum latency observation (nanoseconds).
+    pub max: u64,
+    /// Log-2 latency bucket counts, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+impl WindowBucketSnapshot {
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        let index = bucket_index(value);
+        if self.buckets.len() <= index {
+            self.buckets.resize(index + 1, 0);
+        }
+        self.buckets[index] += 1;
+    }
+
+    /// The `q`-quantile of this bucket's latency observations; same
+    /// bucket-granular error bound as [`percentile_from_buckets`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from_buckets(self.count, self.max, &self.buckets, q)
+    }
+}
+
+/// A point-in-time copy of the ring: the last [`WINDOW_RING_BUCKETS`] windows,
+/// oldest first, plus the live logical clock and in-flight gauge.
+///
+/// The window plane is a **volatile** surface: which bucket an event lands in
+/// depends on completion interleaving, and `wall_unix_ms` is a wall clock by
+/// definition — windows exist for live watching (`svtop`), never for
+/// byte-determinism comparisons (the deterministic registry subset serves
+/// those).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WindowSnapshot {
+    /// Bucket width in logical ticks.
+    pub width: u64,
+    /// The logical clock at snapshot time (events recorded so far).
+    pub tick: u64,
+    /// Requests in flight at snapshot time.
+    pub in_flight: u64,
+    /// Wall-clock annotation (milliseconds since the unix epoch) — volatile,
+    /// for `svtop` rate estimation only.
+    pub wall_unix_ms: u64,
+    /// The retained buckets, oldest first; the last entry is still filling.
+    pub buckets: Vec<WindowBucketSnapshot>,
+}
+
+impl WindowSnapshot {
+    /// Folds every retained bucket into one summary bucket (rates and
+    /// percentiles over the whole observable horizon).
+    pub fn totals(&self) -> WindowBucketSnapshot {
+        let mut total = WindowBucketSnapshot::default();
+        for bucket in &self.buckets {
+            total.submitted += bucket.submitted;
+            total.completed += bucket.completed;
+            total.shed += bucket.shed;
+            total.count += bucket.count;
+            total.sum = total.sum.saturating_add(bucket.sum);
+            total.max = total.max.max(bucket.max);
+            if total.buckets.len() < bucket.buckets.len() {
+                total.buckets.resize(bucket.buckets.len(), 0);
+            }
+            for (index, count) in bucket.buckets.iter().enumerate() {
+                total.buckets[index] += count;
+            }
+        }
+        total
+    }
+
+    /// The `q`-quantile of latency over the whole retained horizon.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.totals();
+        percentile_from_buckets(total.count, total.max, &total.buckets, q)
+    }
+
+    /// JSON exposition (the wire form of the `StatsWindowReply` frame).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string(self).expect("window snapshots always serialize")
+    }
+
+    /// Parses the JSON exposition back.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|err| format!("malformed window snapshot: {err}"))
+    }
+}
+
+/// Fixed-width ring-buffer time windows over a service's logical clock.
+///
+/// Every recorded event advances the clock by one tick; buckets cover `width`
+/// ticks each and the ring retains the last [`WINDOW_RING_BUCKETS`] of them,
+/// so rates and percentiles exist *over time* instead of only cumulatively.
+/// Logical ticks (not wall clocks) drive bucket rotation, which keeps the
+/// window plane meaningful under replay and on machines with wildly different
+/// speeds; the wall clock appears only as the snapshot's volatile annotation.
+#[derive(Debug)]
+pub struct TelemetryWindows {
+    width: u64,
+    state: Mutex<WindowState>,
+}
+
+#[derive(Debug)]
+struct WindowState {
+    tick: u64,
+    ring: std::collections::VecDeque<WindowBucketSnapshot>,
+}
+
+impl TelemetryWindows {
+    /// A ring with `width` logical ticks per bucket (clamped to at least 1).
+    pub fn new(width: u64) -> Self {
+        let mut ring = std::collections::VecDeque::with_capacity(WINDOW_RING_BUCKETS);
+        ring.push_back(WindowBucketSnapshot::default());
+        Self {
+            width: width.max(1),
+            state: Mutex::new(WindowState { tick: 0, ring }),
+        }
+    }
+
+    /// A ring honoring [`WINDOW_WIDTH_ENV`].
+    pub fn from_env() -> Self {
+        Self::new(env_window_width())
+    }
+
+    /// The bucket width in logical ticks.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    fn advance<'a>(&self, state: &'a mut WindowState) -> &'a mut WindowBucketSnapshot {
+        // The event lands at the *current* tick (so the first `width` events
+        // fill the first bucket exactly); the clock then advances past it.
+        let bucket_start = (state.tick / self.width) * self.width;
+        state.tick += 1;
+        let current_start = state.ring.back().map(|b| b.start_tick).unwrap_or(0);
+        if bucket_start > current_start {
+            state.ring.push_back(WindowBucketSnapshot {
+                start_tick: bucket_start,
+                ..WindowBucketSnapshot::default()
+            });
+            while state.ring.len() > WINDOW_RING_BUCKETS {
+                state.ring.pop_front();
+            }
+        }
+        state.ring.back_mut().expect("ring is never empty")
+    }
+
+    /// Records one admitted request.
+    pub fn record_submit(&self) {
+        let mut state = lock_recover(&self.state);
+        self.advance(&mut state).submitted += 1;
+    }
+
+    /// Records one completed request with its service latency (nanoseconds).
+    pub fn record_complete(&self, latency_ns: u64) {
+        let mut state = lock_recover(&self.state);
+        let bucket = self.advance(&mut state);
+        bucket.completed += 1;
+        bucket.observe(latency_ns);
+    }
+
+    /// Records one shed request.
+    pub fn record_shed(&self) {
+        let mut state = lock_recover(&self.state);
+        self.advance(&mut state).shed += 1;
+    }
+
+    /// A point-in-time copy of the ring; `in_flight` is the caller's live
+    /// gauge (the windows don't track it themselves).
+    pub fn snapshot(&self, in_flight: u64) -> WindowSnapshot {
+        let state = lock_recover(&self.state);
+        let wall_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        WindowSnapshot {
+            width: self.width,
+            tick: state.tick,
+            in_flight,
+            wall_unix_ms,
+            buckets: state.ring.iter().cloned().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,5 +1142,123 @@ mod tests {
         assert_eq!(bucket_index(u64::MAX), 64);
         assert_eq!(bucket_index(1), 1);
         assert_eq!(bucket_index(0), 0);
+    }
+
+    /// Pins the documented worst-case relative error of
+    /// [`percentile_from_buckets`]: observations planted exactly on bucket
+    /// lower edges (`2^k`, the worst position) must report p50/p90/p99 that
+    /// never under-report and over-report by strictly less than 2×.
+    #[test]
+    fn percentile_error_bound_is_pinned() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("t.bound", MetricClass::Volatile);
+        // 100 observations spread across bucket boundaries: 2^4..2^13, each
+        // planted at its bucket's lower edge where relative error peaks.
+        let mut observations = Vec::new();
+        for k in 4u32..14 {
+            for _ in 0..10 {
+                observations.push(1u64 << k);
+            }
+        }
+        for &value in &observations {
+            hist.observe(value);
+        }
+        observations.sort_unstable();
+        let snap = hist.snapshot();
+        for q in [0.50, 0.90, 0.99] {
+            let rank = ((q * observations.len() as f64).ceil().max(1.0)) as usize;
+            let actual = observations[rank - 1];
+            let reported = snap.percentile(q);
+            assert!(
+                reported >= actual,
+                "p{q}: reported {reported} under-reports actual {actual}"
+            );
+            let relative_error = (reported - actual) as f64 / actual as f64;
+            assert!(
+                relative_error < 1.0,
+                "p{q}: relative error {relative_error} breaches the <100% bound \
+                 (reported {reported}, actual {actual})"
+            );
+            // Worst case is exactly (2^k - 1)/2^k for a lower-edge value not
+            // clamped by the max: reported == 2 * actual - 1.
+            if reported != snap.max {
+                assert_eq!(reported, 2 * actual - 1, "p{q} reports the bucket bound");
+            }
+        }
+        // The exact anchors: zeros report exactly, the top reports the max.
+        assert_eq!(percentile_from_buckets(0, 0, &[], 0.5), 0);
+        assert_eq!(snap.percentile(1.0), snap.max);
+    }
+
+    #[test]
+    fn windows_rotate_by_logical_ticks_and_bound_the_ring() {
+        let windows = TelemetryWindows::new(4);
+        // 4 events per bucket; drive 10 buckets' worth so the ring wraps.
+        for _ in 0..(4 * (WINDOW_RING_BUCKETS as u64 + 2)) {
+            windows.record_submit();
+        }
+        let snap = windows.snapshot(3);
+        assert_eq!(snap.width, 4);
+        assert_eq!(snap.tick, 4 * (WINDOW_RING_BUCKETS as u64 + 2));
+        assert_eq!(snap.in_flight, 3);
+        assert!(snap.buckets.len() <= WINDOW_RING_BUCKETS);
+        // Buckets are contiguous, oldest first, each 4 ticks wide.
+        for pair in snap.buckets.windows(2) {
+            assert_eq!(pair[1].start_tick, pair[0].start_tick + 4);
+        }
+        // Every full bucket saw exactly `width` submissions.
+        let full: Vec<_> = snap
+            .buckets
+            .iter()
+            .filter(|b| b.start_tick + 4 <= snap.tick)
+            .collect();
+        assert!(full.iter().all(|b| b.submitted == 4));
+        assert_eq!(
+            snap.totals().submitted,
+            snap.buckets.iter().map(|b| b.submitted).sum()
+        );
+    }
+
+    #[test]
+    fn window_latency_percentiles_read_over_the_horizon() {
+        let windows = TelemetryWindows::new(8);
+        for i in 0..16u64 {
+            windows.record_submit();
+            windows.record_complete(if i < 15 { 100 } else { 1_000_000 });
+        }
+        windows.record_shed();
+        let snap = windows.snapshot(0);
+        let totals = snap.totals();
+        assert_eq!(totals.completed, 16);
+        assert_eq!(totals.shed, 1);
+        assert_eq!(totals.max, 1_000_000);
+        assert!(snap.percentile(0.50) >= 100);
+        assert!(snap.percentile(0.50) < 200, "p50 stays in the 100ns bucket");
+        assert_eq!(snap.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn window_snapshot_json_round_trips() {
+        let windows = TelemetryWindows::new(2);
+        windows.record_submit();
+        windows.record_complete(12_345);
+        let snap = windows.snapshot(1);
+        let parsed = WindowSnapshot::parse_json(&snap.render_json()).expect("round trip");
+        assert_eq!(parsed, snap);
+        assert!(WindowSnapshot::parse_json("{nope").is_err());
+    }
+
+    #[test]
+    fn window_width_env_knob_clamps_and_warns() {
+        std::env::remove_var(WINDOW_WIDTH_ENV);
+        assert_eq!(env_window_width(), DEFAULT_WINDOW_WIDTH);
+        std::env::set_var(WINDOW_WIDTH_ENV, "16");
+        assert_eq!(env_window_width(), 16);
+        std::env::set_var(WINDOW_WIDTH_ENV, "0");
+        assert_eq!(env_window_width(), DEFAULT_WINDOW_WIDTH);
+        std::env::set_var(WINDOW_WIDTH_ENV, "lots");
+        assert_eq!(env_window_width(), DEFAULT_WINDOW_WIDTH);
+        std::env::remove_var(WINDOW_WIDTH_ENV);
+        assert_eq!(TelemetryWindows::from_env().width(), DEFAULT_WINDOW_WIDTH);
     }
 }

@@ -20,17 +20,29 @@
 
 use crate::persist::fnv64;
 use crate::service::RepairRequest;
-use crate::telemetry::RegistrySnapshot;
+use crate::telemetry::{RegistrySnapshot, WindowSnapshot};
+use crate::trace::{TraceContext, TraceSpan};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use svmodel::Response;
 
-/// Version of the wire format; peers with different versions refuse to talk
-/// (the mismatch is reported in the [`Frame::Hello`] exchange).
+/// Version of the wire format the sender speaks.  Since v3 the `Hello`
+/// exchange **negotiates**: both sides agree on
+/// `min(client version, shard version)` and refuse only when that falls below
+/// [`MIN_WIRE_FORMAT_VERSION`] — so a v3 client degrades losslessly against a
+/// v2 shard (it sends plain [`Frame::Submit`] and simply collects no remote
+/// spans) instead of refusing the fleet.
 ///
 /// Version 2 added the [`Frame::Stats`] / [`Frame::StatsReply`] introspection
-/// exchange.
-pub const WIRE_FORMAT_VERSION: u32 = 2;
+/// exchange.  Version 3 added distributed tracing
+/// ([`Frame::SubmitTraced`] / [`Frame::TraceReply`]) and windowed telemetry
+/// ([`Frame::StatsWindow`] / [`Frame::StatsWindowReply`]).
+pub const WIRE_FORMAT_VERSION: u32 = 3;
+
+/// Oldest wire version this build still speaks.  Negotiation lands on
+/// `min(client, shard)`; anything below this floor is refused in the `Hello`
+/// exchange (v1 predates the `Stats` frames the fleet tooling assumes).
+pub const MIN_WIRE_FORMAT_VERSION: u32 = 2;
 
 /// Hard cap on a frame body's declared length.  Larger declarations are
 /// rejected before allocation: a corrupt peer must never drive the process
@@ -64,8 +76,27 @@ pub enum Frame {
     },
     /// A repair request, client → shard.
     Submit(RepairRequest),
+    /// A repair request carrying its [`TraceContext`], client → shard
+    /// (v3+).  The shard emits its spans under the remote parent and answers
+    /// with [`Frame::TraceReply`]; on a v2-negotiated connection the client
+    /// falls back to plain [`Frame::Submit`] — the request is lossless, only
+    /// the trace propagation is dropped.
+    SubmitTraced {
+        /// The request, identical in shape to a plain `Submit`.
+        request: RepairRequest,
+        /// The driver-side parent context the shard's spans adopt.
+        context: TraceContext,
+    },
     /// The served answer, shard → client.
     Response(WireOutcome),
+    /// The served answer plus the spans the shard recorded while serving it,
+    /// shard → client (the reply to [`Frame::SubmitTraced`], v3+).
+    TraceReply {
+        /// The served outcome, identical in shape to a plain `Response`.
+        outcome: WireOutcome,
+        /// Shard-side spans, parented under the submitted context.
+        spans: Vec<TraceSpan>,
+    },
     /// Admission control shed the request (`SubmitError::Busy` over the wire).
     Busy,
     /// Live-introspection request, client → shard: ask the shard for a
@@ -75,6 +106,12 @@ pub enum Frame {
     /// form, merged with the live registry when the shard runs with telemetry
     /// on), shard → client.
     StatsReply(RegistrySnapshot),
+    /// Windowed-telemetry request, client → shard (v3+): ask for the
+    /// time-window ring instead of the cumulative registry.
+    StatsWindow,
+    /// The shard's window ring, shard → client (the reply to
+    /// [`Frame::StatsWindow`]).
+    StatsWindowReply(WindowSnapshot),
     /// The shard's service has shut down.
     Closed,
     /// Protocol-level failure (version mismatch, undecodable frame, …); the
@@ -253,27 +290,60 @@ mod tests {
         registry.snapshot()
     }
 
+    fn trace_context() -> crate::trace::TraceContext {
+        crate::trace::TraceContext::root(request().key(), 7)
+    }
+
+    fn window_snapshot() -> crate::telemetry::WindowSnapshot {
+        let windows = crate::telemetry::TelemetryWindows::new(4);
+        windows.record_submit();
+        windows.record_complete(123_456);
+        windows.snapshot(1)
+    }
+
     #[test]
     fn every_frame_variant_round_trips() {
+        let sample_response = Response {
+            bug_line_number: 4,
+            buggy_line: "assert (x);".into(),
+            fixed_line: "assert (y);".into(),
+            cot: None,
+        };
+        let context = trace_context();
         let frames = vec![
             Frame::Hello {
                 format_version: WIRE_FORMAT_VERSION,
                 fingerprint: "base:3".into(),
             },
             Frame::Submit(request()),
+            Frame::SubmitTraced {
+                request: request(),
+                context,
+            },
             Frame::Response(WireOutcome {
-                responses: vec![Response {
-                    bug_line_number: 4,
-                    buggy_line: "assert (x);".into(),
-                    fixed_line: "assert (y);".into(),
-                    cot: None,
-                }],
+                responses: vec![sample_response.clone()],
                 from_cache: true,
             }),
+            Frame::TraceReply {
+                outcome: WireOutcome {
+                    responses: vec![sample_response],
+                    from_cache: false,
+                },
+                spans: vec![crate::trace::TraceSpan::new(
+                    &context.child("sample"),
+                    "sample",
+                    crate::trace::stage::SAMPLE,
+                    3,
+                    42,
+                )],
+            },
             Frame::Busy,
             Frame::Stats,
             Frame::StatsReply(stats_snapshot()),
             Frame::StatsReply(RegistrySnapshot::new()),
+            Frame::StatsWindow,
+            Frame::StatsWindowReply(window_snapshot()),
+            Frame::StatsWindowReply(crate::telemetry::WindowSnapshot::default()),
             Frame::Closed,
             Frame::Err("boom".into()),
         ];

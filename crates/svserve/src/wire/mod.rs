@@ -41,9 +41,11 @@ mod transport;
 
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, WireOutcome,
-    MAX_FRAME_LEN, WIRE_FORMAT_VERSION,
+    MAX_FRAME_LEN, MIN_WIRE_FORMAT_VERSION, WIRE_FORMAT_VERSION,
 };
-pub use remote::{shard_for_key, FleetMetrics, FleetStats, RemoteShard, ShardFleet, ShardStats};
+pub use remote::{
+    shard_for_key, FleetMetrics, FleetStats, RemoteShard, ShardFleet, ShardStats, ShardWindow,
+};
 pub use server::ShardServer;
 pub use transport::{LoopbackTransport, Transport, UnixTransport, WireError};
 

@@ -19,13 +19,14 @@
 //! panics or hangs on a sick peer.
 
 use super::frame::WireOutcome;
-use super::transport::{Transport, UnixTransport, WireError};
+use super::transport::{is_local_refusal, Transport, UnixTransport, WireError};
 use crate::cache::CaseKey;
 use crate::journal::{JournalEvent, TracerHandle};
 use crate::metrics::render_block;
 use crate::service::{splitmix64, RepairRequest};
 use crate::sync::lock_recover;
-use crate::telemetry::{MetricClass, RegistrySnapshot};
+use crate::telemetry::{MetricClass, RegistrySnapshot, WindowSnapshot};
+use crate::trace::{TraceContext, TraceSpan};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -85,6 +86,30 @@ impl RemoteShard {
         result
     }
 
+    /// Submits one request carrying a trace context, blocking for the answer
+    /// plus the spans the shard recorded under the remote parent.
+    ///
+    /// Same retirement discipline as [`RemoteShard::submit`]; against a v2
+    /// peer the transport degrades to the plain exchange and the span vector
+    /// comes back empty.
+    pub fn submit_traced(
+        &self,
+        request: &RepairRequest,
+        context: &TraceContext,
+    ) -> Result<(WireOutcome, Vec<TraceSpan>), WireError> {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(reason) = &inner.dead {
+            return Err(WireError::Protocol(format!(
+                "shard connection failed earlier: {reason}"
+            )));
+        }
+        let result = inner.transport.call_traced(request, context);
+        if let Err(WireError::Protocol(reason)) = &result {
+            inner.dead = Some(reason.clone());
+        }
+        result
+    }
+
     /// The shard's model fingerprint, learned at the `Hello` handshake.
     pub fn fingerprint(&self) -> String {
         lock_recover(&self.inner)
@@ -107,8 +132,32 @@ impl RemoteShard {
             )));
         }
         let result = inner.transport.stats();
-        if let Err(WireError::Protocol(reason)) = &result {
-            inner.dead = Some(reason.clone());
+        if let Err(err @ WireError::Protocol(reason)) = &result {
+            if !is_local_refusal(err) {
+                inner.dead = Some(reason.clone());
+            }
+        }
+        result
+    }
+
+    /// Requests the shard's time-windowed telemetry (`StatsWindow`
+    /// exchange), blocking for the answer.  Same retirement discipline as
+    /// [`RemoteShard::stats`] — except a *local* refusal (the negotiated
+    /// version predates the exchange; no bytes were sent) leaves the healthy
+    /// connection alone, so polling a v2 shard for windows never kills its
+    /// submit path.
+    pub fn stats_window(&self) -> Result<WindowSnapshot, WireError> {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(reason) = &inner.dead {
+            return Err(WireError::Protocol(format!(
+                "shard connection failed earlier: {reason}"
+            )));
+        }
+        let result = inner.transport.stats_window();
+        if let Err(err @ WireError::Protocol(reason)) = &result {
+            if !is_local_refusal(err) {
+                inner.dead = Some(reason.clone());
+            }
         }
         result
     }
@@ -241,6 +290,51 @@ impl ShardFleet {
         result
     }
 
+    /// Submits one request with a trace context to its content-placed shard,
+    /// blocking for the answer plus the shard's spans.  Accounting is
+    /// identical to [`ShardFleet::submit`]; the span vector is empty when the
+    /// shard negotiated wire v2.
+    pub fn submit_traced(
+        &self,
+        request: &RepairRequest,
+        context: &TraceContext,
+    ) -> Result<(WireOutcome, Vec<TraceSpan>), WireError> {
+        self.recorder.submitted.fetch_add(1, Ordering::Relaxed);
+        let shard = self.placement(request);
+        let result = match &self.slots[shard] {
+            ShardSlot::Connected(remote) => remote.submit_traced(request, context),
+            ShardSlot::Dead(reason) => Err(WireError::Protocol(format!(
+                "shard {shard} is down: {reason}"
+            ))),
+        };
+        match &result {
+            Ok((outcome, _spans)) => {
+                self.recorder.completed.fetch_add(1, Ordering::Relaxed);
+                if outcome.from_cache {
+                    self.recorder
+                        .remote_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(WireError::Busy) => {
+                self.recorder.shed_busy.fetch_add(1, Ordering::Relaxed);
+                if self.tracer.is_on() {
+                    self.recorder.journal_events.fetch_add(1, Ordering::Relaxed);
+                    self.tracer.diagnostic(
+                        request.key().fold64(),
+                        JournalEvent::Shed {
+                            pool: "wire".to_string(),
+                        },
+                    );
+                }
+            }
+            Err(WireError::Closed) | Err(WireError::Protocol(_)) => {
+                self.recorder.wire_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
     /// Asks every live shard for its telemetry snapshot and merges them into
     /// one fleet-wide view (the `Stats` wire exchange per shard).
     ///
@@ -279,6 +373,41 @@ impl ShardFleet {
             })
             .collect();
         FleetStats { shards, merged }
+    }
+
+    /// Asks every shard for its time-windowed telemetry (`StatsWindow` per
+    /// shard), in shard order.  One entry per slot; a shard that fails the
+    /// exchange — dead, v2, or mid-frame corruption — contributes an error
+    /// string and (for real wire failures) a counted wire error, never a
+    /// panic.  This is the poll `svtop` runs on every refresh.
+    pub fn fleet_windows(&self) -> Vec<ShardWindow> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                let (fingerprint, result) = match slot {
+                    ShardSlot::Connected(remote) => {
+                        let fingerprint = remote.fingerprint();
+                        let result = remote.stats_window().map_err(|err| {
+                            if !super::transport::is_local_refusal(&err) {
+                                self.recorder.wire_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            err.to_string()
+                        });
+                        (fingerprint, result)
+                    }
+                    ShardSlot::Dead(reason) => (
+                        String::new(),
+                        Err(format!("shard {index} is down: {reason}")),
+                    ),
+                };
+                ShardWindow {
+                    shard: index,
+                    fingerprint,
+                    result,
+                }
+            })
+            .collect()
     }
 
     /// Takes a metrics snapshot.
@@ -414,6 +543,18 @@ pub struct ShardStats {
     pub fingerprint: String,
     /// The snapshot, or why the exchange failed.
     pub result: Result<RegistrySnapshot, String>,
+}
+
+/// One shard's answer to the `StatsWindow` exchange
+/// ([`ShardFleet::fleet_windows`]).
+#[derive(Debug, Clone)]
+pub struct ShardWindow {
+    /// Fleet slot index (also the placement index).
+    pub shard: usize,
+    /// The shard's model fingerprint; empty for slots that never connected.
+    pub fingerprint: String,
+    /// The windowed snapshot, or why the exchange failed.
+    pub result: Result<WindowSnapshot, String>,
 }
 
 #[cfg(test)]

@@ -9,17 +9,21 @@
 //! live connection stream, so connection threads unblock from `read` and the
 //! whole server joins deterministically.
 
-use super::frame::{read_frame, write_frame, Frame, FrameError, WireOutcome, WIRE_FORMAT_VERSION};
+use super::frame::{
+    read_frame, write_frame, Frame, FrameError, WireOutcome, MIN_WIRE_FORMAT_VERSION,
+    WIRE_FORMAT_VERSION,
+};
 use crate::queue::SubmitError;
 use crate::service::RepairService;
 use crate::sync::lock_recover;
+use crate::trace::{stage, TraceSpan};
 use std::io::{BufReader, BufWriter};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use svmodel::RepairModel;
 
 /// How long the accept loop sleeps between polls of the listener and the
@@ -144,11 +148,13 @@ fn serve_connection<M: RepairModel + Send + Sync + 'static>(
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    // Handshake: the first frame must be a compatible Hello.
+    // Handshake: the first frame must be a compatible Hello.  The agreed
+    // version is min(client, ours); a client announcing a *newer* version is
+    // fine (it negotiates down to ours), only one below the floor is refused.
     match read_frame(&mut reader) {
-        Ok(Frame::Hello { format_version, .. }) if format_version == WIRE_FORMAT_VERSION => {
+        Ok(Frame::Hello { format_version, .. }) if format_version >= MIN_WIRE_FORMAT_VERSION => {
             let hello = Frame::Hello {
-                format_version: WIRE_FORMAT_VERSION,
+                format_version: format_version.min(WIRE_FORMAT_VERSION),
                 fingerprint: fingerprint.to_string(),
             };
             if write_frame(&mut writer, &hello).is_err() {
@@ -161,7 +167,8 @@ fn serve_connection<M: RepairModel + Send + Sync + 'static>(
                 &mut writer,
                 &Frame::Err(format!(
                     "wire version mismatch: client speaks v{format_version}, \
-                     shard speaks v{WIRE_FORMAT_VERSION}"
+                     shard speaks v{WIRE_FORMAT_VERSION} \
+                     (minimum v{MIN_WIRE_FORMAT_VERSION})"
                 )),
             );
             return;
@@ -193,7 +200,37 @@ fn serve_connection<M: RepairModel + Send + Sync + 'static>(
                 Err(SubmitError::Busy) => Frame::Busy,
                 Err(SubmitError::Closed) => Frame::Closed,
             },
+            Ok(Frame::SubmitTraced { request, context }) => {
+                let started = Instant::now();
+                match service.submit(request) {
+                    Ok(ticket) => {
+                        let outcome = ticket.wait();
+                        // Adopt the remote parent: the sample span's
+                        // deterministic fields are pure functions of the
+                        // driver-sent context, so the driver's own copy of
+                        // this span merges with it byte-for-byte — only the
+                        // shard-measured wall time is new information.
+                        let sample = TraceSpan::new(
+                            &context.child("sample"),
+                            "sample",
+                            stage::SAMPLE,
+                            outcome.responses.len() as u64,
+                            started.elapsed().as_nanos() as u64,
+                        );
+                        Frame::TraceReply {
+                            outcome: WireOutcome {
+                                responses: (*outcome.responses).clone(),
+                                from_cache: outcome.from_cache,
+                            },
+                            spans: vec![sample],
+                        }
+                    }
+                    Err(SubmitError::Busy) => Frame::Busy,
+                    Err(SubmitError::Closed) => Frame::Closed,
+                }
+            }
             Ok(Frame::Stats) => Frame::StatsReply(service.stats_snapshot()),
+            Ok(Frame::StatsWindow) => Frame::StatsWindowReply(service.stats_window()),
             Ok(other) => {
                 protocol_errors.fetch_add(1, Ordering::Relaxed);
                 Frame::Err(format!("unexpected frame {other:?}"))

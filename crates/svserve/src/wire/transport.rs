@@ -7,15 +7,18 @@
 //! encodes and decodes each frame in memory — so a test passing over loopback
 //! exercises byte-for-byte the protocol a socket peer would see.
 
-use super::frame::{read_frame, Frame, FrameError, WireOutcome, WIRE_FORMAT_VERSION};
+use super::frame::{
+    read_frame, Frame, FrameError, WireOutcome, MIN_WIRE_FORMAT_VERSION, WIRE_FORMAT_VERSION,
+};
 use crate::queue::SubmitError;
 use crate::service::{RepairRequest, RepairService};
-use crate::telemetry::{Metric, MetricClass, RegistrySnapshot, TelemetryHandle};
+use crate::telemetry::{Metric, MetricClass, RegistrySnapshot, TelemetryHandle, WindowSnapshot};
+use crate::trace::{stage, TraceContext, TraceSpan};
 use std::io::{BufReader, BufWriter, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use svmodel::RepairModel;
 
 /// Why a wire submission failed.
@@ -43,6 +46,17 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Prefix on [`WireError::Protocol`] strings for refusals raised *before any
+/// bytes hit the wire* (an exchange the negotiated version does not support).
+/// The stream is still consistent, so [`super::RemoteShard`] must not retire
+/// the connection over one.
+pub(crate) const LOCAL_REFUSAL: &str = "unsupported exchange: ";
+
+/// True when `error` is a pre-send refusal that left the stream consistent.
+pub(crate) fn is_local_refusal(error: &WireError) -> bool {
+    matches!(error, WireError::Protocol(msg) if msg.starts_with(LOCAL_REFUSAL))
+}
+
 /// One client-side connection to a shard.
 pub trait Transport: Send {
     /// The serving model's identity fingerprint, learned in the `Hello`
@@ -52,13 +66,39 @@ pub trait Transport: Send {
     /// Submits one request and blocks for the shard's answer.
     fn call(&mut self, request: &RepairRequest) -> Result<WireOutcome, WireError>;
 
+    /// Submits one request carrying a [`TraceContext`] (the `SubmitTraced` /
+    /// `TraceReply` exchange, wire v3) and blocks for the shard's answer plus
+    /// the spans the shard recorded under the remote parent.
+    ///
+    /// The default degrades losslessly to [`Transport::call`] with no shard
+    /// spans, which is exactly what a v2 peer — that has never heard of
+    /// tracing — would contribute.  Trace trees stay byte-identical because
+    /// every deterministic span field is content-derived on the driver side;
+    /// only the shard's (volatile) wall measurements are missing.
+    fn call_traced(
+        &mut self,
+        request: &RepairRequest,
+        _context: &TraceContext,
+    ) -> Result<(WireOutcome, Vec<TraceSpan>), WireError> {
+        self.call(request).map(|outcome| (outcome, Vec::new()))
+    }
+
     /// Asks the shard for a live telemetry snapshot (the `Stats` /
     /// `StatsReply` exchange).  The default refuses, so transports that
     /// predate the exchange degrade to a counted protocol error.
     fn stats(&mut self) -> Result<RegistrySnapshot, WireError> {
-        Err(WireError::Protocol(
-            "transport does not support the Stats exchange".into(),
-        ))
+        Err(WireError::Protocol(format!(
+            "{LOCAL_REFUSAL}transport does not support Stats"
+        )))
+    }
+
+    /// Asks the shard for its time-windowed telemetry (the `StatsWindow` /
+    /// `StatsWindowReply` exchange, wire v3).  The default refuses, so v2
+    /// transports degrade to a counted protocol error, never a panic.
+    fn stats_window(&mut self) -> Result<WindowSnapshot, WireError> {
+        Err(WireError::Protocol(format!(
+            "{LOCAL_REFUSAL}transport does not support StatsWindow"
+        )))
     }
 }
 
@@ -124,6 +164,54 @@ impl<M: RepairModel + Send + Sync + 'static> Transport for LoopbackTransport<M> 
         }
     }
 
+    fn call_traced(
+        &mut self,
+        request: &RepairRequest,
+        context: &TraceContext,
+    ) -> Result<(WireOutcome, Vec<TraceSpan>), WireError> {
+        // Same codec discipline as `call`: the traced submission and its
+        // reply round-trip through the frame encoder so loopback tests cover
+        // the exact bytes a socket peer would exchange.
+        let submit = codec_round_trip(
+            &Frame::SubmitTraced {
+                request: request.clone(),
+                context: *context,
+            },
+            self.frame_bytes.as_deref(),
+        )?;
+        let Frame::SubmitTraced { request, context } = submit else {
+            return Err(WireError::Protocol("traced frame changed shape".into()));
+        };
+        let started = Instant::now();
+        let reply = match self.service.submit(request) {
+            Ok(ticket) => {
+                let outcome = ticket.wait();
+                let sample = TraceSpan::new(
+                    &context.child("sample"),
+                    "sample",
+                    stage::SAMPLE,
+                    outcome.responses.len() as u64,
+                    started.elapsed().as_nanos() as u64,
+                );
+                Frame::TraceReply {
+                    outcome: WireOutcome {
+                        responses: (*outcome.responses).clone(),
+                        from_cache: outcome.from_cache,
+                    },
+                    spans: vec![sample],
+                }
+            }
+            Err(SubmitError::Busy) => Frame::Busy,
+            Err(SubmitError::Closed) => Frame::Closed,
+        };
+        match codec_round_trip(&reply, self.frame_bytes.as_deref())? {
+            Frame::TraceReply { outcome, spans } => Ok((outcome, spans)),
+            Frame::Busy => Err(WireError::Busy),
+            Frame::Closed => Err(WireError::Closed),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+
     fn stats(&mut self) -> Result<RegistrySnapshot, WireError> {
         // Same codec discipline as `call`: the request and the reply both
         // round-trip through the frame encoder.
@@ -134,6 +222,22 @@ impl<M: RepairModel + Send + Sync + 'static> Transport for LoopbackTransport<M> 
         let reply = Frame::StatsReply(self.service.stats_snapshot());
         match codec_round_trip(&reply, self.frame_bytes.as_deref())? {
             Frame::StatsReply(snapshot) => Ok(snapshot),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+
+    fn stats_window(&mut self) -> Result<WindowSnapshot, WireError> {
+        match codec_round_trip(&Frame::StatsWindow, self.frame_bytes.as_deref())? {
+            Frame::StatsWindow => {}
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "stats-window frame became {other:?}"
+                )))
+            }
+        }
+        let reply = Frame::StatsWindowReply(self.service.stats_window());
+        match codec_round_trip(&reply, self.frame_bytes.as_deref())? {
+            Frame::StatsWindowReply(snapshot) => Ok(snapshot),
             other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
         }
     }
@@ -157,17 +261,24 @@ pub struct UnixTransport {
     reader: BufReader<UnixStream>,
     writer: BufWriter<UnixStream>,
     fingerprint: String,
+    negotiated: u32,
     frame_bytes: Option<Arc<Metric>>,
 }
 
 impl UnixTransport {
-    /// Connects and performs the `Hello` handshake.
+    /// Connects and performs the `Hello` handshake, negotiating the wire
+    /// version down to the highest level both peers speak.
     ///
-    /// The connection is refused — with a [`WireError::Protocol`] naming the
-    /// mismatch — when the shard speaks a different [`WIRE_FORMAT_VERSION`] or
-    /// serves a model whose identity differs from `expected_fingerprint`:
-    /// a fleet must never silently mix incompatible shards, because their
-    /// answers would differ from the local model's.
+    /// The client announces [`WIRE_FORMAT_VERSION`]; the agreed version is
+    /// `min(ours, theirs)`.  The connection is refused — with a
+    /// [`WireError::Protocol`] naming the mismatch — when the agreed version
+    /// falls below [`MIN_WIRE_FORMAT_VERSION`], or when the shard serves a
+    /// model whose identity differs from `expected_fingerprint`: a fleet must
+    /// never silently mix incompatible shards, because their answers would
+    /// differ from the local model's.  Against a v2 shard the connection
+    /// succeeds and the v3-only exchanges ([`Transport::call_traced`],
+    /// [`Transport::stats_window`]) degrade losslessly (plain `Submit`, a
+    /// counted refusal) instead of confusing the peer with unknown frames.
     pub fn connect(
         path: impl AsRef<Path>,
         expected_fingerprint: Option<&str>,
@@ -188,6 +299,7 @@ impl UnixTransport {
             reader,
             writer: BufWriter::new(stream),
             fingerprint: String::new(),
+            negotiated: WIRE_FORMAT_VERSION,
             frame_bytes: None,
         };
         transport.send(&Frame::Hello {
@@ -199,10 +311,12 @@ impl UnixTransport {
                 format_version,
                 fingerprint,
             } => {
-                if format_version != WIRE_FORMAT_VERSION {
+                let agreed = format_version.min(WIRE_FORMAT_VERSION);
+                if agreed < MIN_WIRE_FORMAT_VERSION {
                     return Err(WireError::Protocol(format!(
                         "wire version mismatch: shard speaks v{format_version}, \
-                         client speaks v{WIRE_FORMAT_VERSION}"
+                         client speaks v{WIRE_FORMAT_VERSION} \
+                         (minimum v{MIN_WIRE_FORMAT_VERSION})"
                     )));
                 }
                 if let Some(expected) = expected_fingerprint {
@@ -214,6 +328,7 @@ impl UnixTransport {
                     }
                 }
                 transport.fingerprint = fingerprint;
+                transport.negotiated = agreed;
                 Ok(transport)
             }
             Frame::Err(msg) => Err(WireError::Protocol(format!("shard refused hello: {msg}"))),
@@ -221,6 +336,12 @@ impl UnixTransport {
                 "expected Hello, got {other:?}"
             ))),
         }
+    }
+
+    /// The wire version agreed in the handshake: `min` of both peers'
+    /// announced versions, never below [`MIN_WIRE_FORMAT_VERSION`].
+    pub fn negotiated_version(&self) -> u32 {
+        self.negotiated
     }
 
     /// Records every sent frame's encoded byte length into the registry's
@@ -267,10 +388,51 @@ impl Transport for UnixTransport {
         }
     }
 
+    fn call_traced(
+        &mut self,
+        request: &RepairRequest,
+        context: &TraceContext,
+    ) -> Result<(WireOutcome, Vec<TraceSpan>), WireError> {
+        if self.negotiated < 3 {
+            // A v2 shard has never heard of SubmitTraced; fall back to the
+            // plain exchange.  Lossless for determinism: the driver derives
+            // every deterministic span field itself.
+            return self.call(request).map(|outcome| (outcome, Vec::new()));
+        }
+        self.send(&Frame::SubmitTraced {
+            request: request.clone(),
+            context: *context,
+        })?;
+        match self.receive()? {
+            Frame::TraceReply { outcome, spans } => Ok((outcome, spans)),
+            Frame::Busy => Err(WireError::Busy),
+            Frame::Closed => Err(WireError::Closed),
+            Frame::Err(msg) => Err(WireError::Protocol(format!("shard error: {msg}"))),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+
     fn stats(&mut self) -> Result<RegistrySnapshot, WireError> {
         self.send(&Frame::Stats)?;
         match self.receive()? {
             Frame::StatsReply(snapshot) => Ok(snapshot),
+            Frame::Busy => Err(WireError::Busy),
+            Frame::Closed => Err(WireError::Closed),
+            Frame::Err(msg) => Err(WireError::Protocol(format!("shard error: {msg}"))),
+            other => Err(WireError::Protocol(format!("unexpected frame {other:?}"))),
+        }
+    }
+
+    fn stats_window(&mut self) -> Result<WindowSnapshot, WireError> {
+        if self.negotiated < 3 {
+            return Err(WireError::Protocol(format!(
+                "{LOCAL_REFUSAL}shard negotiated wire v{}, StatsWindow needs v3",
+                self.negotiated
+            )));
+        }
+        self.send(&Frame::StatsWindow)?;
+        match self.receive()? {
+            Frame::StatsWindowReply(snapshot) => Ok(snapshot),
             Frame::Busy => Err(WireError::Busy),
             Frame::Closed => Err(WireError::Closed),
             Frame::Err(msg) => Err(WireError::Protocol(format!("shard error: {msg}"))),

@@ -12,7 +12,7 @@ use svserve::persist::PersistSpec;
 use svserve::{
     read_frame, write_frame, Frame, JournalEvent, JournalMode, JournalSink, JournalSpec,
     LoopbackTransport, RepairRequest, RepairService, ServiceConfig, ShardFleet, ShardServer,
-    Transport, UnixTransport, WireError, WIRE_FORMAT_VERSION,
+    Transport, UnixTransport, WireError, MIN_WIRE_FORMAT_VERSION, WIRE_FORMAT_VERSION,
 };
 
 /// Deterministic model: responses are a pure function of `(case, samples, seed)`,
@@ -221,13 +221,14 @@ fn unix_fleet_matches_direct_submission_end_to_end() {
 }
 
 #[test]
-fn hello_version_mismatch_is_refused_with_an_err_frame() {
+fn hello_version_skew_negotiates_down_or_refuses_below_the_floor() {
     let service = echo_service();
     let socket = socket_path("version");
     let server = ShardServer::bind(&socket, Arc::clone(&service), "echo").expect("bind");
 
-    // Speak a future protocol version by hand; the server must answer with an
-    // `Err` frame (and count it) instead of serving mismatched frames.
+    // A *newer* peer is not an error: the server answers with its own (lower)
+    // version and the connection proceeds at the agreed minimum, so a rolling
+    // upgrade never partitions the fleet.
     let stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -237,6 +238,31 @@ fn hello_version_mismatch_is_refused_with_an_err_frame() {
         &mut writer,
         &Frame::Hello {
             format_version: WIRE_FORMAT_VERSION + 1,
+            fingerprint: "echo".into(),
+        },
+    )
+    .expect("send hello");
+    let mut reader = std::io::BufReader::new(stream);
+    match read_frame(&mut reader).expect("server replies") {
+        Frame::Hello { format_version, .. } => assert_eq!(
+            format_version, WIRE_FORMAT_VERSION,
+            "the server offers its own version for the peer to settle on"
+        ),
+        other => panic!("expected a negotiated Hello, got {other:?}"),
+    }
+    assert_eq!(server.protocol_errors(), 0, "negotiation is not an error");
+
+    // A peer below the supported floor *is* refused with an `Err` frame (and
+    // counted) instead of serving frames it would misparse.
+    let stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            format_version: MIN_WIRE_FORMAT_VERSION - 1,
             fingerprint: "echo".into(),
         },
     )

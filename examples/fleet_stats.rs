@@ -89,6 +89,16 @@ impl ShardProcess {
     }
 }
 
+/// A mid-example assertion failure unwinds past the explicit `kill()` calls;
+/// without this guard the spawned `shard-serve` children would outlive the
+/// example and leak (holding their sockets) until the host reaps them.
+/// `kill()` is idempotent, so the normal path's explicit kills stay valid.
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
 fn run_svstat(binary: &Path, sockets: &[PathBuf], extra: &[&str]) -> (bool, String, String) {
     let joined = sockets
         .iter()

@@ -1,0 +1,264 @@
+//! Cross-process causal tracing: prove the trace tree reconstructed from a
+//! live 2-shard `shard-serve` fleet is byte-identical to the in-process one,
+//! then drive the `svtrace` and `svtop` binaries against the same fleet.
+//!
+//! ```text
+//! cargo run --release --example trace_fleet
+//! ```
+//!
+//! The deterministic projection of a trace forest (ids, parents, logical
+//! start ticks, units — everything except wall clocks) is a pure function of
+//! (corpus, salt): the shard derives its `sample` span from the same remote
+//! context the driver sent in the `SubmitTraced` frame, so merging the
+//! `TraceReply` spans into the driver's tree reproduces the exact bytes the
+//! in-process evaluation emits.  This example pins that acceptance bar
+//! against real child processes (not the in-library loopback the
+//! `trace_determinism` suite covers), then asserts the operator surfaces:
+//!
+//! 1. **library** — in-process vs fleet `render_deterministic()` bytes match;
+//! 2. **svtrace** — `--sockets --deterministic` prints those same bytes, and
+//!    `--slowest 3 --min-coverage 95` exits 0 (≥95% of each listed session's
+//!    wall-clock is attributed to named spans);
+//! 3. **svtop** — `--once` renders every shard live with plausible window
+//!    columns, `--once --json` emits a parseable per-shard exposition, and
+//!    against an all-dead fleet `--once` exits 1 without hanging.
+
+use assertsolver::{
+    evaluate_model_observed, evaluate_model_over_fleet_traced, EvalConfig, EvalVerifier,
+};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use svdata::SvaBugEntry;
+use svmodel::{AssertSolverModel, RepairModel};
+use svserve::{ShardFleet, TelemetryHandle, TraceForest, TraceHandle, TracerHandle};
+
+/// Locates a binary next to this example (`target/<profile>/<name>`),
+/// building it if missing.
+fn workspace_binary(name: &str, package: &str) -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let profile_dir = exe
+        .parent()
+        .and_then(Path::parent)
+        .expect("example lives under target/<profile>/examples")
+        .to_path_buf();
+    let binary = profile_dir.join(name);
+    if !binary.exists() {
+        let mut build = Command::new(env!("CARGO"));
+        build.args(["build", "-p", package, "--bin", name]);
+        if profile_dir.file_name().and_then(|n| n.to_str()) == Some("release") {
+            build.arg("--release");
+        }
+        let status = build.status().expect("run cargo build");
+        assert!(status.success(), "building {name} failed");
+    }
+    assert!(binary.exists(), "{name} binary at {binary:?}");
+    binary
+}
+
+/// One running `shard-serve` child (stdin-close is the shutdown signal).
+struct ShardProcess {
+    child: Child,
+}
+
+impl ShardProcess {
+    fn spawn(binary: &Path, socket: &Path, model_file: &Path, seed: u64) -> Self {
+        let mut child = Command::new(binary)
+            .arg("--socket")
+            .arg(socket)
+            .arg("--model-file")
+            .arg(model_file)
+            .args(["--seed", &seed.to_string(), "--workers", "2"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn shard-serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let banner = BufReader::new(stdout)
+            .lines()
+            .next()
+            .expect("shard-serve prints a banner")
+            .expect("read shard-serve banner");
+        assert!(
+            banner.starts_with("LISTENING"),
+            "unexpected shard-serve banner: {banner}"
+        );
+        Self { child }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Assertion failures unwind past the explicit kills; the guard keeps the
+/// children from outliving the example (kill() is idempotent).
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn run(binary: &Path, args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(binary)
+        .args(args)
+        .output()
+        .expect("run binary");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("assertsolver-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let seed = 2025;
+    let model = AssertSolverModel::base(seed);
+    let model_file = dir.join("model.json");
+    std::fs::write(
+        &model_file,
+        serde_json::to_string(&model).expect("model serializes"),
+    )
+    .expect("write model file");
+
+    let cases: Vec<SvaBugEntry> = assertsolver::human_crafted_cases()
+        .into_iter()
+        .take(6)
+        .collect();
+    let config = EvalConfig {
+        workers: 2,
+        verify_workers: 2,
+        ..EvalConfig::quick(seed)
+    };
+
+    // 1. The in-process reference tree.  Salt 0 matches what `svtrace` uses,
+    //    so binary output below is comparable byte-for-byte.
+    let trace = TraceHandle::new(0);
+    let verifier = EvalVerifier::start(&config);
+    evaluate_model_observed(
+        &model,
+        &cases,
+        &config,
+        &verifier,
+        &TracerHandle::off(),
+        &TelemetryHandle::off(),
+        &trace,
+    );
+    verifier.shutdown();
+    let reference = TraceForest::from_spans(trace.drain()).render_deterministic();
+    assert!(!reference.is_empty(), "in-process run produced spans");
+
+    let shard_serve = workspace_binary("shard-serve", "svserve");
+    let svtrace = workspace_binary("svtrace", "assertsolver-bench");
+    let svtop = workspace_binary("svtop", "svserve");
+    let timeout = Duration::from_millis(10_000);
+
+    let sockets: Vec<PathBuf> = (0..2)
+        .map(|i| dir.join(format!("shard-{i}.sock")))
+        .collect();
+    let mut processes: Vec<ShardProcess> = sockets
+        .iter()
+        .map(|socket| ShardProcess::spawn(&shard_serve, socket, &model_file, config.seed))
+        .collect();
+    let socket_list = sockets
+        .iter()
+        .map(|socket| socket.display().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // 2. Library surface: the tree merged from live `TraceReply` frames is
+    //    byte-identical to the in-process reference.
+    let fleet = ShardFleet::connect_unix(&sockets, Some(&model.identity()), timeout);
+    let trace = TraceHandle::new(0);
+    let verifier = EvalVerifier::start(&config);
+    evaluate_model_over_fleet_traced(&model, &cases, &config, &fleet, &verifier, &trace);
+    verifier.shutdown();
+    assert_eq!(fleet.metrics().wire_errors, 0, "clean fleet run");
+    let remote = TraceForest::from_spans(trace.drain()).render_deterministic();
+    assert_eq!(
+        remote, reference,
+        "cross-process trace tree is byte-identical to the in-process tree"
+    );
+    println!("trace_fleet: library trees match ({} bytes)", remote.len());
+
+    // 3. svtrace against the live (now warm) fleet: the deterministic
+    //    projection still matches — warm caches change wall clocks only —
+    //    and every session clears the 95% attribution bar.
+    let (ok, stdout, stderr) = run(
+        &svtrace,
+        &[
+            "--seed",
+            &seed.to_string(),
+            "--limit",
+            "6",
+            "--sockets",
+            &socket_list,
+            "--deterministic",
+        ],
+    );
+    assert!(ok, "svtrace --deterministic exits 0 (stderr: {stderr})");
+    assert_eq!(
+        stdout, reference,
+        "svtrace --sockets --deterministic prints the reference bytes"
+    );
+    let (ok, stdout, stderr) = run(
+        &svtrace,
+        &[
+            "--seed",
+            &seed.to_string(),
+            "--limit",
+            "6",
+            "--sockets",
+            &socket_list,
+            "--slowest",
+            "3",
+            "--min-coverage",
+            "95",
+        ],
+    );
+    assert!(
+        ok,
+        "svtrace --slowest 3 --min-coverage 95 exits 0 (stderr: {stderr})"
+    );
+    assert!(
+        stdout.lines().count() == 4,
+        "--slowest 3 prints a header and three rows:\n{stdout}"
+    );
+    println!("trace_fleet: svtrace binary agrees and clears the coverage bar");
+
+    // 4. svtop against the same fleet: the shards have served real traffic,
+    //    so the window plane reports completions and latency quantiles.
+    let (ok, table, stderr) = run(&svtop, &["--sockets", &socket_list, "--once"]);
+    assert!(ok, "svtop --once exits 0 (stderr: {stderr})");
+    assert!(
+        table.contains("fleet: 2/2 shards live"),
+        "svtop reports liveness:\n{table}"
+    );
+    assert!(table.contains("p99_ns"), "svtop renders quantile columns");
+    let (ok, json, _) = run(&svtop, &["--sockets", &socket_list, "--once", "--json"]);
+    assert!(ok, "svtop --once --json exits 0");
+    assert!(
+        json.contains("\"ok\":true") && json.contains("\"width\":"),
+        "svtop --json carries per-shard window expositions:\n{json}"
+    );
+    println!("trace_fleet: svtop table + json surfaces answer");
+
+    // 5. Degradation: an all-dead fleet is a clean nonzero exit, not a hang.
+    for process in &mut processes {
+        process.kill();
+    }
+    let (ok, _, stderr) = run(&svtop, &["--sockets", &socket_list, "--once"]);
+    assert!(!ok, "svtop against an all-dead fleet exits nonzero");
+    assert!(
+        stderr.contains("no shard answered"),
+        "svtop explains the failure: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("trace_fleet: all invariants held");
+}

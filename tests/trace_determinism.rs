@@ -1,0 +1,282 @@
+//! Trace-tree byte-determinism: the deterministic projection of a trace
+//! forest ([`TraceForest::render_deterministic`]) is a pure function of
+//! (corpus, salt) — identical at any driver-thread count, any worker count,
+//! over loopback or unix-socket fleets, warm or cold, and against a v2 peer
+//! that predates the `SubmitTraced` exchange.
+//!
+//! Wall clocks are the *only* volatile span field, and they are excluded
+//! from the projection, so these suites compare bytes, not structures — the
+//! same bar the journal and deterministic-metrics planes hold.
+
+use assertsolver::{
+    evaluate_model_observed, evaluate_model_over_fleet_traced, EvalConfig, EvalVerifier,
+};
+use std::sync::Arc;
+use std::time::Duration;
+use svdata::SvaBugEntry;
+use svmodel::{AssertSolverModel, RepairModel};
+use svserve::{
+    read_frame, write_frame, Frame, RepairService, ServiceConfig, ShardFleet, ShardServer,
+    TelemetryHandle, TraceForest, TraceHandle, TracerHandle, Transport, UnixTransport,
+    MIN_WIRE_FORMAT_VERSION,
+};
+
+fn corpus() -> Vec<SvaBugEntry> {
+    assertsolver::human_crafted_cases()
+        .into_iter()
+        .take(4)
+        .collect()
+}
+
+/// One in-process evaluation with tracing on; returns the deterministic
+/// projection of the collected forest.
+fn traced_run(config: &EvalConfig) -> String {
+    let model = AssertSolverModel::base(config.seed);
+    let trace = TraceHandle::new(0);
+    let verifier = EvalVerifier::start(config);
+    evaluate_model_observed(
+        &model,
+        &corpus(),
+        config,
+        &verifier,
+        &TracerHandle::off(),
+        &TelemetryHandle::off(),
+        &trace,
+    );
+    verifier.shutdown();
+    TraceForest::from_spans(trace.drain()).render_deterministic()
+}
+
+#[test]
+fn trace_tree_is_byte_identical_at_any_driver_count() {
+    let reference = traced_run(&EvalConfig {
+        drivers: 1,
+        ..EvalConfig::quick(7)
+    });
+    assert!(!reference.is_empty(), "tracing collected spans");
+    for drivers in [2, 4, 8] {
+        let tree = traced_run(&EvalConfig {
+            drivers,
+            ..EvalConfig::quick(7)
+        });
+        assert_eq!(
+            tree, reference,
+            "trace tree at {drivers} drivers must match the single-driver bytes"
+        );
+    }
+}
+
+#[test]
+fn trace_tree_is_byte_identical_at_any_worker_count() {
+    let reference = traced_run(&EvalConfig {
+        workers: 1,
+        verify_workers: 1,
+        ..EvalConfig::quick(11)
+    });
+    for workers in 2..=8 {
+        let tree = traced_run(&EvalConfig {
+            workers,
+            verify_workers: 1 + workers % 3,
+            ..EvalConfig::quick(11)
+        });
+        assert_eq!(
+            tree, reference,
+            "trace tree at {workers} workers must match the single-worker bytes"
+        );
+    }
+}
+
+/// Fleet runs — loopback (every frame round-trips the codec in process) and
+/// a 2-shard unix-socket fleet — produce the same bytes as the in-process
+/// evaluation, warm or cold.
+#[test]
+fn fleet_trace_trees_match_in_process_over_loopback_and_unix() {
+    let seed = 13;
+    let config = EvalConfig::quick(seed);
+    let model = AssertSolverModel::base(seed);
+    let reference = traced_run(&config);
+
+    // Loopback: one in-process shard behind the codec.
+    let service = Arc::new(RepairService::start(
+        Arc::new(AssertSolverModel::base(seed)),
+        ServiceConfig::default().with_seed(seed),
+    ));
+    let fleet = ShardFleet::new(vec![Box::new(svserve::LoopbackTransport::new(
+        Arc::clone(&service),
+        model.identity(),
+    ))]);
+    let trace = TraceHandle::new(0);
+    let verifier = EvalVerifier::start(&config);
+    evaluate_model_over_fleet_traced(&model, &corpus(), &config, &fleet, &verifier, &trace);
+    verifier.shutdown();
+    let loopback = TraceForest::from_spans(trace.drain()).render_deterministic();
+    assert_eq!(loopback, reference, "loopback tree matches in-process");
+    drop(fleet);
+    Arc::try_unwrap(service)
+        .ok()
+        .expect("sole owner")
+        .shutdown();
+
+    // Unix: two shard servers on temp sockets, cold then warm.
+    let dir = std::env::temp_dir().join(format!("trace-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let services: Vec<_> = (0..2)
+        .map(|_| {
+            Arc::new(RepairService::start(
+                Arc::new(AssertSolverModel::base(seed)),
+                ServiceConfig::default().with_seed(seed),
+            ))
+        })
+        .collect();
+    let sockets: Vec<_> = (0..2)
+        .map(|i| dir.join(format!("shard-{i}.sock")))
+        .collect();
+    let servers: Vec<_> = services
+        .iter()
+        .zip(&sockets)
+        .map(|(service, socket)| {
+            ShardServer::bind(socket, Arc::clone(service), model.identity()).expect("bind")
+        })
+        .collect();
+    let fleet =
+        ShardFleet::connect_unix(&sockets, Some(&model.identity()), Duration::from_secs(10));
+    for pass in ["cold", "warm"] {
+        let trace = TraceHandle::new(0);
+        let verifier = EvalVerifier::start(&config);
+        evaluate_model_over_fleet_traced(&model, &corpus(), &config, &fleet, &verifier, &trace);
+        verifier.shutdown();
+        let unix = TraceForest::from_spans(trace.drain()).render_deterministic();
+        assert_eq!(unix, reference, "{pass} unix fleet tree matches in-process");
+    }
+    assert_eq!(fleet.metrics().wire_errors, 0);
+    drop(fleet);
+    for server in servers {
+        server.shutdown();
+    }
+    for service in services {
+        Arc::try_unwrap(service)
+            .ok()
+            .expect("sole owner")
+            .shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A v2 peer — one that answers the hello with the minimum version and only
+/// speaks plain `Submit` — still yields the identical deterministic tree:
+/// `call_traced` falls back losslessly because every deterministic span field
+/// is derived driver-side; only the shard's wall clock is lost.
+#[test]
+fn v2_peer_negotiates_down_and_loses_no_deterministic_bytes() {
+    let dir = std::env::temp_dir().join(format!("trace-v2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let socket = dir.join("v2.sock");
+    let listener = std::os::unix::net::UnixListener::bind(&socket).expect("bind");
+
+    // The fake v2 shard: hello pinned at the floor version, then an echo of
+    // canned outcomes for plain Submit frames; any v3-only frame would be a
+    // parse error on its side, so receiving one fails the test by closing.
+    let seed = 17;
+    let service = Arc::new(RepairService::start(
+        Arc::new(AssertSolverModel::base(seed)),
+        ServiceConfig::default().with_seed(seed),
+    ));
+    let peer_service = Arc::clone(&service);
+    let peer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(stream);
+        match read_frame(&mut reader).expect("client hello") {
+            Frame::Hello { .. } => write_frame(
+                &mut writer,
+                &Frame::Hello {
+                    format_version: MIN_WIRE_FORMAT_VERSION,
+                    fingerprint: "assertsolver".into(),
+                },
+            )
+            .expect("reply hello"),
+            other => panic!("expected hello, got {other:?}"),
+        }
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Frame::Submit(request)) => {
+                    let outcome = peer_service.submit(request).expect("open").wait();
+                    write_frame(
+                        &mut writer,
+                        &Frame::Response(svserve::WireOutcome {
+                            responses: outcome.responses.as_ref().clone(),
+                            from_cache: outcome.from_cache,
+                        }),
+                    )
+                    .expect("reply");
+                }
+                Ok(other) => panic!("v2 peer received a v3-only frame: {other:?}"),
+                Err(_) => break, // client hung up
+            }
+        }
+    });
+
+    let mut transport = UnixTransport::connect(&socket, None, Duration::from_secs(10))
+        .expect("negotiates down instead of refusing");
+    assert_eq!(transport.negotiated_version(), MIN_WIRE_FORMAT_VERSION);
+
+    let config = EvalConfig::quick(seed);
+    let model = AssertSolverModel::base(seed);
+    // Drive one traced exchange directly: the fallback path must answer and
+    // return zero shard spans.
+    let request = svserve::RepairRequest::new(
+        svmodel::CaseInput::from_entry(&corpus()[0]),
+        config.samples,
+        config.temperature,
+    );
+    let ctx = svserve::TraceContext::root(request.key(), 0);
+    let (outcome, spans) = transport
+        .call_traced(&request, &ctx)
+        .expect("fallback submit answers");
+    assert_eq!(outcome.responses.len(), config.samples);
+    assert!(spans.is_empty(), "a v2 peer contributes no shard spans");
+
+    // And a full fleet evaluation over the v2 peer still reproduces the
+    // in-process deterministic bytes (single shard ⇒ same placement).
+    let reference = {
+        let trace = TraceHandle::new(0);
+        let verifier = EvalVerifier::start(&config);
+        evaluate_model_observed(
+            &model,
+            &corpus(),
+            &config,
+            &verifier,
+            &TracerHandle::off(),
+            &TelemetryHandle::off(),
+            &trace,
+        );
+        verifier.shutdown();
+        TraceForest::from_spans(trace.drain()).render_deterministic()
+    };
+    let fleet = ShardFleet::new(vec![Box::new(transport) as Box<dyn Transport>]);
+    let trace = TraceHandle::new(0);
+    let verifier = EvalVerifier::start(&config);
+    evaluate_model_over_fleet_traced(&model, &corpus(), &config, &fleet, &verifier, &trace);
+    verifier.shutdown();
+    assert_eq!(
+        fleet.metrics().wire_errors,
+        0,
+        "no errors against the v2 peer"
+    );
+    let downlevel = TraceForest::from_spans(trace.drain()).render_deterministic();
+    assert_eq!(
+        downlevel, reference,
+        "v2 fallback loses no deterministic trace bytes"
+    );
+
+    drop(fleet);
+    peer.join().expect("peer thread");
+    Arc::try_unwrap(service)
+        .ok()
+        .expect("sole owner")
+        .shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
